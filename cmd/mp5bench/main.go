@@ -1,0 +1,89 @@
+// Command mp5bench regenerates the paper's evaluation tables and figures
+// (Table 1, the §4.2 SRAM overhead, the §4.3.2 D2/D3/D4 microbenchmarks,
+// the Figure-7 sensitivity sweeps, and the Figure-8 application runs) as
+// aligned text tables.
+//
+// Usage:
+//
+//	mp5bench                 # everything at the default scale
+//	mp5bench -full           # the paper's scale (10 seeds, longer traces)
+//	mp5bench -only fig7a     # one experiment
+//	                         # (table1, sram, d2, d3, d4,
+//	                         #  fig7a..fig7d, fig8)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"mp5/internal/experiments"
+)
+
+func main() {
+	full := flag.Bool("full", false, "run at the paper's scale (10 seeds)")
+	only := flag.String("only", "", "run a single experiment: table1, sram, d2, d3, d4, fig7a, fig7b, fig7c, fig7d, fig8")
+	packets := flag.Int("packets", 0, "override trace length")
+	seeds := flag.Int("seeds", 0, "override seed count")
+	flag.Parse()
+
+	sc := experiments.DefaultScale
+	if *full {
+		sc = experiments.PaperScale
+	}
+	if *packets > 0 {
+		sc.Packets = *packets
+	}
+	if *seeds > 0 {
+		sc.Seeds = *seeds
+	}
+
+	all := map[string]func() *experiments.Table{
+		"table1":      experiments.Table1,
+		"sram":        experiments.SRAM,
+		"d2":          func() *experiments.Table { return experiments.D2Sharding(sc) },
+		"d4":          func() *experiments.Table { return experiments.D4Violations(sc) },
+		"d3":          func() *experiments.Table { return experiments.D3Steering(sc) },
+		"fig7a":       func() *experiments.Table { return experiments.Fig7a(sc) },
+		"fig7b":       func() *experiments.Table { return experiments.Fig7b(sc) },
+		"fig7c":       func() *experiments.Table { return experiments.Fig7c(sc) },
+		"fig7d":       func() *experiments.Table { return experiments.Fig7d(sc) },
+		"fig8":        func() *experiments.Table { return experiments.Fig8(sc) },
+		"remap":       func() *experiments.Table { return experiments.AblationRemapInterval(sc) },
+		"fifocap":     func() *experiments.Table { return experiments.AblationFIFOCapacity(sc) },
+		"skew":        func() *experiments.Table { return experiments.AblationSkew(sc) },
+		"mitigations": func() *experiments.Table { return experiments.AblationMitigations(sc) },
+		"chiplet":     func() *experiments.Table { return experiments.AblationChiplet(sc) },
+		"atoms":       experiments.Atoms,
+	}
+	order := []string{"table1", "sram", "d2", "d4", "d3", "fig7a", "fig7b", "fig7c", "fig7d", "fig8"}
+	ablations := []string{"remap", "fifocap", "skew", "mitigations", "chiplet", "atoms"}
+
+	if *only != "" {
+		f, ok := all[strings.ToLower(*only)]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "mp5bench: unknown experiment %q (choices: %s)\n",
+				*only, strings.Join(append(append([]string{}, order...), ablations...), ", "))
+			os.Exit(2)
+		}
+		emit(f)
+		return
+	}
+	fmt.Printf("MP5 evaluation reproduction — scale: %d packets x %d seeds\n\n", sc.Packets, sc.Seeds)
+	for _, name := range order {
+		emit(all[name])
+	}
+	fmt.Println("--- extensions beyond the paper's artifacts ---")
+	for _, name := range ablations {
+		emit(all[name])
+	}
+}
+
+func emit(f func() *experiments.Table) {
+	start := time.Now()
+	t := f()
+	fmt.Println(t.Format())
+	fmt.Printf("(%.1fs)\n\n", time.Since(start).Seconds())
+}

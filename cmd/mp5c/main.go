@@ -1,0 +1,76 @@
+// Command mp5c compiles a Domino program for a Banzai single pipeline or
+// the MP5 multi-pipeline target and dumps the staged configuration,
+// including the MP5 access metadata (resolved index operands, visit
+// predicates, sharding decisions).
+//
+// Usage:
+//
+//	mp5c [-target banzai|mp5] [-stages N] program.domino
+//	mp5c -app flowlet|conga|wfq|sequencer [-target mp5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mp5/internal/apps"
+	"mp5/internal/compiler"
+)
+
+func main() {
+	target := flag.String("target", "mp5", "compilation target: banzai or mp5")
+	stages := flag.Int("stages", compiler.DefaultMaxStages, "pipeline stage budget")
+	atomDepth := flag.Int("atomdepth", 0, "maximum stateful-atom ALU depth (0 = unconstrained)")
+	atoms := flag.Bool("atoms", false, "also print the Banzai atom census")
+	app := flag.String("app", "", "compile a built-in application instead of a file (flowlet, conga, wfq, sequencer)")
+	flag.Parse()
+
+	var src string
+	switch {
+	case *app != "":
+		a, err := apps.ByName(*app)
+		if err != nil {
+			fatal(err)
+		}
+		src = a.Source
+	case flag.NArg() == 1:
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		src = string(data)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: mp5c [-target banzai|mp5] [-stages N] (program.domino | -app name)")
+		os.Exit(2)
+	}
+
+	opts := compiler.Options{MaxStages: *stages, MaxAtomDepth: *atomDepth}
+	switch *target {
+	case "banzai":
+		opts.Target = compiler.TargetBanzai
+	case "mp5":
+		opts.Target = compiler.TargetMP5
+	default:
+		fatal(fmt.Errorf("unknown target %q", *target))
+	}
+
+	prog, err := compiler.Compile(src, opts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(prog.Dump())
+	if opts.Target == compiler.TargetMP5 {
+		fmt.Printf("stateful predicates: %v\n", prog.StatefulPredicates)
+	}
+	if *atoms {
+		for _, rep := range compiler.ClassifyAtoms(prog) {
+			fmt.Println(rep)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mp5c:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,53 @@
+// Heavyhitter: the motivating example of design principle D2 (§3.1) — a
+// per-source counter table under a skewed (heavy-tail) access pattern.
+// The example contrasts four designs on the same trace:
+//
+//   - naive:        all state in one pipeline (the shared-memory strawman)
+//   - static-shard: state sharded randomly at compile time, never moved
+//   - mp5:          dynamic sharding, re-balanced every 100 cycles
+//   - ideal:        no HOL blocking + LPT bin-packing (upper bound)
+//
+// All four preserve functional equivalence (they all use phantom-packet
+// order enforcement or stricter); only their throughput differs.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mp5"
+)
+
+func main() {
+	// One counter table with 512 entries, read-modify-written by every
+	// packet — the DDoS/heavy-hitter counting shape from the paper.
+	prog, err := mp5.SyntheticProgram(1, 512)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	trace := mp5.SyntheticTrace(prog, mp5.TraceSpec{
+		Packets:   40000,
+		Pipelines: 4,
+		Pattern:   mp5.Skewed, // 95% of packets hit 30% of counters
+		Seed:      3,
+	}, 1, 512)
+
+	fmt.Println("architecture  throughput  max-queue  shard-moves  equivalent")
+	for _, arch := range []mp5.Arch{mp5.ArchNaive, mp5.ArchStaticShard, mp5.ArchMP5, mp5.ArchIdeal} {
+		sim := mp5.NewSimulator(prog, mp5.Config{
+			Arch: arch, Pipelines: 4, Seed: 3,
+			RecordOutputs: true,
+		})
+		res := sim.Run(trace)
+		rep := mp5.Check(prog, sim, trace)
+		fmt.Printf("%-12v  %10.3f  %9d  %11d  %v\n",
+			arch, res.Throughput, res.MaxFIFODepth, res.ShardMoves, rep.Equivalent)
+		if !rep.Equivalent {
+			log.Fatalf("%v broke functional equivalence: %v", arch, rep.Mismatches)
+		}
+	}
+	fmt.Println("\nnaive serializes every packet through pipeline 0 (~1/k line rate);")
+	fmt.Println("sharding recovers parallelism, and dynamic re-balancing tracks the")
+	fmt.Println("skewed counters that static placement gets wrong.")
+}

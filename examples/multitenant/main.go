@@ -1,0 +1,70 @@
+// Multitenant: footnote 1 of the paper — "MP5 programs a subset m of k
+// pipelines with the same program... thus creating multiple independent
+// logical MP5, each with varying number of parallel pipelines."
+//
+// A physical 8-pipeline switch is partitioned into two independent logical
+// MP5 switches: the network sequencer on 2 pipelines and flowlet switching
+// on 6. Each logical switch is simulated with its own pipeline count and
+// its own share of the port space; both must preserve functional
+// equivalence independently.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mp5"
+)
+
+func main() {
+	const physicalPipelines = 8
+	partitions := []struct {
+		app   string
+		pipes int
+	}{
+		{"sequencer", 2},
+		{"flowlet", 6},
+	}
+
+	total := 0
+	for _, part := range partitions {
+		total += part.pipes
+	}
+	if total != physicalPipelines {
+		log.Fatal("partition does not cover the switch")
+	}
+
+	fmt.Printf("one %d-pipeline switch partitioned into %d logical MP5 instances:\n\n",
+		physicalPipelines, len(partitions))
+	for _, part := range partitions {
+		app, err := mp5.AppByName(part.app)
+		if err != nil {
+			log.Fatal(err)
+		}
+		prog := app.MP5()
+		// Each logical switch receives the line rate of its pipeline
+		// share and its own slice of the port space.
+		trace := mp5.FlowTrace(prog, mp5.FlowTraceSpec{
+			Packets:   20000,
+			Pipelines: part.pipes,
+			Ports:     64 * part.pipes / physicalPipelines,
+			Seed:      int64(31 + part.pipes),
+		}, app.Bind)
+		sim := mp5.NewSimulator(prog, mp5.Config{
+			Arch:          mp5.ArchMP5,
+			Pipelines:     part.pipes,
+			Ports:         64 * part.pipes / physicalPipelines,
+			Seed:          7,
+			RecordOutputs: true,
+		})
+		res := sim.Run(trace)
+		rep := mp5.Check(prog, sim, trace)
+		fmt.Printf("  %-9s on %d pipelines: throughput=%.3f  maxq=%d  equivalent=%v\n",
+			part.app, part.pipes, res.Throughput, res.MaxFIFODepth, rep.Equivalent)
+		if !rep.Equivalent {
+			log.Fatalf("%s lost functional equivalence", part.app)
+		}
+	}
+	fmt.Println("\nlogical switches share nothing — no state, no FIFOs, no phantom")
+	fmt.Println("channels — so each is exactly an independent MP5 with a smaller k.")
+}

@@ -1,0 +1,105 @@
+// NAT: the paper's §3.4 re-ordering scenario and its fix. A stateful
+// firewall/NAT processes some packets of each flow statefully (connection
+// table updates) while the rest pass through stateless. MP5 prioritizes
+// stateless packets over queued stateful ones (Invariant 2), which can
+// reorder packets *within a flow* — poison for TCP. The paper's remedy is
+// a dummy stateful operation in the final stage, indexed by flow id, so
+// phantom ordering forces per-flow in-order egress.
+//
+// This example measures per-flow reordering with and without the ordering
+// stage, and shows functional equivalence holds either way.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mp5"
+)
+
+// A connection-table shape: 10% of packets (SYN-like) update per-flow
+// state; the rest are forwarded statelessly.
+const natSrc = `
+struct Packet { int flow; int syn; int established; };
+
+int conntrack [256] = {0};
+
+void nat (struct Packet p) {
+    if (p.syn == 1) {
+        conntrack[p.flow % 256] = conntrack[p.flow % 256] + 1;
+    }
+    p.established = p.syn;
+}
+`
+
+func perFlowReorderings(egress []int64, flowOf map[int64]int64) int {
+	suffixMin := map[int64]int64{}
+	n := 0
+	for i := len(egress) - 1; i >= 0; i-- {
+		id := egress[i]
+		f := flowOf[id]
+		if m, ok := suffixMin[f]; ok && id > m {
+			n++
+		}
+		if m, ok := suffixMin[f]; !ok || id < m {
+			suffixMin[f] = id
+		}
+	}
+	return n
+}
+
+func run(withGuard bool) {
+	prog, err := mp5.Compile(natSrc, mp5.CompileOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if withGuard {
+		if err := mp5.AddOrderingStage(prog, 1024, "flow"); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Build a trace by hand: heavy flows whose SYN-like packets contend
+	// on a handful of hot conntrack entries, at line rate for 4 pipes.
+	const packets = 30000
+	trace := mp5.RandomFieldTrace(prog, mp5.TraceSpec{
+		Packets: packets, Pipelines: 4, Seed: 21,
+	})
+	flowF := prog.FieldIndex("flow")
+	synF := prog.FieldIndex("syn")
+	flowOf := map[int64]int64{}
+	for i := range trace {
+		flow := trace[i].Fields[flowF] % 16 // few fat flows → visible ordering
+		trace[i].Fields[flowF] = flow
+		trace[i].Fields[synF] = 0
+		if i%10 == 0 {
+			trace[i].Fields[synF] = 1 // every 10th packet is stateful
+		}
+		flowOf[int64(i)] = flow
+	}
+
+	sim := mp5.NewSimulator(prog, mp5.Config{
+		Arch: mp5.ArchMP5, Pipelines: 4, Seed: 21, RecordOutputs: true,
+	})
+	res := sim.Run(trace)
+	rep := mp5.Check(prog, sim, trace)
+
+	label := "without ordering stage"
+	if withGuard {
+		label = "with ordering stage   "
+	}
+	fmt.Printf("%s  throughput=%.3f  per-flow reorderings=%d  equivalent=%v\n",
+		label, res.Throughput, perFlowReorderings(sim.EgressOrder(), flowOf), rep.Equivalent)
+	if !rep.Equivalent {
+		log.Fatal("functional equivalence must hold in both configurations")
+	}
+}
+
+func main() {
+	fmt.Println("NAT-style mixed stateless/stateful flows on a 4-pipeline MP5 switch:")
+	run(false)
+	run(true)
+	fmt.Println("\nstateless packets overtaking queued stateful neighbours reorder flows;")
+	fmt.Println("the dummy final-stage state access (Sec 3.4) restores per-flow order,")
+	fmt.Println("because phantoms are always queued in arrival order.")
+}

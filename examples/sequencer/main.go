@@ -1,0 +1,69 @@
+// Sequencer: the paper's running correctness example (§2.3.1, Example 2).
+// A network sequencer stamps every packet of an ordered group with a
+// monotonically increasing sequence number — exactly the program where
+// state-access *order* is visible in packet state, so any C1 violation
+// shows up as misnumbered packets.
+//
+// The example runs the NOPaxos-style sequencer on (a) MP5 and (b) a
+// legacy multi-pipeline switch with recirculation, then compares both
+// against the single-pipeline reference.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mp5"
+)
+
+func main() {
+	app, err := mp5.AppByName("sequencer")
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog := app.MP5()
+
+	trace := mp5.FlowTrace(prog, mp5.FlowTraceSpec{
+		Packets:   30000,
+		Pipelines: 4,
+		Seed:      7,
+	}, app.Bind)
+
+	// Ground truth: the logical single-pipeline switch.
+	refRegs, refOut := mp5.Reference(prog, trace)
+
+	seqField := prog.FieldIndex("seq")
+	for _, arch := range []mp5.Arch{mp5.ArchMP5, mp5.ArchRecirc} {
+		sim := mp5.NewSimulator(prog, mp5.Config{
+			Arch: arch, Pipelines: 4, Seed: 7,
+			RecordOutputs: true, RecordAccessOrder: true,
+		})
+		res := sim.Run(trace)
+
+		// Count packets whose stamped sequence number differs from
+		// the single-pipeline execution.
+		misnumbered := 0
+		for id, out := range sim.Outputs() {
+			if out[seqField] != refOut[id][seqField] {
+				misnumbered++
+			}
+		}
+		fmt.Printf("%-14v throughput=%.3f  violations=%.1f%%  misnumbered=%d/%d  drops=%d\n",
+			arch, res.Throughput, 100*res.ViolationFraction,
+			misnumbered, res.Completed, res.Injected-res.Completed)
+
+		if arch == mp5.ArchMP5 {
+			if misnumbered != 0 || res.C1Violating != 0 {
+				log.Fatal("MP5 must sequence exactly like a single pipeline")
+			}
+			// Registers must match too.
+			final := sim.FinalRegs()
+			for i, want := range refRegs[0] {
+				if final[0][i] != want {
+					log.Fatalf("counter[%d]: got %d want %d", i, final[0][i], want)
+				}
+			}
+			fmt.Println("               MP5 sequencing is exact: every group counter and every stamp matches")
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module mp5
+
+go 1.22

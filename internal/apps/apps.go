@@ -1,0 +1,264 @@
+// Package apps provides the stateful packet-processing programs evaluated
+// in the paper (§4.4) — flowlet switching, CONGA leaf selection, STFQ rank
+// computation for weighted fair queuing, and the NOPaxos-style network
+// sequencer — written in this repository's Domino subset, together with
+// workload binders that map flow-level traces onto each program's header
+// fields, and the synthetic program generator used by the sensitivity
+// experiments (§4.3).
+package apps
+
+import (
+	"fmt"
+	"strings"
+
+	"mp5/internal/compiler"
+	"mp5/internal/ir"
+	"mp5/internal/workload"
+)
+
+// App bundles a program with the workload binder that drives it.
+type App struct {
+	// Name is the application's short name (flowlet, conga, wfq,
+	// sequencer).
+	Name string
+	// Source is the Domino program text.
+	Source string
+	// Bind fills a packet's header fields from the flow engine.
+	Bind workload.Binder
+}
+
+// Compile compiles the application for the given target.
+func (a *App) Compile(target compiler.Target) (*ir.Program, error) {
+	return compiler.Compile(a.Source, compiler.Options{Target: target})
+}
+
+// MustCompile compiles and panics on error (the sources are constants).
+func (a *App) MustCompile(target compiler.Target) *ir.Program {
+	p, err := a.Compile(target)
+	if err != nil {
+		panic(fmt.Sprintf("apps: %s: %v", a.Name, err))
+	}
+	return p
+}
+
+// MP5 compiles the application for the MP5 multi-pipeline target.
+func (a *App) MP5() *ir.Program { return a.MustCompile(compiler.TargetMP5) }
+
+// SinglePipeline compiles the application for a plain Banzai pipeline.
+func (a *App) SinglePipeline() *ir.Program { return a.MustCompile(compiler.TargetBanzai) }
+
+// FlowletSource is flowlet switching [Sinha et al., HotNets'04] as
+// published in the Domino examples: pick a fresh next hop when the
+// inter-packet gap within a flow exceeds the flowlet threshold.
+const FlowletSource = `
+#define NUM_FLOWLETS 8000
+#define THRESHOLD 5
+#define NUM_HOPS 10
+
+struct Packet {
+    int sport;
+    int dport;
+    int new_hop;
+    int arrival;
+    int next_hop;
+    int id;
+};
+
+int last_time [NUM_FLOWLETS] = {0};
+int saved_hop [NUM_FLOWLETS] = {0};
+
+void flowlet (struct Packet pkt) {
+    pkt.new_hop = hash3(pkt.sport, pkt.dport, pkt.arrival) % NUM_HOPS;
+    pkt.id = hash2(pkt.sport, pkt.dport) % NUM_FLOWLETS;
+    if (pkt.arrival - last_time[pkt.id] > THRESHOLD) {
+        saved_hop[pkt.id] = pkt.new_hop;
+    }
+    last_time[pkt.id] = pkt.arrival;
+    pkt.next_hop = saved_hop[pkt.id];
+}
+`
+
+// CongaSource is CONGA's per-destination best-path table [Alizadeh et al.,
+// SIGCOMM'14]: remember the least-utilized path towards each destination
+// leaf, refreshing the utilization when the current best path reports in.
+const CongaSource = `
+#define NUM_DSTS 256
+
+struct Packet {
+    int dst;
+    int util;
+    int path_id;
+};
+
+int best_path_util [NUM_DSTS] = {100};
+int best_path [NUM_DSTS] = {0};
+
+void conga (struct Packet p) {
+    if (p.util < best_path_util[p.dst % NUM_DSTS]) {
+        best_path_util[p.dst % NUM_DSTS] = p.util;
+        best_path[p.dst % NUM_DSTS] = p.path_id;
+    } else if (p.path_id == best_path[p.dst % NUM_DSTS]) {
+        best_path_util[p.dst % NUM_DSTS] = p.util;
+    }
+}
+`
+
+// WFQSource is the start-time fair queueing rank computation used for
+// priority computation in programmable packet scheduling [Sivaraman et
+// al., SIGCOMM'16]: rank = max(virtual time, per-flow last finish time).
+const WFQSource = `
+#define NUM_FLOWS 1024
+
+struct Packet {
+    int flow;
+    int len;
+    int virtual_time;
+    int rank;
+};
+
+int last_finish [NUM_FLOWS] = {0};
+
+void wfq (struct Packet p) {
+    if (last_finish[p.flow % NUM_FLOWS] > p.virtual_time) {
+        p.rank = last_finish[p.flow % NUM_FLOWS];
+    } else {
+        p.rank = p.virtual_time;
+    }
+    last_finish[p.flow % NUM_FLOWS] = p.rank + p.len;
+}
+`
+
+// SequencerSource is the network sequencer of NOPaxos [Li et al.,
+// OSDI'16]: stamp each packet of an ordered group with a monotonically
+// increasing sequence number.
+const SequencerSource = `
+#define NUM_GROUPS 64
+
+struct Packet {
+    int group;
+    int seq;
+};
+
+int counter [NUM_GROUPS] = {0};
+
+void sequencer (struct Packet p) {
+    counter[p.group % NUM_GROUPS] = counter[p.group % NUM_GROUPS] + 1;
+    p.seq = counter[p.group % NUM_GROUPS];
+}
+`
+
+// set assigns a named field, panicking on unknown names (programming error).
+func set(prog map[string]int, fields []int64, name string, v int64) {
+	i, ok := prog[name]
+	if !ok {
+		panic("apps: unknown field " + name)
+	}
+	fields[i] = v
+}
+
+func fieldMap(p *ir.Program) map[string]int {
+	m := make(map[string]int, len(p.Fields))
+	for i, f := range p.Fields {
+		m[f] = i
+	}
+	return m
+}
+
+// Flowlet returns the flowlet-switching application.
+func Flowlet() *App {
+	app := &App{Name: "flowlet", Source: FlowletSource}
+	prog := app.MustCompile(compiler.TargetBanzai)
+	fm := fieldMap(prog)
+	app.Bind = func(f *workload.Flow, p *workload.PktCtx, fields []int64) {
+		set(fm, fields, "sport", f.SrcPort)
+		set(fm, fields, "dport", f.DstPort)
+		set(fm, fields, "arrival", p.Cycle)
+	}
+	return app
+}
+
+// Conga returns the CONGA application. Utilization reports arrive with the
+// data packets: util is a random path load sample, path_id the path the
+// packet travelled.
+func Conga() *App {
+	app := &App{Name: "conga", Source: CongaSource}
+	prog := app.MustCompile(compiler.TargetBanzai)
+	fm := fieldMap(prog)
+	app.Bind = func(f *workload.Flow, p *workload.PktCtx, fields []int64) {
+		set(fm, fields, "dst", int64(ir.Hash2(f.DstPort, 7)%256))
+		set(fm, fields, "util", int64(p.Rng.Intn(100)))
+		set(fm, fields, "path_id", int64(p.Rng.Intn(10)))
+	}
+	return app
+}
+
+// WFQ returns the weighted-fair-queuing rank computation.
+func WFQ() *App {
+	app := &App{Name: "wfq", Source: WFQSource}
+	prog := app.MustCompile(compiler.TargetBanzai)
+	fm := fieldMap(prog)
+	app.Bind = func(f *workload.Flow, p *workload.PktCtx, fields []int64) {
+		set(fm, fields, "flow", f.ID)
+		set(fm, fields, "len", int64(p.Size))
+		set(fm, fields, "virtual_time", p.Cycle)
+	}
+	return app
+}
+
+// Sequencer returns the network-sequencer application; flows map onto
+// ordered groups.
+func Sequencer() *App {
+	app := &App{Name: "sequencer", Source: SequencerSource}
+	prog := app.MustCompile(compiler.TargetBanzai)
+	fm := fieldMap(prog)
+	app.Bind = func(f *workload.Flow, p *workload.PktCtx, fields []int64) {
+		set(fm, fields, "group", f.ID%16)
+	}
+	return app
+}
+
+// All returns the four §4.4 applications in the paper's order.
+func All() []*App {
+	return []*App{Flowlet(), Conga(), WFQ(), Sequencer()}
+}
+
+// ByName looks up one application.
+func ByName(name string) (*App, error) {
+	for _, a := range All() {
+		if a.Name == name {
+			return a, nil
+		}
+	}
+	return nil, fmt.Errorf("apps: unknown application %q", name)
+}
+
+// SyntheticSource builds the sensitivity-experiment program: one register
+// array per stateful stage, each read-modify-written at an index carried in
+// a dedicated header field (so the workload generator controls the access
+// pattern exactly), with an optional stateless escape hatch: when
+// p.stateless is set the packet skips every state access.
+func SyntheticSource(statefulStages, regSize int) string {
+	var b strings.Builder
+	b.WriteString("struct Packet {\n    int stateless;\n")
+	for i := 0; i < statefulStages; i++ {
+		fmt.Fprintf(&b, "    int h%d;\n", i)
+	}
+	b.WriteString("};\n\n")
+	for i := 0; i < statefulStages; i++ {
+		fmt.Fprintf(&b, "int reg%d [%d] = {0};\n", i, regSize)
+	}
+	b.WriteString("\nvoid synth (struct Packet p) {\n")
+	b.WriteString("    if (p.stateless == 0) {\n")
+	for i := 0; i < statefulStages; i++ {
+		fmt.Fprintf(&b, "        reg%d[p.h%d %% %d] = reg%d[p.h%d %% %d] + 1;\n",
+			i, i, regSize, i, i, regSize)
+	}
+	b.WriteString("    }\n}\n")
+	return b.String()
+}
+
+// Synthetic compiles the sensitivity program for MP5.
+func Synthetic(statefulStages, regSize, maxStages int) (*ir.Program, error) {
+	return compiler.Compile(SyntheticSource(statefulStages, regSize),
+		compiler.Options{Target: compiler.TargetMP5, MaxStages: maxStages})
+}

@@ -1,0 +1,154 @@
+package apps
+
+import (
+	"strings"
+	"testing"
+
+	"mp5/internal/compiler"
+)
+
+// TestAllAppsCompileBothTargets: every built-in application must compile
+// for both the single-pipeline and MP5 targets within the default stage
+// budget.
+func TestAllAppsCompileBothTargets(t *testing.T) {
+	for _, a := range All() {
+		t.Run(a.Name, func(t *testing.T) {
+			if _, err := a.Compile(compiler.TargetBanzai); err != nil {
+				t.Fatalf("banzai: %v", err)
+			}
+			prog, err := a.Compile(compiler.TargetMP5)
+			if err != nil {
+				t.Fatalf("mp5: %v", err)
+			}
+			if prog.NumStages() > compiler.DefaultMaxStages {
+				t.Errorf("%d stages exceed the %d-stage budget",
+					prog.NumStages(), compiler.DefaultMaxStages)
+			}
+			if len(prog.Accesses) == 0 {
+				t.Error("application has no stateful accesses")
+			}
+			if a.Bind == nil {
+				t.Error("missing workload binder")
+			}
+		})
+	}
+}
+
+// TestStatefulPredicateCensus: the paper notes three of the four §4.4
+// applications have predicates that cannot be resolved preemptively; only
+// the sequencer is fully resolvable.
+func TestStatefulPredicateCensus(t *testing.T) {
+	want := map[string]bool{
+		"flowlet":   true,
+		"conga":     true,
+		"wfq":       true,
+		"sequencer": false,
+	}
+	n := 0
+	for _, a := range All() {
+		prog := a.MP5()
+		if prog.StatefulPredicates != want[a.Name] {
+			t.Errorf("%s: StatefulPredicates = %v, want %v",
+				a.Name, prog.StatefulPredicates, want[a.Name])
+		}
+		if prog.StatefulPredicates {
+			n++
+		}
+	}
+	if n != 3 {
+		t.Errorf("%d of 4 applications have stateful predicates, paper says 3", n)
+	}
+}
+
+// TestShardingCensus: flowlet, wfq and the sequencer shard per-index;
+// conga's mutually-entangled arrays must be pinned and co-located.
+func TestShardingCensus(t *testing.T) {
+	for _, a := range All() {
+		prog := a.MP5()
+		for _, r := range prog.Regs {
+			wantSharded := a.Name != "conga"
+			if r.Sharded != wantSharded {
+				t.Errorf("%s register %s: sharded=%v, want %v",
+					a.Name, r.Name, r.Sharded, wantSharded)
+			}
+		}
+		if a.Name == "conga" {
+			if prog.Regs[0].Stage != prog.Regs[1].Stage {
+				t.Errorf("conga arrays not co-located: stages %d vs %d",
+					prog.Regs[0].Stage, prog.Regs[1].Stage)
+			}
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"flowlet", "conga", "wfq", "sequencer"} {
+		a, err := ByName(name)
+		if err != nil || a.Name != name {
+			t.Errorf("ByName(%q) = %v, %v", name, a, err)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+func TestSyntheticSourceShape(t *testing.T) {
+	src := SyntheticSource(3, 128)
+	for _, want := range []string{"int h0;", "int h2;", "reg0 [128]", "reg2", "p.stateless == 0"} {
+		if !strings.Contains(src, want) {
+			t.Errorf("synthetic source lacks %q:\n%s", want, src)
+		}
+	}
+	prog, err := Synthetic(3, 128, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Regs) != 3 {
+		t.Fatalf("registers = %d", len(prog.Regs))
+	}
+	// Each array must be sharded and serialized into its own stage.
+	stages := map[int]bool{}
+	for _, r := range prog.Regs {
+		if !r.Sharded {
+			t.Errorf("%s not sharded", r.Name)
+		}
+		if stages[r.Stage] {
+			t.Errorf("stage %d reused by two sharded arrays", r.Stage)
+		}
+		stages[r.Stage] = true
+	}
+}
+
+func TestSyntheticZeroStages(t *testing.T) {
+	prog, err := Synthetic(0, 512, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Accesses) != 0 {
+		t.Error("stateless synthetic program has accesses")
+	}
+}
+
+// TestSyntheticStageBudget: 30 independent arrays cannot be serialized
+// into a 16-stage budget, so the compiler must take the §3.3 conservative
+// fallback — unshard and co-locate — rather than fail (the accesses are
+// data-independent, so they can legally share a stage when pinned).
+func TestSyntheticStageBudget(t *testing.T) {
+	prog, err := Synthetic(30, 64, 16)
+	if err != nil {
+		t.Fatalf("conservative fallback should keep this compilable: %v", err)
+	}
+	sharded := 0
+	for _, r := range prog.Regs {
+		if r.Sharded {
+			sharded++
+		}
+	}
+	if sharded == len(prog.Regs) {
+		t.Error("stage budget exceeded yet every array stayed sharded")
+	}
+	if prog.NumStages() > 16 {
+		t.Errorf("%d stages exceed the budget", prog.NumStages())
+	}
+}

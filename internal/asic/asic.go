@@ -1,0 +1,152 @@
+// Package asic is an analytic area/timing/SRAM cost model for MP5's
+// hardware additions, replacing the paper's Synopsys DC + 15 nm NanGate
+// synthesis flow (§4.2). The model is parameterised by the same quantities
+// the paper reports — per-stage k×k crossbars for the 512-bit data channel
+// and the 48-bit phantom channel, depth-8 per-pipeline FIFOs, and steering/
+// sharding logic — and its constants are calibrated so the twelve Table-1
+// corners reproduce within ~10%. The structural claims the paper draws from
+// the table (area quadratic in the pipeline count, linear in stage count,
+// ≥1 GHz at every corner, and an 0.5–4% overhead against a 300–700 mm²
+// commercial die) are properties of the model's form, not of the fit.
+package asic
+
+import "math"
+
+// Params are the technology/configuration constants of the cost model.
+type Params struct {
+	// DataBits is the packet header vector width carried between
+	// stages (paper: 512 bits).
+	DataBits int
+	// PhantomBits is the phantom descriptor width (paper: 48 bits).
+	PhantomBits int
+	// FIFODepth is the per-pipeline FIFO depth per stage (paper: 8,
+	// sufficient to avoid tail drops in §4.4).
+	FIFODepth int
+	// CrossbarMM2 is mm² per (bit × port²) of crossbar: both channels
+	// contribute width × k² of it per stage.
+	CrossbarMM2 float64
+	// FIFOMM2 is mm² per bit of FIFO storage (k × depth × width per
+	// stage).
+	FIFOMM2 float64
+	// LogicMM2PerPipe is mm² of steering + dynamic-sharding logic per
+	// pipeline per stage.
+	LogicMM2PerPipe float64
+	// Timing model: critical path in ns is BaseNs plus logarithmic
+	// crossbar fan-in/fan-out terms and a linear wire term in k.
+	BaseNs       float64
+	PerLog2KNs   float64
+	PerLog2SNs   float64
+	WirePerPipNs float64
+}
+
+// DefaultParams returns the constants calibrated against Table 1 of the
+// paper (15 nm open-source process).
+func DefaultParams() Params {
+	return Params{
+		DataBits:        512,
+		PhantomBits:     48,
+		FIFODepth:       8,
+		CrossbarMM2:     2.2e-5,
+		FIFOMM2:         2.0e-7,
+		LogicMM2PerPipe: 0.002,
+		BaseNs:          0.52,
+		PerLog2KNs:      0.055,
+		PerLog2SNs:      0.015,
+		WirePerPipNs:    0.002,
+	}
+}
+
+// Area returns the silicon area (mm²) of MP5's additions — crossbars,
+// FIFOs, steering and sharding logic — for k pipelines and s stages.
+// The dominant term is the crossbar, quadratic in k and linear in s,
+// matching the observation in §4.2.
+func (p Params) Area(k, s int) float64 {
+	crossbar := p.CrossbarMM2 * float64(p.DataBits+p.PhantomBits) * float64(k*k)
+	fifos := p.FIFOMM2 * float64(k*p.FIFODepth*p.DataBits)
+	logic := p.LogicMM2PerPipe * float64(k)
+	return float64(s) * (crossbar + fifos + logic)
+}
+
+// CriticalPathNs returns the modelled critical path through a stage
+// boundary (crossbar traversal + FIFO head selection).
+func (p Params) CriticalPathNs(k, s int) float64 {
+	return p.BaseNs +
+		p.PerLog2KNs*math.Log2(float64(max(2, k))) +
+		p.PerLog2SNs*math.Log2(float64(max(2, s))) +
+		p.WirePerPipNs*float64(k)
+}
+
+// ClockGHz returns the maximum clock rate for the configuration.
+func (p Params) ClockGHz(k, s int) float64 {
+	return 1.0 / p.CriticalPathNs(k, s)
+}
+
+// MeetsGigahertz reports whether the configuration reaches the 1 GHz clock
+// of state-of-the-art switch pipelines.
+func (p Params) MeetsGigahertz(k, s int) bool { return p.ClockGHz(k, s) >= 1.0 }
+
+// OverheadPercent returns the area as a percentage of a commercial switch
+// ASIC die of the given size (the paper cites 300–700 mm²).
+func (p Params) OverheadPercent(k, s int, dieMM2 float64) float64 {
+	return 100 * p.Area(k, s) / dieMM2
+}
+
+// SRAM overhead model (§4.2): per register index MP5 stores the pipeline
+// number (6 bits), the packet access counter (16 bits, reset every ~100
+// cycles), and the in-flight counter (8 bits).
+const (
+	PipeNumberBits    = 6
+	AccessCounterBits = 16
+	InflightBits      = 8
+	BitsPerIndex      = PipeNumberBits + AccessCounterBits + InflightBits
+)
+
+// SRAMOverheadBytes returns MP5's per-pipeline SRAM overhead for a program
+// with the given number of stateful stages and register entries per stage
+// (the index-to-pipeline map replica plus counters).
+func SRAMOverheadBytes(statefulStages, entriesPerStage int) int {
+	bits := statefulStages * entriesPerStage * BitsPerIndex
+	return (bits + 7) / 8
+}
+
+// Table1Row is one cell of the paper's Table 1.
+type Table1Row struct {
+	Pipelines int
+	Stages    int
+	AreaMM2   float64
+	ClockGHz  float64
+	GHzOK     bool
+}
+
+// Table1 evaluates the model over the paper's grid (k ∈ {2,4,8},
+// s ∈ {4,8,12,16}) or any other supplied grid.
+func Table1(p Params, ks, ss []int) []Table1Row {
+	var rows []Table1Row
+	for _, k := range ks {
+		for _, s := range ss {
+			rows = append(rows, Table1Row{
+				Pipelines: k,
+				Stages:    s,
+				AreaMM2:   p.Area(k, s),
+				ClockGHz:  p.ClockGHz(k, s),
+				GHzOK:     p.MeetsGigahertz(k, s),
+			})
+		}
+	}
+	return rows
+}
+
+// PaperTable1 holds the published Table-1 area numbers (mm²) for
+// calibration checks, keyed by [pipelines][stages].
+var PaperTable1 = map[int]map[int]float64{
+	2: {4: 0.21, 8: 0.42, 12: 0.63, 16: 0.81},
+	4: {4: 0.84, 8: 1.68, 12: 2.52, 16: 3.36},
+	8: {4: 3.2, 8: 6.4, 12: 9.6, 16: 12.8},
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,102 @@
+package asic
+
+import (
+	"math"
+	"testing"
+)
+
+// TestCalibrationAgainstPaperTable1: every published cell must reproduce
+// within 12% (the model is analytic, not a synthesis run).
+func TestCalibrationAgainstPaperTable1(t *testing.T) {
+	p := DefaultParams()
+	for k, row := range PaperTable1 {
+		for s, want := range row {
+			got := p.Area(k, s)
+			if rel := math.Abs(got-want) / want; rel > 0.12 {
+				t.Errorf("area(k=%d,s=%d) = %.3f mm², paper %.3f (off %.1f%%)",
+					k, s, got, want, 100*rel)
+			}
+		}
+	}
+}
+
+// TestAreaScaling: quadratic in pipelines, linear in stages (§4.2's "key
+// take away").
+func TestAreaScaling(t *testing.T) {
+	p := DefaultParams()
+	// Linear in stages.
+	r1 := p.Area(4, 8) / p.Area(4, 4)
+	if math.Abs(r1-2.0) > 1e-9 {
+		t.Errorf("stage scaling = %.3f, want exactly 2 (linear)", r1)
+	}
+	// Approximately quadratic in pipelines (crossbar dominates).
+	r2 := p.Area(8, 16) / p.Area(4, 16)
+	if r2 < 3.5 || r2 > 4.1 {
+		t.Errorf("pipeline scaling = %.3f, want ≈4 (quadratic)", r2)
+	}
+}
+
+// TestGigahertzAllPaperCorners: the paper reports ≥1 GHz everywhere.
+func TestGigahertzAllPaperCorners(t *testing.T) {
+	p := DefaultParams()
+	for _, k := range []int{2, 4, 8} {
+		for _, s := range []int{4, 8, 12, 16} {
+			if !p.MeetsGigahertz(k, s) {
+				t.Errorf("k=%d s=%d: %.2f GHz < 1", k, s, p.ClockGHz(k, s))
+			}
+		}
+	}
+}
+
+// TestOverheadPercent: for the Tofino-like corner (4 pipelines, 16 stages)
+// the paper computes 0.5–1% of a 300–700 mm² die; for 8 pipelines, 2–4%.
+func TestOverheadPercent(t *testing.T) {
+	p := DefaultParams()
+	lo := p.OverheadPercent(4, 16, 700)
+	hi := p.OverheadPercent(4, 16, 300)
+	if lo < 0.3 || hi > 1.5 {
+		t.Errorf("4-pipe overhead = %.2f%%..%.2f%%, paper says 0.5–1%%", lo, hi)
+	}
+	lo8 := p.OverheadPercent(8, 16, 700)
+	hi8 := p.OverheadPercent(8, 16, 300)
+	if lo8 < 1.5 || hi8 > 5 {
+		t.Errorf("8-pipe overhead = %.2f%%..%.2f%%, paper says 2–4%%", lo8, hi8)
+	}
+}
+
+// TestSRAMOverhead: §4.2's example — 10 stateful stages with 1000 entries
+// each at 30 bits/index is "about 35 KB per pipeline".
+func TestSRAMOverhead(t *testing.T) {
+	if BitsPerIndex != 30 {
+		t.Fatalf("BitsPerIndex = %d, want 30 (6+16+8)", BitsPerIndex)
+	}
+	got := SRAMOverheadBytes(10, 1000)
+	if got != 37500 {
+		t.Errorf("SRAM overhead = %d bytes, want 37500 (≈35 KB, §4.2)", got)
+	}
+}
+
+func TestTable1Grid(t *testing.T) {
+	p := DefaultParams()
+	rows := Table1(p, []int{2, 4, 8}, []int{4, 8, 12, 16})
+	if len(rows) != 12 {
+		t.Fatalf("rows = %d, want 12", len(rows))
+	}
+	for _, r := range rows {
+		if r.AreaMM2 <= 0 || r.ClockGHz <= 0 {
+			t.Errorf("nonsense row %+v", r)
+		}
+		if !r.GHzOK {
+			t.Errorf("row %+v misses 1 GHz", r)
+		}
+	}
+}
+
+// TestClockDegradesWithScale: the §3.5.3 scalability discussion — the
+// crossbar eventually limits clock as pipelines multiply.
+func TestClockDegradesWithScale(t *testing.T) {
+	p := DefaultParams()
+	if p.ClockGHz(64, 16) >= p.ClockGHz(8, 16) {
+		t.Error("clock should degrade as the crossbar widens")
+	}
+}

@@ -1,0 +1,182 @@
+// Package banzai models the Banzai machine (Sivaraman et al., SIGCOMM'16)
+// that MP5 builds on: a single feed-forward pipeline of match-action stages
+// with atomic per-stage state operations. It provides the register file and
+// the serial reference executor that defines functional equivalence (§2.2.1
+// of the MP5 paper): the final register state and per-packet header state a
+// logical single-pipelined switch would produce.
+package banzai
+
+import (
+	"fmt"
+
+	"mp5/internal/ir"
+)
+
+// RegFile is a flat register store holding every register array of one
+// program, plus its read-only match tables (replicated from the program's
+// control-plane configuration). It implements ir.RegStore. Indices are
+// reduced modulo the array size (non-negative), matching the
+// dataplane-safe semantics of the instruction interpreter.
+type RegFile struct {
+	arrays   [][]int64
+	tables   []map[[3]int64]int64
+	defaults []int64
+}
+
+// NewRegFile allocates and initializes a register file for program p,
+// replicating p's match-table entries (the control-plane state the paper
+// assumes is installed identically before the run, §2.2.1).
+func NewRegFile(p *ir.Program) *RegFile {
+	rf := &RegFile{arrays: make([][]int64, len(p.Regs))}
+	for i := range p.Regs {
+		r := &p.Regs[i]
+		a := make([]int64, r.Size)
+		for j := range a {
+			a[j] = r.InitialValue(j)
+		}
+		rf.arrays[i] = a
+	}
+	rf.tables = make([]map[[3]int64]int64, len(p.Tables))
+	rf.defaults = make([]int64, len(p.Tables))
+	for i := range p.Tables {
+		rf.tables[i] = make(map[[3]int64]int64)
+		rf.defaults[i] = p.Tables[i].Default
+	}
+	for _, e := range p.TableEntries {
+		rf.tables[e.Table][e.Keys] = e.Value
+	}
+	return rf
+}
+
+// ClampIndex reduces an arbitrary index into [0, size): the dataplane-safe
+// wrap used by every register store in this repository, so the reference
+// executor and the MP5 simulator agree on out-of-range accesses.
+func ClampIndex(idx int, size int) int {
+	if size <= 0 {
+		return 0
+	}
+	m := idx % size
+	if m < 0 {
+		m += size
+	}
+	return m
+}
+
+// ReadReg implements ir.RegStore.
+func (rf *RegFile) ReadReg(reg, idx int) int64 {
+	a := rf.arrays[reg]
+	return a[ClampIndex(idx, len(a))]
+}
+
+// WriteReg implements ir.RegStore.
+func (rf *RegFile) WriteReg(reg, idx int, v int64) {
+	a := rf.arrays[reg]
+	a[ClampIndex(idx, len(a))] = v
+}
+
+// LookupTable implements ir.RegStore: exact match against a read-only
+// match table, with the table's default on a miss.
+func (rf *RegFile) LookupTable(tbl int, keys [3]int64) int64 {
+	if v, ok := rf.tables[tbl][keys]; ok {
+		return v
+	}
+	return rf.defaults[tbl]
+}
+
+// Array returns the backing slice of register array reg (live, not a copy).
+func (rf *RegFile) Array(reg int) []int64 { return rf.arrays[reg] }
+
+// Snapshot deep-copies the register state.
+func (rf *RegFile) Snapshot() [][]int64 {
+	out := make([][]int64, len(rf.arrays))
+	for i, a := range rf.arrays {
+		out[i] = append([]int64(nil), a...)
+	}
+	return out
+}
+
+// Machine models a single Banzai pipeline executing a compiled program
+// serially: packets are processed to completion in arrival order, which is
+// exactly the behaviour of a single pipeline (each stage holds one packet,
+// state effects of packet n are visible to packet n+1; the interleaving of
+// different packets across different stages cannot be observed because no
+// state is shared across stages).
+type Machine struct {
+	prog *ir.Program
+	regs *RegFile
+	// AccessLog, when enabled with RecordAccesses, appends the packet id
+	// of every stateful-stage visit per register array, defining the
+	// reference access order for C1 checking.
+	accessLog map[int][]int64
+	recording bool
+}
+
+// NewMachine builds a reference machine for program p with freshly
+// initialized register state.
+func NewMachine(p *ir.Program) *Machine {
+	return &Machine{prog: p, regs: NewRegFile(p)}
+}
+
+// Program returns the compiled program the machine runs.
+func (m *Machine) Program() *ir.Program { return m.prog }
+
+// Regs exposes the machine's register file.
+func (m *Machine) Regs() *RegFile { return m.regs }
+
+// RecordAccesses turns on per-register access-order logging.
+func (m *Machine) RecordAccesses() {
+	m.recording = true
+	m.accessLog = map[int][]int64{}
+}
+
+// AccessLog returns the recorded access order per register array id:
+// the packet ids that visited the array's stage, in processing order.
+func (m *Machine) AccessLog() map[int][]int64 { return m.accessLog }
+
+// Process runs one packet through all pipeline stages and returns its
+// final environment. id is the packet's arrival sequence number (used only
+// for access logging). The caller owns env; fields are updated in place.
+func (m *Machine) Process(id int64, env *ir.Env) {
+	for si := range m.prog.Stages {
+		st := &m.prog.Stages[si]
+		if m.recording && st.Stateful() {
+			m.logStageVisit(id, env, si)
+		}
+		ir.ExecStage(st, env, m.regs)
+	}
+}
+
+// logStageVisit records which register arrays the packet actually touches
+// in stage si, honouring instruction predicates, so the reference log is
+// comparable with MP5's runtime log.
+func (m *Machine) logStageVisit(id int64, env *ir.Env, si int) {
+	seen := map[int]bool{}
+	for _, in := range m.prog.Stages[si].Instrs {
+		if !in.Op.IsStateful() || seen[in.Reg] {
+			continue
+		}
+		if !in.Pred.IsNone() {
+			truth := env.Load(in.Pred) != 0
+			if truth == in.PredNeg {
+				continue
+			}
+		}
+		seen[in.Reg] = true
+		m.accessLog[in.Reg] = append(m.accessLog[in.Reg], id)
+	}
+}
+
+// Run processes a batch of packet environments in order (index = arrival
+// order) and returns them after processing.
+func (m *Machine) Run(envs []*ir.Env) []*ir.Env {
+	for i, e := range envs {
+		m.Process(int64(i), e)
+	}
+	return envs
+}
+
+// String summarizes the machine configuration.
+func (m *Machine) String() string {
+	return fmt.Sprintf("banzai{program=%s stages=%d regs=%d}",
+		m.prog.Name, len(m.prog.Stages), len(m.prog.Regs))
+}

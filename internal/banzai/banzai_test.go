@@ -1,0 +1,153 @@
+package banzai
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mp5/internal/compiler"
+	"mp5/internal/ir"
+)
+
+func TestClampIndex(t *testing.T) {
+	cases := []struct{ idx, size, want int }{
+		{0, 4, 0}, {3, 4, 3}, {4, 4, 0}, {5, 4, 1},
+		{-1, 4, 3}, {-4, 4, 0}, {-5, 4, 3},
+		{7, 1, 0}, {0, 0, 0}, {9, -3, 0},
+	}
+	for _, c := range cases {
+		if got := ClampIndex(c.idx, c.size); got != c.want {
+			t.Errorf("ClampIndex(%d, %d) = %d, want %d", c.idx, c.size, got, c.want)
+		}
+	}
+	prop := func(idx int, size uint8) bool {
+		s := int(size)
+		got := ClampIndex(idx, s)
+		if s <= 0 {
+			return got == 0
+		}
+		return got >= 0 && got < s
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegFileInitAndAccess(t *testing.T) {
+	prog := &ir.Program{
+		Fields: []string{"x"},
+		Regs: []ir.RegInfo{
+			{Name: "a", Size: 3, Init: []int64{5}},
+			{Name: "b", Size: 4, Init: []int64{1, 2}},
+		},
+	}
+	rf := NewRegFile(prog)
+	for i := 0; i < 3; i++ {
+		if rf.ReadReg(0, i) != 5 {
+			t.Errorf("a[%d] = %d, want 5 (fill rule)", i, rf.ReadReg(0, i))
+		}
+	}
+	want := []int64{1, 2, 0, 0}
+	for i, w := range want {
+		if rf.ReadReg(1, i) != w {
+			t.Errorf("b[%d] = %d, want %d", i, rf.ReadReg(1, i), w)
+		}
+	}
+	rf.WriteReg(1, 6, 9) // clamps to index 2
+	if rf.ReadReg(1, 2) != 9 {
+		t.Error("clamped write missed")
+	}
+	snap := rf.Snapshot()
+	rf.WriteReg(0, 0, 100)
+	if snap[0][0] != 5 {
+		t.Error("snapshot aliases live storage")
+	}
+}
+
+const seqSrc = `
+struct Packet { int seq; };
+int count [1] = {0};
+void counter (struct Packet p) {
+    count[0] = count[0] + 1;
+    p.seq = count[0];
+}
+`
+
+func TestMachineSerialSemantics(t *testing.T) {
+	prog, err := compiler.Compile(seqSrc, compiler.Options{Target: compiler.TargetMP5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMachine(prog)
+	m.RecordAccesses()
+	seqField := prog.FieldIndex("seq")
+	for i := 0; i < 10; i++ {
+		env := ir.NewEnv(prog)
+		m.Process(int64(i), env)
+		if env.Fields[seqField] != int64(i+1) {
+			t.Fatalf("packet %d stamped %d", i, env.Fields[seqField])
+		}
+	}
+	if got := m.Regs().Array(0)[0]; got != 10 {
+		t.Fatalf("count = %d, want 10", got)
+	}
+	log := m.AccessLog()[0]
+	if len(log) != 10 {
+		t.Fatalf("access log has %d entries", len(log))
+	}
+	for i, id := range log {
+		if id != int64(i) {
+			t.Fatalf("access order %v not serial", log)
+		}
+	}
+}
+
+// TestAccessLogHonoursPredicates: a predicated-off register op must not be
+// logged as an access (the log defines the C1 reference order).
+func TestAccessLogHonoursPredicates(t *testing.T) {
+	src := `
+struct Packet { int x; };
+int r [4] = {0};
+void f (struct Packet p) {
+    if (p.x > 10) {
+        r[p.x % 4] = p.x;
+    }
+}
+`
+	prog, err := compiler.Compile(src, compiler.Options{Target: compiler.TargetMP5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMachine(prog)
+	m.RecordAccesses()
+	for i, x := range []int64{5, 20, 7, 30} {
+		env := ir.NewEnv(prog)
+		env.Fields[0] = x
+		m.Process(int64(i), env)
+	}
+	log := m.AccessLog()[0]
+	if len(log) != 2 || log[0] != 1 || log[1] != 3 {
+		t.Fatalf("access log = %v, want [1 3] (only predicate-true packets)", log)
+	}
+}
+
+func TestMachineString(t *testing.T) {
+	prog, _ := compiler.Compile(seqSrc, compiler.Options{Target: compiler.TargetBanzai})
+	m := NewMachine(prog)
+	if m.String() == "" || m.Program() != prog {
+		t.Error("accessors broken")
+	}
+}
+
+// TestRunBatch exercises the batch helper.
+func TestRunBatch(t *testing.T) {
+	prog, _ := compiler.Compile(seqSrc, compiler.Options{Target: compiler.TargetBanzai})
+	m := NewMachine(prog)
+	envs := make([]*ir.Env, 5)
+	for i := range envs {
+		envs[i] = ir.NewEnv(prog)
+	}
+	m.Run(envs)
+	if m.Regs().Array(0)[0] != 5 {
+		t.Fatalf("count = %d", m.Regs().Array(0)[0])
+	}
+}

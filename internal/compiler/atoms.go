@@ -1,0 +1,221 @@
+package compiler
+
+import (
+	"fmt"
+	"sort"
+
+	"mp5/internal/ir"
+)
+
+// AtomKind classifies a stateful atom — the fused read-modify-write a
+// single Banzai stage must execute atomically — following the atom
+// templates of the Domino paper (Sivaraman et al., SIGCOMM'16, Table 4):
+// progressively more capable (and more expensive) stateful ALUs.
+type AtomKind int
+
+const (
+	// AtomRead only reads the register (e.g. route lookups).
+	AtomRead AtomKind = iota
+	// AtomWrite only writes packet-derived values.
+	AtomWrite
+	// AtomReadWrite reads and writes without arithmetic between
+	// (value refresh: last_time[i] = now).
+	AtomReadWrite
+	// AtomRAW is read-add-write: reg = reg + packet/const.
+	AtomRAW
+	// AtomPRAW is a predicated RAW: the update is guarded, and the
+	// guard may itself depend on the register value.
+	AtomPRAW
+	// AtomIfElseRAW chooses between two updates with complementary
+	// predicates.
+	AtomIfElseRAW
+	// AtomSub is RAW whose arithmetic includes subtraction of or from
+	// the register value.
+	AtomSub
+	// AtomNested has multi-level predication (predicates derived from
+	// other predicates).
+	AtomNested
+	// AtomPairs updates two register arrays together in one stage
+	// (CONGA-style entangled state).
+	AtomPairs
+)
+
+var atomNames = map[AtomKind]string{
+	AtomRead: "Read", AtomWrite: "Write", AtomReadWrite: "ReadWrite",
+	AtomRAW: "RAW", AtomPRAW: "PRAW", AtomIfElseRAW: "IfElseRAW",
+	AtomSub: "Sub", AtomNested: "Nested", AtomPairs: "Pairs",
+}
+
+// String names the atom kind.
+func (k AtomKind) String() string {
+	if s, ok := atomNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("atom(%d)", int(k))
+}
+
+// AtomReport describes one stateful stage's atom.
+type AtomReport struct {
+	// Stage is the pipeline stage the atom occupies.
+	Stage int
+	// Regs are the register arrays fused into the atom.
+	Regs []string
+	// Kind is the most capable template the atom requires.
+	Kind AtomKind
+	// Depth is the longest ALU dependency chain inside the atom (the
+	// number of dependent operations between reading the register and
+	// the last write), a proxy for the circuit depth the stage's 1 GHz
+	// clock budget must cover.
+	Depth int
+}
+
+// String renders the report row.
+func (r AtomReport) String() string {
+	return fmt.Sprintf("stage %d: %v atom, depth %d, regs %v", r.Stage, r.Kind, r.Depth, r.Regs)
+}
+
+// ClassifyAtoms analyses each stateful stage of a compiled program and
+// reports the atom template it requires. It is a post-compilation analysis:
+// the program's stages already group each register's reads, writes, and the
+// computation between them.
+func ClassifyAtoms(prog *ir.Program) []AtomReport {
+	var reports []AtomReport
+	for si := range prog.Stages {
+		st := &prog.Stages[si]
+		regs := st.RegsUsed()
+		if len(regs) == 0 {
+			continue
+		}
+		reports = append(reports, classifyStage(prog, si, regs))
+	}
+	sort.Slice(reports, func(a, b int) bool { return reports[a].Stage < reports[b].Stage })
+	return reports
+}
+
+func classifyStage(prog *ir.Program, si int, regs []int) AtomReport {
+	st := &prog.Stages[si]
+	rep := AtomReport{Stage: si}
+	for _, r := range regs {
+		rep.Regs = append(rep.Regs, prog.Regs[r].Name)
+	}
+
+	var hasRead, hasWrite, hasSub, hasArith bool
+	predTemps := map[int]bool{}
+	readDsts := map[int]bool{}
+	// writeUsesRead: some write's value depends on a register read from
+	// this stage (read-modify-write).
+	writeUsesRead := false
+	// Transitive dependents of register reads within the stage.
+	derived := map[int]bool{}
+	for _, in := range st.Instrs {
+		reads := func(o ir.Operand) bool {
+			return o.Kind == ir.KindTemp && derived[o.ID]
+		}
+		dependsOnRead := reads(in.A) || reads(in.B) || reads(in.C) || reads(in.Idx) || reads(in.Pred)
+		switch in.Op {
+		case ir.OpRdReg:
+			hasRead = true
+			if in.Dst.Kind == ir.KindTemp {
+				readDsts[in.Dst.ID] = true
+				derived[in.Dst.ID] = true
+			}
+		case ir.OpWrReg:
+			hasWrite = true
+			if reads(in.A) || reads(in.Idx) {
+				writeUsesRead = true
+			}
+			if !in.Pred.IsNone() && in.Pred.Kind == ir.KindTemp {
+				predTemps[in.Pred.ID] = true
+			}
+		default:
+			if dependsOnRead && in.Dst.Kind == ir.KindTemp {
+				derived[in.Dst.ID] = true
+				hasArith = true
+				if in.Op == ir.OpSub || in.Op == ir.OpNeg {
+					hasSub = true
+				}
+			}
+			if !in.Pred.IsNone() && in.Pred.Kind == ir.KindTemp {
+				predTemps[in.Pred.ID] = true
+			}
+		}
+	}
+
+	// Predicate structure: count distinct predicate temps used by the
+	// stage's instructions, and whether any predicate is itself derived
+	// from a register read (stateful guard).
+	statefulPred := false
+	for id := range predTemps {
+		if derived[id] {
+			statefulPred = true
+		}
+	}
+
+	switch {
+	case len(regs) > 1:
+		rep.Kind = AtomPairs
+	case len(predTemps) >= 2:
+		rep.Kind = AtomNested
+	case hasSub:
+		rep.Kind = AtomSub
+	case statefulPred || (len(predTemps) == 1 && writeUsesRead):
+		rep.Kind = AtomPRAW
+	case len(predTemps) == 1:
+		rep.Kind = AtomIfElseRAW
+	case writeUsesRead && hasArith:
+		rep.Kind = AtomRAW
+	case hasRead && hasWrite:
+		rep.Kind = AtomReadWrite
+	case hasWrite:
+		rep.Kind = AtomWrite
+	default:
+		rep.Kind = AtomRead
+	}
+	rep.Depth = stageDepth(st)
+	return rep
+}
+
+// stageDepth computes the longest dependency chain among a stage's
+// instructions (each instruction costs one level).
+func stageDepth(st *ir.Stage) int {
+	writer := map[int]int{} // temp id → instr index
+	for i, in := range st.Instrs {
+		if in.Dst.Kind == ir.KindTemp {
+			writer[in.Dst.ID] = i
+		}
+	}
+	depth := make([]int, len(st.Instrs))
+	maxDepth := 0
+	for i, in := range st.Instrs {
+		d := 1
+		for _, o := range []ir.Operand{in.A, in.B, in.C, in.Idx, in.Pred} {
+			if o.Kind != ir.KindTemp {
+				continue
+			}
+			if w, ok := writer[o.ID]; ok && w < i && depth[w]+1 > d {
+				d = depth[w] + 1
+			}
+		}
+		depth[i] = d
+		if d > maxDepth {
+			maxDepth = d
+		}
+	}
+	return maxDepth
+}
+
+// CheckAtomBudget verifies that no stateful atom exceeds the given ALU
+// depth (a Banzai machine exposes atoms of a fixed pipeline-synthesizable
+// depth; the Domino paper found depth ≤ 3–4 covers its algorithm suite).
+func CheckAtomBudget(prog *ir.Program, maxDepth int) error {
+	if maxDepth <= 0 {
+		return nil
+	}
+	for _, rep := range ClassifyAtoms(prog) {
+		if rep.Depth > maxDepth {
+			return fmt.Errorf("compiler: stage %d %v atom needs depth %d, machine provides %d",
+				rep.Stage, rep.Kind, rep.Depth, maxDepth)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,146 @@
+package compiler
+
+import (
+	"strings"
+	"testing"
+)
+
+func classify(t *testing.T, src string) []AtomReport {
+	t.Helper()
+	prog, err := Compile(src, Options{Target: TargetMP5})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return ClassifyAtoms(prog)
+}
+
+func TestClassifyRAW(t *testing.T) {
+	reps := classify(t, `
+struct Packet { int x; };
+int c [16] = {0};
+void f (struct Packet p) {
+    c[p.x % 16] = c[p.x % 16] + 1;
+}`)
+	if len(reps) != 1 || reps[0].Kind != AtomRAW {
+		t.Fatalf("reports = %v, want one RAW atom", reps)
+	}
+	if reps[0].Depth < 2 {
+		t.Errorf("RAW depth = %d, want >= 2 (read, add)", reps[0].Depth)
+	}
+}
+
+func TestClassifyWriteOnly(t *testing.T) {
+	reps := classify(t, `
+struct Packet { int x; };
+int last [16] = {0};
+void f (struct Packet p) {
+    last[p.x % 16] = p.x;
+}`)
+	if len(reps) != 1 || reps[0].Kind != AtomWrite {
+		t.Fatalf("reports = %v, want Write", reps)
+	}
+}
+
+func TestClassifyReadOnly(t *testing.T) {
+	reps := classify(t, `
+struct Packet { int x; int o; };
+int tbl [16] = {7};
+void f (struct Packet p) {
+    p.o = tbl[p.x % 16];
+}`)
+	if len(reps) != 1 || reps[0].Kind != AtomRead {
+		t.Fatalf("reports = %v, want Read", reps)
+	}
+}
+
+func TestClassifySub(t *testing.T) {
+	reps := classify(t, `
+struct Packet { int x; };
+int tokens [16] = {100};
+void f (struct Packet p) {
+    tokens[p.x % 16] = tokens[p.x % 16] - 1;
+}`)
+	if len(reps) != 1 || reps[0].Kind != AtomSub {
+		t.Fatalf("reports = %v, want Sub", reps)
+	}
+}
+
+func TestClassifyPRAW(t *testing.T) {
+	// Stateful guard over a read-modify-write: predicated RAW.
+	reps := classify(t, `
+struct Packet { int x; int v; };
+int hi [16] = {0};
+void f (struct Packet p) {
+    if (p.v > hi[p.x % 16]) {
+        hi[p.x % 16] = p.v;
+    }
+}`)
+	if len(reps) != 1 || reps[0].Kind != AtomPRAW {
+		t.Fatalf("reports = %v, want PRAW", reps)
+	}
+}
+
+func TestClassifyPairs(t *testing.T) {
+	reps := classify(t, congaProgram)
+	if len(reps) != 1 || reps[0].Kind != AtomPairs {
+		t.Fatalf("reports = %v, want one Pairs atom for conga", reps)
+	}
+	if len(reps[0].Regs) != 2 {
+		t.Errorf("pairs atom spans %v", reps[0].Regs)
+	}
+}
+
+func TestClassifyFlowlet(t *testing.T) {
+	reps := classify(t, flowletProgram)
+	if len(reps) != 2 {
+		t.Fatalf("flowlet should have 2 atoms, got %v", reps)
+	}
+	// last_time: unconditional read + unconditional write (value
+	// refresh). saved_hop: conditional write + unconditional read.
+	kinds := map[AtomKind]bool{}
+	for _, r := range reps {
+		kinds[r.Kind] = true
+	}
+	if !kinds[AtomReadWrite] {
+		t.Errorf("expected a ReadWrite atom (last_time refresh): %v", reps)
+	}
+}
+
+func TestAtomBudgetEnforced(t *testing.T) {
+	src := `
+struct Packet { int x; };
+int c [16] = {0};
+void f (struct Packet p) {
+    c[p.x % 16] = ((c[p.x % 16] * 3 + 1) * 5 + 2) * 7;
+}`
+	if _, err := Compile(src, Options{Target: TargetMP5, MaxAtomDepth: 2}); err == nil {
+		t.Fatal("deep atom accepted under a depth-2 budget")
+	} else if !strings.Contains(err.Error(), "depth") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if _, err := Compile(src, Options{Target: TargetMP5, MaxAtomDepth: 16}); err != nil {
+		t.Fatalf("budget 16 should fit: %v", err)
+	}
+	if _, err := Compile(src, Options{Target: TargetMP5}); err != nil {
+		t.Fatalf("unconstrained compile failed: %v", err)
+	}
+}
+
+func TestAtomReportString(t *testing.T) {
+	reps := classify(t, seqProgram)
+	if len(reps) != 1 {
+		t.Fatal("sequencer should have one atom")
+	}
+	s := reps[0].String()
+	if !strings.Contains(s, "RAW") || !strings.Contains(s, "counter") {
+		t.Errorf("report rendering: %q", s)
+	}
+}
+
+func TestAtomKindNames(t *testing.T) {
+	for k := AtomRead; k <= AtomPairs; k++ {
+		if strings.HasPrefix(k.String(), "atom(") {
+			t.Errorf("kind %d unnamed", k)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package compiler
+
+import (
+	"fmt"
+
+	"mp5/internal/domino"
+	"mp5/internal/ir"
+)
+
+// Target selects the compilation target.
+type Target int
+
+const (
+	// TargetBanzai compiles for a plain single Banzai pipeline: no
+	// resolution stages, no access metadata, arrays unsharded.
+	TargetBanzai Target = iota
+	// TargetMP5 applies the PVSM-to-PVSM transformation and emits the
+	// access metadata MP5's runtime needs for preemptive address
+	// resolution, steering, and phantom generation.
+	TargetMP5
+)
+
+// String names the target.
+func (t Target) String() string {
+	switch t {
+	case TargetBanzai:
+		return "banzai"
+	case TargetMP5:
+		return "mp5"
+	}
+	return fmt.Sprintf("target(%d)", int(t))
+}
+
+// DefaultMaxStages matches the paper's default switch configuration
+// (§4.3.1: a 64-port switch with 16 pipeline stages).
+const DefaultMaxStages = 16
+
+// Options configures a compilation.
+type Options struct {
+	// Target is the machine model to compile for (default TargetBanzai).
+	Target Target
+	// MaxStages is the pipeline depth budget (default DefaultMaxStages).
+	MaxStages int
+	// MaxAtomDepth, when positive, bounds the ALU depth of every
+	// stateful atom (the machine's stateful ALUs are synthesized at a
+	// fixed depth; see ClassifyAtoms). Zero means unconstrained.
+	MaxAtomDepth int
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.MaxStages == 0 {
+		out.MaxStages = DefaultMaxStages
+	}
+	return out
+}
+
+// Compile parses and compiles Domino source.
+func Compile(src string, opts Options) (*ir.Program, error) {
+	f, err := domino.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return CompileFile(f, opts)
+}
+
+// CompileFile compiles a parsed Domino file.
+func CompileFile(f *domino.File, opts Options) (*ir.Program, error) {
+	opts = opts.withDefaults()
+	t, err := preprocess(f)
+	if err != nil {
+		return nil, err
+	}
+	pv := buildPVSM(t)
+
+	prog := &ir.Program{
+		Name:     f.FuncName,
+		Fields:   t.fields,
+		NumTemps: t.numTemps,
+		Regs:     append([]ir.RegInfo(nil), t.regs...),
+		Tables:   append([]ir.TableInfo(nil), t.tables...),
+	}
+
+	switch opts.Target {
+	case TargetBanzai:
+		if pv.numLevels > opts.MaxStages {
+			return nil, fmt.Errorf("compiler: program needs %d stages, target has %d",
+				pv.numLevels, opts.MaxStages)
+		}
+		prog.Stages = stagesFromLevels(t, pv.level, pv.numLevels)
+		prog.ResolutionStages = 0
+		assignRegStages(prog, t, pv.level)
+	case TargetMP5:
+		res, err := transform(t, pv, opts.MaxStages)
+		if err != nil {
+			return nil, err
+		}
+		prog.Stages = stagesFromLevels(t, res.level, res.numLevels)
+		prog.ResolutionStages = res.resolutionStages
+		prog.Accesses = res.accesses
+		prog.StatefulPredicates = res.statefulPredicates
+		assignRegStages(prog, t, res.level)
+		for r := range prog.Regs {
+			prog.Regs[r].Sharded = res.sharded[r]
+		}
+	default:
+		return nil, fmt.Errorf("compiler: unknown target %v", opts.Target)
+	}
+
+	if err := prog.Validate(); err != nil {
+		return nil, fmt.Errorf("compiler: internal error: %w", err)
+	}
+	if err := CheckAtomBudget(prog, opts.MaxAtomDepth); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// assignRegStages records, per register array, the stage its (fused)
+// accesses were placed in. Arrays never accessed keep Stage = -1.
+func assignRegStages(prog *ir.Program, t *tac, level []int) {
+	for r := range prog.Regs {
+		prog.Regs[r].Stage = -1
+	}
+	for i := range t.instrs {
+		in := &t.instrs[i]
+		if in.Op.IsStateful() {
+			prog.Regs[in.Reg].Stage = level[i]
+		}
+	}
+}
+
+// MustCompile compiles src and panics on error. For tests, examples, and
+// the built-in application programs.
+func MustCompile(src string, opts Options) *ir.Program {
+	p, err := Compile(src, opts)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,472 @@
+package compiler
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"mp5/internal/banzai"
+	"mp5/internal/ir"
+)
+
+const fig3Program = `
+struct Packet {
+    int h1;
+    int h2;
+    int h3;
+    int val;
+    int mux;
+};
+
+int reg1 [4] = {2,4,8,16};
+int reg2 [4] = {1,3,5,7};
+int reg3 [4] = {0};
+
+void func (struct Packet p) {
+    p.val = (p.mux == 1)
+        ? reg1[p.h1%4]
+        : reg2[p.h2%4];
+
+    reg3[p.h3%4] = (p.mux == 1)
+        ? reg3[p.h3%4] * p.val
+        : reg3[p.h3%4] + p.val;
+}
+`
+
+const flowletProgram = `
+#define NUM_FLOWLETS 800
+#define THRESHOLD 5
+#define NUM_HOPS 10
+
+struct Packet {
+    int sport;
+    int dport;
+    int new_hop;
+    int arrival;
+    int next_hop;
+    int id;
+};
+
+int last_time [NUM_FLOWLETS] = {0};
+int saved_hop [NUM_FLOWLETS] = {0};
+
+void flowlet (struct Packet pkt) {
+    pkt.new_hop = hash3(pkt.sport, pkt.dport, pkt.arrival) % NUM_HOPS;
+    pkt.id = hash2(pkt.sport, pkt.dport) % NUM_FLOWLETS;
+    if (pkt.arrival - last_time[pkt.id] > THRESHOLD) {
+        saved_hop[pkt.id] = pkt.new_hop;
+    }
+    last_time[pkt.id] = pkt.arrival;
+    pkt.next_hop = saved_hop[pkt.id];
+}
+`
+
+const congaProgram = `
+struct Packet {
+    int dst;
+    int util;
+    int path_id;
+};
+
+int best_path_util [256] = {100};
+int best_path [256] = {0};
+
+void conga (struct Packet p) {
+    if (p.util < best_path_util[p.dst]) {
+        best_path_util[p.dst] = p.util;
+        best_path[p.dst] = p.path_id;
+    } else if (p.path_id == best_path[p.dst]) {
+        best_path_util[p.dst] = p.util;
+    }
+}
+`
+
+const seqProgram = `
+struct Packet {
+    int group;
+    int seq;
+};
+
+int counter [64] = {0};
+
+void sequencer (struct Packet p) {
+    counter[p.group % 64] = counter[p.group % 64] + 1;
+    p.seq = counter[p.group % 64];
+}
+`
+
+func compileBoth(t *testing.T, src string) (ban, mp *ir.Program) {
+	t.Helper()
+	var err error
+	ban, err = Compile(src, Options{Target: TargetBanzai})
+	if err != nil {
+		t.Fatalf("banzai compile: %v", err)
+	}
+	mp, err = Compile(src, Options{Target: TargetMP5})
+	if err != nil {
+		t.Fatalf("mp5 compile: %v", err)
+	}
+	return ban, mp
+}
+
+func TestCompileFig3Structure(t *testing.T) {
+	_, mp := compileBoth(t, fig3Program)
+
+	if mp.ResolutionStages < 2 {
+		t.Errorf("ResolutionStages = %d, want >= 2 (hoisted slice + phantom-gen stage)", mp.ResolutionStages)
+	}
+	if len(mp.Accesses) != 3 {
+		t.Fatalf("accesses = %d, want 3:\n%s", len(mp.Accesses), mp.Dump())
+	}
+	for _, r := range mp.Regs {
+		if !r.Sharded {
+			t.Errorf("register %s not sharded; fig3 indices are header-derived", r.Name)
+		}
+	}
+	// reg1 and reg2 both feed p.val and would naturally share a stage;
+	// the transformer must serialize sharded arrays into distinct stages.
+	stageOf := map[string]int{}
+	for _, r := range mp.Regs {
+		stageOf[r.Name] = r.Stage
+	}
+	if stageOf["reg1"] == stageOf["reg2"] {
+		t.Errorf("reg1 and reg2 share stage %d; sharded arrays must be serialized\n%s",
+			stageOf["reg1"], mp.Dump())
+	}
+	if stageOf["reg3"] <= stageOf["reg1"] || stageOf["reg3"] <= stageOf["reg2"] {
+		t.Errorf("reg3 stage %d must come after reg1 (%d) and reg2 (%d)",
+			stageOf["reg3"], stageOf["reg1"], stageOf["reg2"])
+	}
+	// reg1's access is predicated on mux==1 and resolvable; reg2's is the
+	// negation; reg3's is unconditional.
+	preds := map[int]ir.Access{}
+	for _, a := range mp.Accesses {
+		preds[a.Reg] = a
+	}
+	r1 := preds[mp.RegIndex("reg1")]
+	r2 := preds[mp.RegIndex("reg2")]
+	r3 := preds[mp.RegIndex("reg3")]
+	if !r1.PredResolvable || r1.Pred.IsNone() {
+		t.Errorf("reg1 access = %+v, want resolvable conditional", r1)
+	}
+	if !r2.PredResolvable || r2.Pred.IsNone() {
+		t.Errorf("reg2 access = %+v, want resolvable conditional", r2)
+	}
+	if !r3.PredResolvable || !r3.Pred.IsNone() {
+		t.Errorf("reg3 access = %+v, want unconditional", r3)
+	}
+}
+
+func TestCompileFlowletStructure(t *testing.T) {
+	_, mp := compileBoth(t, flowletProgram)
+	lt := mp.RegIndex("last_time")
+	sh := mp.RegIndex("saved_hop")
+	if !mp.Regs[lt].Sharded || !mp.Regs[sh].Sharded {
+		t.Errorf("flowlet arrays must both be sharded (index = hash of 5-tuple):\n%s", mp.Dump())
+	}
+	if mp.Regs[lt].Stage == mp.Regs[sh].Stage {
+		t.Errorf("last_time and saved_hop share a stage; must be serialized")
+	}
+	if mp.Regs[lt].Stage >= mp.Regs[sh].Stage {
+		t.Errorf("saved_hop (stage %d) depends on last_time (stage %d); wrong order",
+			mp.Regs[sh].Stage, mp.Regs[lt].Stage)
+	}
+	// saved_hop mixes a conditional write with an unconditional read: the
+	// stage visit is unconditional (hence exactly resolvable), but the
+	// write predicate is stateful, so the program counts among the
+	// paper's "three of four applications" with stateful predicates.
+	for _, a := range mp.Accesses {
+		if !a.PredResolvable || !a.Pred.IsNone() {
+			t.Errorf("flowlet access %+v: want unconditional exact visit", a)
+		}
+	}
+	if !mp.StatefulPredicates {
+		t.Errorf("flowlet must report stateful predicates (saved_hop write guard reads last_time)")
+	}
+}
+
+func TestCompileCongaPinned(t *testing.T) {
+	_, mp := compileBoth(t, congaProgram)
+	// CONGA's arrays are mutually entangled (best_path_util's second
+	// write is predicated on best_path's value and vice versa), so they
+	// fuse into one cluster: serialization is impossible and both arrays
+	// must be pinned (unsharded) in the same stage.
+	bpu := mp.RegIndex("best_path_util")
+	bp := mp.RegIndex("best_path")
+	if mp.Regs[bpu].Sharded || mp.Regs[bp].Sharded {
+		t.Errorf("conga arrays must be pinned (mutual stateful dependence):\n%s", mp.Dump())
+	}
+	if mp.Regs[bpu].Stage != mp.Regs[bp].Stage {
+		t.Errorf("pinned conga arrays must be co-located: stages %d vs %d",
+			mp.Regs[bpu].Stage, mp.Regs[bp].Stage)
+	}
+	if !mp.StatefulPredicates {
+		t.Errorf("conga must report stateful predicates")
+	}
+}
+
+func TestCompileSequencerStructure(t *testing.T) {
+	_, mp := compileBoth(t, seqProgram)
+	c := mp.RegIndex("counter")
+	if !mp.Regs[c].Sharded {
+		t.Errorf("sequencer counter should be sharded")
+	}
+	for _, a := range mp.Accesses {
+		if !a.PredResolvable {
+			t.Errorf("sequencer access should be resolvable (paper: 1 of 4 apps fully resolvable)")
+		}
+	}
+	if mp.StatefulPredicates {
+		t.Errorf("sequencer has no stateful predicates")
+	}
+}
+
+func TestStatefulIndexPinsArray(t *testing.T) {
+	src := `
+struct Packet { int x; };
+int ptr [4] = {0};
+int data [16] = {0};
+void f (struct Packet p) {
+    data[ptr[0]] = p.x;
+    ptr[0] = (ptr[0] + 1) % 16;
+}`
+	_, err := Compile(src, Options{Target: TargetMP5})
+	if err != nil {
+		t.Fatalf("mp5 compile: %v", err)
+	}
+	mp := MustCompile(src, Options{Target: TargetMP5})
+	d := mp.RegIndex("data")
+	if mp.Regs[d].Sharded {
+		t.Errorf("data is indexed by register state; must be unsharded (§3.3 fallback)")
+	}
+}
+
+// runSerial executes prog on the packets serially and returns the final
+// register snapshot and output field values.
+func runSerial(prog *ir.Program, pkts [][]int64) ([][]int64, [][]int64) {
+	m := banzai.NewMachine(prog)
+	outs := make([][]int64, len(pkts))
+	for i, fields := range pkts {
+		env := ir.NewEnv(prog)
+		copy(env.Fields, fields)
+		m.Process(int64(i), env)
+		outs[i] = append([]int64(nil), env.Fields...)
+	}
+	return m.Regs().Snapshot(), outs
+}
+
+// TestTransformPreservesSemantics: the MP5-compiled program, executed
+// serially, must produce exactly the same final registers and packet
+// headers as the Banzai-compiled program, for all four applications and
+// the paper's running example.
+func TestTransformPreservesSemantics(t *testing.T) {
+	programs := map[string]string{
+		"fig3":      fig3Program,
+		"flowlet":   flowletProgram,
+		"conga":     congaProgram,
+		"sequencer": seqProgram,
+	}
+	rng := rand.New(rand.NewSource(42))
+	for name, src := range programs {
+		t.Run(name, func(t *testing.T) {
+			ban, mp := compileBoth(t, src)
+			pkts := make([][]int64, 500)
+			for i := range pkts {
+				fields := make([]int64, len(ban.Fields))
+				for j := range fields {
+					fields[j] = int64(rng.Intn(1000))
+				}
+				pkts[i] = fields
+			}
+			regsB, outB := runSerial(ban, pkts)
+			regsM, outM := runSerial(mp, pkts)
+			for r := range regsB {
+				for i := range regsB[r] {
+					if regsB[r][i] != regsM[r][i] {
+						t.Fatalf("register %s[%d]: banzai=%d mp5=%d",
+							ban.Regs[r].Name, i, regsB[r][i], regsM[r][i])
+					}
+				}
+			}
+			for p := range outB {
+				for f := range outB[p] {
+					if outB[p][f] != outM[p][f] {
+						t.Fatalf("packet %d field %s: banzai=%d mp5=%d",
+							p, ban.Fields[f], outB[p][f], outM[p][f])
+					}
+				}
+			}
+		})
+	}
+}
+
+// genRandomProgram emits a random but valid Domino program exercising
+// conditionals, ternaries, builtins, and multiple register arrays with
+// header-derived indices.
+func genRandomProgram(rng *rand.Rand) string {
+	nFields := 2 + rng.Intn(4)
+	nRegs := 1 + rng.Intn(3)
+	src := "struct Packet {"
+	for i := 0; i < nFields; i++ {
+		src += fmt.Sprintf(" int f%d;", i)
+	}
+	src += " };\n"
+	sizes := make([]int, nRegs)
+	for i := 0; i < nRegs; i++ {
+		sizes[i] = []int{2, 4, 8, 16}[rng.Intn(4)]
+		src += fmt.Sprintf("int r%d[%d] = {%d};\n", i, sizes[i], rng.Intn(10))
+	}
+	field := func() string { return fmt.Sprintf("p.f%d", rng.Intn(nFields)) }
+	regRef := func() string {
+		r := rng.Intn(nRegs)
+		return fmt.Sprintf("r%d[%s %% %d]", r, field(), sizes[r])
+	}
+	var expr func(depth int) string
+	expr = func(depth int) string {
+		if depth <= 0 {
+			switch rng.Intn(3) {
+			case 0:
+				return fmt.Sprintf("%d", rng.Intn(20))
+			case 1:
+				return field()
+			default:
+				return regRef()
+			}
+		}
+		switch rng.Intn(6) {
+		case 0:
+			op := []string{"+", "-", "*", "&", "|", "^"}[rng.Intn(6)]
+			return fmt.Sprintf("(%s %s %s)", expr(depth-1), op, expr(depth-1))
+		case 1:
+			op := []string{"==", "!=", "<", ">", "<=", ">="}[rng.Intn(6)]
+			return fmt.Sprintf("(%s %s %s)", expr(depth-1), op, expr(depth-1))
+		case 2:
+			return fmt.Sprintf("(%s ? %s : %s)", expr(depth-1), expr(depth-1), expr(depth-1))
+		case 3:
+			return fmt.Sprintf("hash2(%s, %s) %% 16", field(), field())
+		case 4:
+			return fmt.Sprintf("max(%s, %s)", expr(depth-1), expr(depth-1))
+		default:
+			return expr(depth - 1)
+		}
+	}
+	src += "void f (struct Packet p) {\n"
+	nStmts := 1 + rng.Intn(5)
+	var stmt func(depth int) string
+	stmt = func(depth int) string {
+		switch rng.Intn(3) {
+		case 0:
+			return fmt.Sprintf("    %s = %s;\n", field(), expr(2))
+		case 1:
+			return fmt.Sprintf("    %s = %s;\n", regRef(), expr(2))
+		default:
+			s := fmt.Sprintf("    if (%s) {\n    %s    }", expr(1), stmt(depth-1))
+			if depth > 0 && rng.Intn(2) == 0 {
+				s += fmt.Sprintf(" else {\n    %s    }", stmt(depth-1))
+			}
+			return s + "\n"
+		}
+	}
+	for i := 0; i < nStmts; i++ {
+		src += stmt(1)
+	}
+	src += "}\n"
+	return src
+}
+
+// TestTransformPreservesSemanticsRandom is the property-based version of
+// the semantics test: 200 random programs, each run on 100 random packets.
+func TestTransformPreservesSemanticsRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		src := genRandomProgram(rng)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("trial %d panicked: %v\nprogram:\n%s", trial, r, src)
+				}
+			}()
+			Compile(src, Options{Target: TargetBanzai, MaxStages: 64})
+			Compile(src, Options{Target: TargetMP5, MaxStages: 64})
+		}()
+		ban, err := Compile(src, Options{Target: TargetBanzai, MaxStages: 64})
+		if err != nil {
+			t.Fatalf("trial %d: banzai compile failed:\n%s\n%v", trial, src, err)
+		}
+		mp, err := Compile(src, Options{Target: TargetMP5, MaxStages: 64})
+		if err != nil {
+			t.Fatalf("trial %d: mp5 compile failed:\n%s\n%v", trial, src, err)
+		}
+		pkts := make([][]int64, 100)
+		for i := range pkts {
+			fields := make([]int64, len(ban.Fields))
+			for j := range fields {
+				fields[j] = int64(rng.Intn(64))
+			}
+			pkts[i] = fields
+		}
+		regsB, outB := runSerial(ban, pkts)
+		regsM, outM := runSerial(mp, pkts)
+		for r := range regsB {
+			for i := range regsB[r] {
+				if regsB[r][i] != regsM[r][i] {
+					t.Fatalf("trial %d: register r%d[%d]: banzai=%d mp5=%d\nprogram:\n%s\nbanzai:\n%s\nmp5:\n%s",
+						trial, r, i, regsB[r][i], regsM[r][i], src, ban.Dump(), mp.Dump())
+				}
+			}
+		}
+		for p := range outB {
+			for f := range outB[p] {
+				if outB[p][f] != outM[p][f] {
+					t.Fatalf("trial %d: packet %d field %d: banzai=%d mp5=%d\nprogram:\n%s",
+						trial, p, f, outB[p][f], outM[p][f], src)
+				}
+			}
+		}
+	}
+}
+
+func TestStageBudgetEnforced(t *testing.T) {
+	// A chain of dependent register accesses needs one stage each; with
+	// MaxStages=2 the compile must fail cleanly.
+	src := `
+struct Packet { int x; };
+int a[4] = {0};
+int b[4] = {0};
+int c[4] = {0};
+void f (struct Packet p) {
+    p.x = a[p.x % 4];
+    p.x = b[p.x % 4];
+    p.x = c[p.x % 4];
+}`
+	if _, err := Compile(src, Options{Target: TargetMP5, MaxStages: 2}); err == nil {
+		t.Fatal("compile succeeded with impossible stage budget")
+	}
+	if _, err := Compile(src, Options{Target: TargetMP5, MaxStages: 16}); err != nil {
+		t.Fatalf("compile failed with adequate budget: %v", err)
+	}
+}
+
+func TestStatelessProgram(t *testing.T) {
+	src := `
+struct Packet { int a; int b; };
+void f (struct Packet p) {
+    p.b = p.a * 2 + 1;
+}`
+	mp := MustCompile(src, Options{Target: TargetMP5})
+	if len(mp.Accesses) != 0 {
+		t.Errorf("stateless program has %d accesses", len(mp.Accesses))
+	}
+	if got := len(mp.StatefulStages()); got != 0 {
+		t.Errorf("stateless program has %d stateful stages", got)
+	}
+}
+
+func TestAccessesInStageOrder(t *testing.T) {
+	_, mp := compileBoth(t, flowletProgram)
+	for i := 1; i < len(mp.Accesses); i++ {
+		if mp.Accesses[i].Stage < mp.Accesses[i-1].Stage {
+			t.Fatalf("accesses out of stage order: %+v", mp.Accesses)
+		}
+	}
+}

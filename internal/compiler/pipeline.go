@@ -1,0 +1,393 @@
+package compiler
+
+import (
+	"sort"
+
+	"mp5/internal/ir"
+)
+
+// pvsm is the Pipelined Virtual Switch Machine: the TAC annotated with a
+// dependency graph, stateful clusters, and a level (stage) per instruction,
+// with no resource limits applied yet.
+type pvsm struct {
+	t *tac
+	// deps[i] lists instruction indices i depends on (RAW/WAR/WAW).
+	deps [][]int
+	// cluster[i] is the stateful-cluster id of instruction i, or -1.
+	cluster []int
+	// clusterRegs[c] lists the register-array ids cluster c touches.
+	clusterRegs [][]int
+	// level[i] is the stage assigned to instruction i.
+	level []int
+	// numLevels is the pipeline depth.
+	numLevels int
+}
+
+// location is a dependency-analysis storage key.
+type location struct {
+	kind ir.OperandKind // KindField or KindTemp; KindNone encodes registers
+	id   int            // field/temp id, or register-array id
+}
+
+func regLoc(reg int) location { return location{kind: ir.KindNone, id: reg} }
+
+func opLoc(o ir.Operand) (location, bool) {
+	if o.Kind == ir.KindField || o.Kind == ir.KindTemp {
+		return location{kind: o.Kind, id: o.ID}, true
+	}
+	return location{}, false
+}
+
+// instrReads returns the locations instruction i reads.
+func instrReads(in *ir.Instr) []location {
+	var locs []location
+	add := func(o ir.Operand) {
+		if l, ok := opLoc(o); ok {
+			locs = append(locs, l)
+		}
+	}
+	add(in.A)
+	add(in.B)
+	add(in.C)
+	add(in.Idx)
+	add(in.Pred)
+	if in.Op == ir.OpRdReg {
+		locs = append(locs, regLoc(in.Reg))
+	}
+	return locs
+}
+
+// instrWrites returns the locations instruction i writes.
+func instrWrites(in *ir.Instr) []location {
+	if in.Op == ir.OpWrReg {
+		return []location{regLoc(in.Reg)}
+	}
+	if l, ok := opLoc(in.Dst); ok {
+		return []location{l}
+	}
+	return nil
+}
+
+// buildDeps computes the dependency edges over the TAC: read-after-write,
+// write-after-write and write-after-read on every field, temp and register
+// array (register dependencies are tracked at whole-array granularity,
+// which is what forces atomic fusion later).
+func buildDeps(t *tac) [][]int {
+	n := len(t.instrs)
+	deps := make([][]int, n)
+	lastWrite := map[location]int{}
+	lastReads := map[location][]int{}
+	addDep := func(i, j int) {
+		if j < 0 || j == i {
+			return
+		}
+		for _, d := range deps[i] {
+			if d == j {
+				return
+			}
+		}
+		deps[i] = append(deps[i], j)
+	}
+	for i := range t.instrs {
+		in := &t.instrs[i]
+		for _, l := range instrReads(in) {
+			if w, ok := lastWrite[l]; ok {
+				addDep(i, w) // RAW
+			}
+			lastReads[l] = append(lastReads[l], i)
+		}
+		for _, l := range instrWrites(in) {
+			if w, ok := lastWrite[l]; ok {
+				addDep(i, w) // WAW
+			}
+			for _, r := range lastReads[l] {
+				addDep(i, r) // WAR
+			}
+			lastWrite[l] = i
+			lastReads[l] = nil
+		}
+	}
+	return deps
+}
+
+// buildClusters groups instructions into atomic stateful clusters: for each
+// register array R, every read/write of R plus every instruction on a
+// dependency path from a read of R to a write of R must share a stage
+// (Banzai's "atomic state operations" — the read-modify-write finishes
+// within one stage). Overlapping clusters are merged; a merged cluster that
+// touches several arrays forces those arrays to be co-located (§3.3's
+// conservative fallback when serialization is impossible).
+func buildClusters(t *tac, deps [][]int) (cluster []int, clusterRegs [][]int) {
+	n := len(t.instrs)
+
+	// reach[i][j]: j transitively depends on i. O(n^2/64) bitsets.
+	words := (n + 63) / 64
+	reach := make([][]uint64, n)
+	for i := range reach {
+		reach[i] = make([]uint64, words)
+	}
+	set := func(bs []uint64, j int) { bs[j/64] |= 1 << (uint(j) % 64) }
+	get := func(bs []uint64, j int) bool { return bs[j/64]&(1<<(uint(j)%64)) != 0 }
+	// Process in order: deps point backwards, so when handling j all
+	// reach sets of its deps are complete for predecessors; propagate
+	// forward instead: for j, mark j reachable from each dep and union.
+	for j := 0; j < n; j++ {
+		for _, d := range deps[j] {
+			set(reach[d], j)
+		}
+	}
+	// Transitive closure via reverse topological order (indices are
+	// already topologically ordered since deps point backwards).
+	for i := n - 1; i >= 0; i-- {
+		for j := i + 1; j < n; j++ {
+			if get(reach[i], j) {
+				for w := 0; w < words; w++ {
+					reach[i][w] |= reach[j][w]
+				}
+			}
+		}
+	}
+
+	// Union-find over instructions.
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+
+	// Seed: all instructions touching one register array share a stage.
+	for r := range t.regs {
+		first := -1
+		for i := range t.instrs {
+			in := &t.instrs[i]
+			if in.Op.IsStateful() && in.Reg == r {
+				if first < 0 {
+					first = i
+				} else {
+					union(first, i)
+				}
+			}
+		}
+	}
+
+	// Fixed point over two closure rules.
+	//
+	// Rule 1 (sandwich): any instruction on a dependency path between
+	// two members of the same component joins that component — it would
+	// otherwise need a stage strictly between two equal stages.
+	//
+	// Rule 2 (cycle merge): two components that reach each other (A has
+	// a member reaching a member of B, and vice versa, possibly through
+	// different instructions) must merge: the condensed stage graph
+	// would otherwise contain a cycle, which a feed-forward pipeline
+	// cannot realize.
+	stateful := make([]bool, n)
+	for i := range t.instrs {
+		stateful[i] = t.instrs[i].Op.IsStateful()
+	}
+	for {
+		changed := false
+		// Gather current stateful components.
+		members := map[int][]int{}
+		for i := 0; i < n; i++ {
+			if !stateful[i] {
+				continue
+			}
+			members[find(i)] = append(members[find(i)], i)
+		}
+		// Rule 2: merge mutually-reachable components.
+		roots := make([]int, 0, len(members))
+		for r := range members {
+			roots = append(roots, r)
+		}
+		sort.Ints(roots)
+		compReaches := func(a, b int) bool {
+			for _, x := range members[a] {
+				for _, y := range members[b] {
+					if get(reach[x], y) {
+						return true
+					}
+				}
+			}
+			return false
+		}
+		for i := 0; i < len(roots); i++ {
+			for j := i + 1; j < len(roots); j++ {
+				a, b := roots[i], roots[j]
+				if find(a) == find(b) {
+					continue
+				}
+				if compReaches(a, b) && compReaches(b, a) {
+					union(a, b)
+					changed = true
+				}
+			}
+		}
+		// Rule 1: pull sandwiched instructions into components.
+		if !changed {
+			for m := 0; m < n; m++ {
+				for root, mem := range members {
+					if find(m) == find(root) {
+						continue
+					}
+					fromC, toC := false, false
+					for _, a := range mem {
+						if get(reach[a], m) {
+							fromC = true
+						}
+						if get(reach[m], a) {
+							toC = true
+						}
+						if fromC && toC {
+							break
+						}
+					}
+					if fromC && toC {
+						union(m, root)
+						changed = true
+					}
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// Components containing stateful instructions become clusters.
+	isStatefulRoot := map[int]bool{}
+	for i := 0; i < n; i++ {
+		if stateful[i] {
+			isStatefulRoot[find(i)] = true
+		}
+	}
+	cluster = make([]int, n)
+	for i := range cluster {
+		cluster[i] = -1
+	}
+	rootToCluster := map[int]int{}
+	for i := range t.instrs {
+		root := find(i)
+		if !isStatefulRoot[root] {
+			continue
+		}
+		c, ok := rootToCluster[root]
+		if !ok {
+			c = len(clusterRegs)
+			rootToCluster[root] = c
+			clusterRegs = append(clusterRegs, nil)
+		}
+		cluster[i] = c
+		if in := &t.instrs[i]; in.Op.IsStateful() {
+			found := false
+			for _, r := range clusterRegs[c] {
+				if r == in.Reg {
+					found = true
+				}
+			}
+			if !found {
+				clusterRegs[c] = append(clusterRegs[c], in.Reg)
+			}
+		}
+	}
+	for c := range clusterRegs {
+		sort.Ints(clusterRegs[c])
+	}
+	return cluster, clusterRegs
+}
+
+// levelize assigns each instruction a stage: the longest dependency path to
+// it, with all instructions of one cluster forced to the cluster's maximum
+// level. preassigned, when non-nil, gives minimum levels for hoisted
+// resolution code; floor is the minimum level for all other instructions;
+// clusterMin gives per-cluster minimum levels (used to serialize sharded
+// register arrays into distinct stages).
+func levelize(t *tac, deps [][]int, cluster []int, preassigned map[int]int, floor int, clusterMin map[int]int) []int {
+	n := len(t.instrs)
+	level := make([]int, n)
+	// Iterate to a fixed point: cluster fusion can raise members, which
+	// can raise their dependents, which can raise other clusters.
+	for iter := 0; ; iter++ {
+		changed := false
+		for i := 0; i < n; i++ {
+			want := floor
+			if pre, ok := preassigned[i]; ok {
+				want = pre
+			}
+			for _, d := range deps[i] {
+				ld := level[d] + 1
+				if cluster[i] >= 0 && cluster[d] == cluster[i] {
+					ld = level[d] // same cluster: same stage
+				}
+				if ld > want {
+					want = ld
+				}
+			}
+			if want > level[i] {
+				level[i] = want
+				changed = true
+			}
+		}
+		// Fuse clusters upward.
+		maxLvl := map[int]int{}
+		for c, m := range clusterMin {
+			maxLvl[c] = m
+		}
+		for i := 0; i < n; i++ {
+			if c := cluster[i]; c >= 0 && level[i] > maxLvl[c] {
+				maxLvl[c] = level[i]
+			}
+		}
+		for i := 0; i < n; i++ {
+			if c := cluster[i]; c >= 0 {
+				if _, pinned := preassigned[i]; !pinned && level[i] < maxLvl[c] {
+					level[i] = maxLvl[c]
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			return level
+		}
+		if iter > 4*n+16 {
+			panic("compiler: levelize failed to converge")
+		}
+	}
+}
+
+// buildPVSM runs dependency analysis, clustering, and levelling on the TAC.
+func buildPVSM(t *tac) *pvsm {
+	deps := buildDeps(t)
+	cluster, clusterRegs := buildClusters(t, deps)
+	level := levelize(t, deps, cluster, nil, 0, nil)
+	p := &pvsm{t: t, deps: deps, cluster: cluster, clusterRegs: clusterRegs, level: level}
+	p.numLevels = 0
+	for _, l := range level {
+		if l+1 > p.numLevels {
+			p.numLevels = l + 1
+		}
+	}
+	if p.numLevels == 0 {
+		p.numLevels = 1
+	}
+	return p
+}
+
+// stagesFromLevels packages the levelled TAC into ir.Stages, preserving
+// original instruction order within a stage.
+func stagesFromLevels(t *tac, level []int, numLevels int) []ir.Stage {
+	stages := make([]ir.Stage, numLevels)
+	for i := range t.instrs {
+		s := level[i]
+		stages[s].Instrs = append(stages[s].Instrs, t.instrs[i])
+	}
+	return stages
+}

@@ -1,0 +1,268 @@
+package compiler
+
+import (
+	"testing"
+
+	"mp5/internal/domino"
+	"mp5/internal/ir"
+)
+
+func preprocessSrc(t *testing.T, src string) *tac {
+	t.Helper()
+	f, err := domino.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	tc, err := preprocess(f)
+	if err != nil {
+		t.Fatalf("preprocess: %v", err)
+	}
+	return tc
+}
+
+func TestPreprocessSSA(t *testing.T) {
+	// Every temp must be written exactly once (SSA), and fields must be
+	// written only by trailing write-back moves.
+	tc := preprocessSrc(t, `
+struct Packet { int a; int b; };
+int r [4] = {0};
+void f (struct Packet p) {
+    p.a = p.a + 1;
+    if (p.a > 2) { p.b = p.a * 2; } else { p.b = 3; }
+    r[p.b % 4] = p.a;
+    p.a = p.b - 1;
+}`)
+	writes := map[int]int{}
+	for i, in := range tc.instrs {
+		if in.Dst.Kind == ir.KindTemp {
+			writes[in.Dst.ID]++
+		}
+		if in.Dst.Kind == ir.KindField && i < tc.writebackStart {
+			t.Errorf("field written before write-back section: instr %d %v", i, in)
+		}
+	}
+	for id, n := range writes {
+		if n != 1 {
+			t.Errorf("temp t%d written %d times (SSA violated)", id, n)
+		}
+	}
+}
+
+func TestPreprocessCSE(t *testing.T) {
+	// The same index expression appearing three times must lower to one
+	// temp (this is what makes the access index resolvable).
+	tc := preprocessSrc(t, `
+struct Packet { int x; };
+int r [8] = {0};
+void f (struct Packet p) {
+    r[p.x % 8] = r[p.x % 8] + r[p.x % 8];
+}`)
+	mods := 0
+	for _, in := range tc.instrs {
+		if in.Op == ir.OpMod {
+			mods++
+		}
+	}
+	if mods != 1 {
+		t.Errorf("p.x %% 8 lowered %d times, want 1 (CSE)", mods)
+	}
+}
+
+func TestBuildDepsRAWandWAR(t *testing.T) {
+	tc := preprocessSrc(t, `
+struct Packet { int a; };
+int r [2] = {0};
+void f (struct Packet p) {
+    p.a = r[0] + 1;
+    r[0] = p.a;
+}`)
+	deps := buildDeps(tc)
+	// Find the read and write of r.
+	rd, wr := -1, -1
+	for i, in := range tc.instrs {
+		if in.Op == ir.OpRdReg {
+			rd = i
+		}
+		if in.Op == ir.OpWrReg {
+			wr = i
+		}
+	}
+	if rd < 0 || wr < 0 {
+		t.Fatal("missing register ops")
+	}
+	has := func(i, j int) bool {
+		for _, d := range deps[i] {
+			if d == j {
+				return true
+			}
+		}
+		return false
+	}
+	if !has(wr, rd) {
+		t.Errorf("write must depend on the read (WAR on the array + RAW via the value)")
+	}
+}
+
+func TestClusterFusesReadModifyWrite(t *testing.T) {
+	tc := preprocessSrc(t, `
+struct Packet { int x; };
+int c [4] = {0};
+void f (struct Packet p) {
+    c[p.x % 4] = c[p.x % 4] * 3 + 1;
+}`)
+	deps := buildDeps(tc)
+	cluster, regs := buildClusters(tc, deps)
+	if len(regs) != 1 {
+		t.Fatalf("clusters = %d, want 1", len(regs))
+	}
+	// The read, the multiply, the add, and the write must share the
+	// cluster (atomic read-modify-write).
+	members := 0
+	for i, c := range cluster {
+		if c == 0 {
+			members++
+			_ = i
+		}
+	}
+	if members < 4 {
+		t.Errorf("cluster has %d members, want >= 4 (rd, mul, add, wr)", members)
+	}
+	level := levelize(tc, deps, cluster, nil, 0, nil)
+	var lvl = -1
+	for i, c := range cluster {
+		if c != 0 {
+			continue
+		}
+		if lvl < 0 {
+			lvl = level[i]
+		} else if level[i] != lvl {
+			t.Errorf("cluster members on levels %d and %d; must fuse", lvl, level[i])
+		}
+	}
+}
+
+func TestLevelizeRespectsDependencies(t *testing.T) {
+	tc := preprocessSrc(t, `
+struct Packet { int a; int b; };
+int r1 [2] = {0};
+int r2 [2] = {0};
+void f (struct Packet p) {
+    p.a = r1[p.a % 2];
+    r2[p.b % 2] = p.a;
+}`)
+	deps := buildDeps(tc)
+	cluster, _ := buildClusters(tc, deps)
+	level := levelize(tc, deps, cluster, nil, 0, nil)
+	for i, ds := range deps {
+		for _, d := range ds {
+			sameCluster := cluster[i] >= 0 && cluster[i] == cluster[d]
+			if sameCluster {
+				if level[i] != level[d] {
+					t.Errorf("same-cluster instrs %d,%d on different levels", i, d)
+				}
+			} else if level[i] <= level[d] {
+				t.Errorf("instr %d (level %d) depends on %d (level %d)", i, level[i], d, level[d])
+			}
+		}
+	}
+	// r2's cluster must come after r1's (data dependency through p.a).
+	var l1, l2 = -1, -1
+	for i, in := range tc.instrs {
+		if in.Op.IsStateful() && in.Reg == 0 {
+			l1 = level[i]
+		}
+		if in.Op.IsStateful() && in.Reg == 1 {
+			l2 = level[i]
+		}
+	}
+	if l2 <= l1 {
+		t.Errorf("r2 (level %d) must follow r1 (level %d)", l2, l1)
+	}
+}
+
+func TestClusterMinForcesSerialization(t *testing.T) {
+	tc := preprocessSrc(t, `
+struct Packet { int a; int b; };
+int r1 [2] = {0};
+int r2 [2] = {0};
+void f (struct Packet p) {
+    r1[p.a % 2] = p.a;
+    r2[p.b % 2] = p.b;
+}`)
+	deps := buildDeps(tc)
+	cluster, regs := buildClusters(tc, deps)
+	if len(regs) != 2 {
+		t.Fatalf("clusters = %d", len(regs))
+	}
+	// Without constraints both clusters share a level; with clusterMin
+	// the second is pushed down.
+	free := levelize(tc, deps, cluster, nil, 0, nil)
+	var lv [2]int
+	for i, in := range tc.instrs {
+		if in.Op.IsStateful() {
+			lv[in.Reg] = free[i]
+		}
+	}
+	if lv[0] != lv[1] {
+		t.Fatalf("independent writes should level together, got %v", lv)
+	}
+	forced := levelize(tc, deps, cluster, nil, 0, map[int]int{1: lv[0] + 1})
+	for i, in := range tc.instrs {
+		if in.Op.IsStateful() && in.Reg == 1 && forced[i] != lv[0]+1 {
+			t.Errorf("clusterMin ignored: level %d", forced[i])
+		}
+	}
+}
+
+// TestTransformHoistKeepsResolutionStateless: nothing stateful may end up
+// in the resolution prefix, for a spread of programs.
+func TestTransformHoistKeepsResolutionStateless(t *testing.T) {
+	for _, src := range []string{fig3Program, flowletProgram, congaProgram, seqProgram} {
+		prog := MustCompile(src, Options{Target: TargetMP5})
+		for si := 0; si < prog.ResolutionStages; si++ {
+			for _, in := range prog.Stages[si].Instrs {
+				if in.Op.IsStateful() {
+					t.Errorf("stateful op in resolution stage %d: %v", si, in)
+				}
+			}
+		}
+		// The final resolution stage is the phantom-generation stage
+		// and must carry no ALU work of its own.
+		if n := len(prog.Stages[prog.ResolutionStages-1].Instrs); n != 0 {
+			t.Errorf("phantom-generation stage has %d instructions", n)
+		}
+	}
+}
+
+// TestSlices checks backward-slice computation directly.
+func TestSlices(t *testing.T) {
+	tc := preprocessSrc(t, `
+struct Packet { int a; int b; };
+int r [4] = {0};
+void f (struct Packet p) {
+    p.b = r[0];
+    r[(p.a * 3 + p.b) % 4] = 1;
+}`)
+	writer := tempWriters(tc)
+	// The write's index depends on p.b, which came from a register
+	// read: the slice must be stateful.
+	for _, in := range tc.instrs {
+		if in.Op == ir.OpWrReg {
+			_, pure := sliceOf(tc, writer, in.Idx)
+			if pure {
+				t.Error("index slice through a register read reported stateless")
+			}
+		}
+	}
+	// And the whole-program compile must therefore pin the array.
+	prog := MustCompile(`
+struct Packet { int a; int b; };
+int r [4] = {0};
+void f (struct Packet p) {
+    p.b = r[0];
+    r[(p.a * 3 + p.b) % 4] = 1;
+}`, Options{Target: TargetMP5})
+	if prog.Regs[0].Sharded {
+		t.Error("array with stateful index computation must be pinned")
+	}
+}

@@ -1,0 +1,342 @@
+// Package compiler lowers Domino programs to staged Banzai/MP5 pipeline
+// configurations, mirroring the paper's compiler workflow (Figure 5):
+//
+//	Domino source
+//	  → Preprocessing   (AST → predicated three-address code)
+//	  → Pipelining      (TAC → PVSM: dependency levelling, stateful fusion)
+//	  → PVSM-to-PVSM    (MP5 only: preemptive address resolution, §3.3)
+//	  → Code generation (resource checks → ir.Program)
+package compiler
+
+import (
+	"fmt"
+
+	"mp5/internal/domino"
+	"mp5/internal/ir"
+)
+
+// tac is the preprocessed program: a flat predicated three-address code in
+// SSA form. Temporaries are single-assignment; packet fields are read only
+// as initial values and written only by the trailing write-back moves, so
+// instructions can be reordered freely subject to data dependencies.
+type tac struct {
+	file     *domino.File
+	fields   []string
+	regs     []ir.RegInfo
+	tables   []ir.TableInfo
+	instrs   []ir.Instr
+	numTemps int
+	// writebackStart is the index of the first field write-back move.
+	writebackStart int
+}
+
+// preprocessor carries the state of the AST → TAC lowering.
+type preprocessor struct {
+	t *tac
+	// fieldVal maps field id → the operand currently holding its value.
+	fieldVal []ir.Operand
+	regID    map[string]int
+	fieldID  map[string]int
+	tableID  map[string]int
+	// cse value-numbers pure instructions: identical (op, operands)
+	// re-use the temp of the first occurrence. This is what unifies
+	// repeated index expressions (e.g. p.h3 % 4 written three times)
+	// into a single resolvable temp.
+	cse map[cseKey]ir.Operand
+}
+
+// cseKey identifies a pure computation for value numbering. reg
+// distinguishes lookups of different match tables (0 otherwise).
+type cseKey struct {
+	op      ir.Op
+	a, b, c ir.Operand
+	reg     int
+}
+
+// preprocess lowers the parsed file to SSA TAC with if-conversion:
+// branches become predicated instructions, field assignments become
+// select-based merges, and register writes carry the branch predicate.
+func preprocess(f *domino.File) (*tac, error) {
+	t := &tac{file: f, fields: append([]string(nil), f.FieldNames...)}
+	p := &preprocessor{
+		t:       t,
+		regID:   make(map[string]int, len(f.Regs)),
+		fieldID: make(map[string]int, len(f.FieldNames)),
+		tableID: make(map[string]int, len(f.Tables)),
+		cse:     make(map[cseKey]ir.Operand),
+	}
+	for i, name := range f.FieldNames {
+		p.fieldID[name] = i
+	}
+	for i, r := range f.Regs {
+		t.regs = append(t.regs, ir.RegInfo{
+			Name: r.Name, ID: i, Size: r.Size,
+			Init: append([]int64(nil), r.Init...),
+			// Sharded is decided by the MP5 transformer; a plain
+			// Banzai compilation leaves arrays unsharded.
+			Sharded: false,
+			Stage:   -1,
+		})
+		p.regID[r.Name] = i
+	}
+	for i, tb := range f.Tables {
+		t.tables = append(t.tables, ir.TableInfo{
+			Name: tb.Name, ID: i, Keys: tb.Keys, Default: tb.Default,
+		})
+		p.tableID[tb.Name] = i
+	}
+	p.fieldVal = make([]ir.Operand, len(f.FieldNames))
+	for i := range p.fieldVal {
+		p.fieldVal[i] = ir.Field(i)
+	}
+	if err := p.stmts(f.Body, ir.None()); err != nil {
+		return nil, err
+	}
+	t.writebackStart = len(t.instrs)
+	for i, v := range p.fieldVal {
+		if v.Kind == ir.KindField && v.ID == i {
+			continue // never reassigned
+		}
+		t.emit(ir.Instr{Op: ir.OpMov, Dst: ir.Field(i), A: v, Reg: -1})
+	}
+	return t, nil
+}
+
+func (t *tac) emit(in ir.Instr) ir.Operand {
+	switch in.Op {
+	case ir.OpRdReg, ir.OpWrReg, ir.OpLookup:
+		// Reg carries the register-array or match-table id.
+	default:
+		in.Reg = -1
+	}
+	t.instrs = append(t.instrs, in)
+	return in.Dst
+}
+
+func (t *tac) newTemp() ir.Operand {
+	op := ir.Temp(t.numTemps)
+	t.numTemps++
+	return op
+}
+
+// emitPure emits a pure (stateless, unpredicated) instruction with value
+// numbering: a second occurrence of the same computation re-uses the temp
+// of the first. Pure instructions always execute, so reuse across branches
+// is safe.
+func (p *preprocessor) emitPure(op ir.Op, a, b, c ir.Operand) ir.Operand {
+	key := cseKey{op: op, a: a, b: b, c: c}
+	if v, ok := p.cse[key]; ok {
+		return v
+	}
+	dst := p.t.newTemp()
+	p.t.emit(ir.Instr{Op: op, Dst: dst, A: a, B: b, C: c})
+	p.cse[key] = dst
+	return dst
+}
+
+// emitPureTable emits a value-numbered match-table lookup. Tables are
+// read-only in the data plane, so lookups are pure and freely hoistable
+// (the Figure-5 "Match" evaluation moves into the resolution stages when
+// it feeds a register index or visit predicate).
+func (p *preprocessor) emitPureTable(tbl int, a, b, c ir.Operand) ir.Operand {
+	key := cseKey{op: ir.OpLookup, a: a, b: b, c: c, reg: tbl}
+	if v, ok := p.cse[key]; ok {
+		return v
+	}
+	dst := p.t.newTemp()
+	p.t.emit(ir.Instr{Op: ir.OpLookup, Dst: dst, A: a, B: b, C: c, Reg: tbl})
+	p.cse[key] = dst
+	return dst
+}
+
+// and combines two predicate values; None means "always".
+func (p *preprocessor) and(a, b ir.Operand) ir.Operand {
+	if a.IsNone() {
+		return b
+	}
+	if b.IsNone() {
+		return a
+	}
+	return p.emitPure(ir.OpLAnd, a, b, ir.None())
+}
+
+// not returns a temp holding the negation of predicate value c.
+func (p *preprocessor) not(c ir.Operand) ir.Operand {
+	return p.emitPure(ir.OpNot, c, ir.None(), ir.None())
+}
+
+func (p *preprocessor) stmts(ss []domino.Stmt, ctx ir.Operand) error {
+	for _, s := range ss {
+		if err := p.stmt(s, ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *preprocessor) stmt(s domino.Stmt, ctx ir.Operand) error {
+	switch st := s.(type) {
+	case *domino.AssignStmt:
+		return p.assign(st, ctx)
+	case *domino.IfStmt:
+		cond, err := p.expr(st.Cond, ctx)
+		if err != nil {
+			return err
+		}
+		thenCtx := p.and(ctx, cond)
+		if err := p.stmts(st.Then, thenCtx); err != nil {
+			return err
+		}
+		if len(st.Else) > 0 {
+			elseCtx := p.and(ctx, p.not(cond))
+			if err := p.stmts(st.Else, elseCtx); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("compiler: unknown statement %T", s)
+}
+
+func (p *preprocessor) assign(st *domino.AssignStmt, ctx ir.Operand) error {
+	switch lhs := st.LHS.(type) {
+	case *domino.FieldExpr:
+		v, err := p.expr(st.RHS, ctx)
+		if err != nil {
+			return err
+		}
+		id := p.fieldID[lhs.Name]
+		if ctx.IsNone() {
+			p.fieldVal[id] = v
+			return nil
+		}
+		// Conditional field assignment becomes a select merge (phi).
+		p.fieldVal[id] = p.emitPure(ir.OpSelect, ctx, v, p.fieldVal[id])
+		return nil
+	case *domino.RegExpr:
+		idx, err := p.expr(lhs.Idx, ctx)
+		if err != nil {
+			return err
+		}
+		v, err := p.expr(st.RHS, ctx)
+		if err != nil {
+			return err
+		}
+		p.t.emit(ir.Instr{
+			Op: ir.OpWrReg, Reg: p.regID[lhs.Name], Idx: idx, A: v, Pred: ctx,
+		})
+		return nil
+	}
+	return fmt.Errorf("compiler: bad assignment target %T", st.LHS)
+}
+
+// expr lowers an expression under predicate context ctx, returning the
+// operand holding its value. Register reads are predicated by ctx so that
+// the MP5 transformer can derive access predicates; when the predicate is
+// false the destination temp holds a stale value, which is safe because
+// every consumer is itself gated (or blended away) by the same predicate.
+func (p *preprocessor) expr(e domino.Expr, ctx ir.Operand) (ir.Operand, error) {
+	switch x := e.(type) {
+	case *domino.NumExpr:
+		return ir.Const(x.Val), nil
+	case *domino.FieldExpr:
+		return p.fieldVal[p.fieldID[x.Name]], nil
+	case *domino.RegExpr:
+		idx, err := p.expr(x.Idx, ctx)
+		if err != nil {
+			return ir.None(), err
+		}
+		dst := p.t.newTemp()
+		p.t.emit(ir.Instr{
+			Op: ir.OpRdReg, Dst: dst, Reg: p.regID[x.Name], Idx: idx, Pred: ctx,
+		})
+		return dst, nil
+	case *domino.UnaryExpr:
+		v, err := p.expr(x.X, ctx)
+		if err != nil {
+			return ir.None(), err
+		}
+		switch x.Op {
+		case domino.TokBang:
+			return p.emitPure(ir.OpNot, v, ir.None(), ir.None()), nil
+		case domino.TokMinus:
+			return p.emitPure(ir.OpNeg, v, ir.None(), ir.None()), nil
+		default:
+			return ir.None(), fmt.Errorf("compiler: unknown unary op %s", x.Op)
+		}
+	case *domino.BinExpr:
+		// && and || are evaluated without short-circuiting: Banzai
+		// atoms evaluate both sides in hardware anyway.
+		l, err := p.expr(x.L, ctx)
+		if err != nil {
+			return ir.None(), err
+		}
+		r, err := p.expr(x.R, ctx)
+		if err != nil {
+			return ir.None(), err
+		}
+		op, ok := binOps[x.Op]
+		if !ok {
+			return ir.None(), fmt.Errorf("compiler: unknown binary op %s", x.Op)
+		}
+		return p.emitPure(op, l, r, ir.None()), nil
+	case *domino.CondExpr:
+		cond, err := p.expr(x.Cond, ctx)
+		if err != nil {
+			return ir.None(), err
+		}
+		thenCtx := p.and(ctx, cond)
+		tv, err := p.expr(x.Then, thenCtx)
+		if err != nil {
+			return ir.None(), err
+		}
+		// The negated context is only materialized if the else arm
+		// reads a register (the only place the predicate matters).
+		elseCtx := ctx
+		if domino.ExprUsesReg(x.Else) {
+			elseCtx = p.and(ctx, p.not(cond))
+		}
+		ev, err := p.expr(x.Else, elseCtx)
+		if err != nil {
+			return ir.None(), err
+		}
+		return p.emitPure(ir.OpSelect, cond, tv, ev), nil
+	case *domino.CallExpr:
+		args := make([]ir.Operand, 3)
+		for i := range args {
+			args[i] = ir.None()
+		}
+		for i, a := range x.Args {
+			v, err := p.expr(a, ctx)
+			if err != nil {
+				return ir.None(), err
+			}
+			args[i] = v
+		}
+		if tbl, isTable := p.tableID[x.Name]; isTable {
+			return p.emitPureTable(tbl, args[0], args[1], args[2]), nil
+		}
+		ops := map[string]ir.Op{
+			"hash2": ir.OpHash2, "hash3": ir.OpHash3,
+			"max": ir.OpMax, "min": ir.OpMin,
+		}
+		op, ok := ops[x.Name]
+		if !ok {
+			return ir.None(), fmt.Errorf("compiler: unknown builtin %q", x.Name)
+		}
+		return p.emitPure(op, args[0], args[1], args[2]), nil
+	}
+	return ir.None(), fmt.Errorf("compiler: unknown expression %T", e)
+}
+
+var binOps = map[domino.TokKind]ir.Op{
+	domino.TokPlus: ir.OpAdd, domino.TokMinus: ir.OpSub,
+	domino.TokStar: ir.OpMul, domino.TokSlash: ir.OpDiv,
+	domino.TokPercent: ir.OpMod, domino.TokAmp: ir.OpAnd,
+	domino.TokPipe: ir.OpOr, domino.TokCaret: ir.OpXor,
+	domino.TokShl: ir.OpShl, domino.TokShr: ir.OpShr,
+	domino.TokEq: ir.OpEq, domino.TokNe: ir.OpNe,
+	domino.TokLt: ir.OpLt, domino.TokLe: ir.OpLe,
+	domino.TokGt: ir.OpGt, domino.TokGe: ir.OpGe,
+	domino.TokAndAnd: ir.OpLAnd, domino.TokOrOr: ir.OpLOr,
+}

@@ -1,0 +1,165 @@
+package compiler
+
+import (
+	"strings"
+	"testing"
+
+	"mp5/internal/banzai"
+	"mp5/internal/ir"
+)
+
+// l3Src: the classic RMT shape — match a header against a control-plane
+// table, then count per table-result. The register index flows through the
+// lookup, so the whole match must hoist into the resolution stages
+// (Figure 5's "Match: packet headers" box).
+const l3Src = `
+struct Packet { int dst; int port; };
+
+table route (1) = 99;
+int portcount [128] = {0};
+
+void l3 (struct Packet p) {
+    p.port = route(p.dst);
+    portcount[p.port % 128] = portcount[p.port % 128] + 1;
+}
+`
+
+func TestParseAndCompileTables(t *testing.T) {
+	prog := MustCompile(l3Src, Options{Target: TargetMP5})
+	if len(prog.Tables) != 1 {
+		t.Fatalf("tables = %d", len(prog.Tables))
+	}
+	tb := prog.Tables[0]
+	if tb.Name != "route" || tb.Keys != 1 || tb.Default != 99 {
+		t.Fatalf("table = %+v", tb)
+	}
+	// The counter must stay sharded: the lookup is stateless, so the
+	// index slice is preemptively resolvable.
+	if !prog.Regs[0].Sharded {
+		t.Fatalf("portcount not sharded despite stateless match lookup:\n%s", prog.Dump())
+	}
+	// And the lookup itself must sit in the resolution prefix.
+	found := false
+	for si := 0; si < prog.ResolutionStages; si++ {
+		for _, in := range prog.Stages[si].Instrs {
+			if in.Op == ir.OpLookup {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("match lookup not hoisted into resolution stages:\n%s", prog.Dump())
+	}
+	if !strings.Contains(prog.Dump(), "table tbl0 route(1 keys)") {
+		t.Errorf("dump lacks table line:\n%s", prog.Dump())
+	}
+}
+
+func TestTableExecution(t *testing.T) {
+	prog := MustCompile(l3Src, Options{Target: TargetMP5})
+	if err := prog.InstallTable("route", 7, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.InstallTable("route", 12, 2000); err != nil {
+		t.Fatal(err)
+	}
+	m := banzai.NewMachine(prog)
+	portF := prog.FieldIndex("port")
+	for i, c := range []struct {
+		dst  int64
+		port int64
+	}{
+		{1000, 7}, {2000, 12}, {3000, 99}, // last one misses → default
+	} {
+		env := ir.NewEnv(prog)
+		env.Fields[prog.FieldIndex("dst")] = c.dst
+		m.Process(int64(i), env)
+		if env.Fields[portF] != c.port {
+			t.Errorf("dst %d routed to port %d, want %d", c.dst, env.Fields[portF], c.port)
+		}
+	}
+	counts := m.Regs().Array(0)
+	if counts[7] != 1 || counts[12] != 1 || counts[99] != 1 {
+		t.Errorf("per-port counters wrong: [7]=%d [12]=%d [99]=%d",
+			counts[7], counts[12], counts[99])
+	}
+}
+
+func TestTableCSE(t *testing.T) {
+	src := `
+struct Packet { int dst; int a; int b; };
+table route (1) = 0;
+void f (struct Packet p) {
+    p.a = route(p.dst);
+    p.b = route(p.dst) + 1;
+}
+`
+	prog := MustCompile(src, Options{Target: TargetMP5})
+	lookups := 0
+	for _, st := range prog.Stages {
+		for _, in := range st.Instrs {
+			if in.Op == ir.OpLookup {
+				lookups++
+			}
+		}
+	}
+	if lookups != 1 {
+		t.Errorf("identical lookups lowered %d times, want 1 (CSE)", lookups)
+	}
+}
+
+func TestMultiKeyTable(t *testing.T) {
+	src := `
+struct Packet { int sip; int dip; int proto; int act; };
+table acl (3) = 1;
+void f (struct Packet p) {
+    p.act = acl(p.sip, p.dip, p.proto);
+}
+`
+	prog := MustCompile(src, Options{Target: TargetMP5})
+	if err := prog.InstallTable("acl", 0, 10, 20, 6); err != nil {
+		t.Fatal(err)
+	}
+	m := banzai.NewMachine(prog)
+	env := ir.NewEnv(prog)
+	env.Fields[0], env.Fields[1], env.Fields[2] = 10, 20, 6
+	m.Process(0, env)
+	if env.Fields[3] != 0 {
+		t.Errorf("3-key match failed: act = %d", env.Fields[3])
+	}
+	env2 := ir.NewEnv(prog)
+	env2.Fields[0], env2.Fields[1], env2.Fields[2] = 10, 20, 17
+	m.Process(1, env2)
+	if env2.Fields[3] != 1 {
+		t.Errorf("miss should hit default 1, got %d", env2.Fields[3])
+	}
+}
+
+func TestInstallTableErrors(t *testing.T) {
+	prog := MustCompile(l3Src, Options{Target: TargetMP5})
+	if err := prog.InstallTable("nope", 1, 2); err == nil {
+		t.Error("unknown table accepted")
+	}
+	if err := prog.InstallTable("route", 1, 2, 3); err == nil {
+		t.Error("wrong key count accepted")
+	}
+}
+
+func TestTableParseErrors(t *testing.T) {
+	cases := []struct{ name, src, want string }{
+		{"zero keys", `struct Packet { int x; }; table t(0); void f (struct Packet p) { p.x = 1; }`, "key count"},
+		{"four keys", `struct Packet { int x; }; table t(4); void f (struct Packet p) { p.x = 1; }`, "key count"},
+		{"bad arity", `struct Packet { int x; }; table t(2); void f (struct Packet p) { p.x = t(1); }`, "matches 2 keys"},
+		{"dup", `struct Packet { int x; }; table t(1); table t(1); void f (struct Packet p) { p.x = 1; }`, "duplicate table"},
+		{"builtin clash", `struct Packet { int x; }; table max(1); void f (struct Packet p) { p.x = 1; }`, "shadows a builtin"},
+		{"field clash", `struct Packet { int x; }; table x(1); void f (struct Packet p) { p.x = 1; }`, "collides"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Compile(c.src, Options{Target: TargetMP5})
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("err = %v, want substring %q", err, c.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,396 @@
+package compiler
+
+import (
+	"fmt"
+	"sort"
+
+	"mp5/internal/ir"
+)
+
+// transformResult is the output of the PVSM-to-PVSM transformer.
+type transformResult struct {
+	level              []int
+	numLevels          int
+	resolutionStages   int
+	accesses           []ir.Access
+	sharded            []bool // per register array
+	statefulPredicates bool
+}
+
+// sliceOf returns the backward slice of operand o: the set of instruction
+// indices that (transitively) produce o's value. Fields and constants are
+// pure inputs and terminate the slice. The returned map is nil for None
+// operands. ok is false when the slice contains a register read, i.e. the
+// value cannot be resolved preemptively in a stateless manner (§3.3).
+func sliceOf(t *tac, writer map[int]int, o ir.Operand) (slice map[int]bool, stateless bool) {
+	slice = map[int]bool{}
+	stateless = true
+	var visit func(op ir.Operand)
+	var visitInstr func(i int)
+	visitInstr = func(i int) {
+		if slice[i] {
+			return
+		}
+		slice[i] = true
+		in := &t.instrs[i]
+		if in.Op == ir.OpRdReg {
+			stateless = false
+		}
+		visit(in.A)
+		visit(in.B)
+		visit(in.C)
+		visit(in.Idx)
+		visit(in.Pred)
+	}
+	visit = func(op ir.Operand) {
+		if op.Kind != ir.KindTemp {
+			return
+		}
+		if w, ok := writer[op.ID]; ok {
+			visitInstr(w)
+		}
+	}
+	visit(o)
+	return slice, stateless
+}
+
+// tempWriters maps temp id → the instruction index that writes it.
+// Temps are single-assignment by construction of the preprocessor.
+func tempWriters(t *tac) map[int]int {
+	w := map[int]int{}
+	for i := range t.instrs {
+		if d := t.instrs[i].Dst; d.Kind == ir.KindTemp {
+			w[d.ID] = i
+		}
+	}
+	return w
+}
+
+// regAccessInfo is the per-register analysis extracted from a cluster.
+type regAccessInfo struct {
+	reg     int
+	cluster int
+	idx     ir.Operand // common index operand, or None
+	idxOK   bool       // identical across all stateful instrs
+	idxPure bool       // index slice is stateless
+	// visitAlways reports that the packet visits the array's stage
+	// unconditionally (either truly unconditional, or conservatively
+	// because the visit predicate cannot be resolved preemptively).
+	visitAlways bool
+	// predExact reports whether the visit decision is preemptively
+	// exact. When false, MP5 conservatively emits phantoms for both
+	// branches (§3.3), potentially wasting a cycle.
+	predExact bool
+	pred      ir.Operand // visit predicate when !visitAlways
+	predNeg   bool
+	idxSlice  map[int]bool
+	predSlice map[int]bool
+	// statefulPred reports a register op guarded by a state-dependent
+	// predicate (program-level statistic matching the paper's §4.4 note).
+	statefulPred bool
+}
+
+func sameOperand(a, b ir.Operand) bool {
+	return a.Kind == b.Kind && a.Val == b.Val && a.ID == b.ID
+}
+
+// analyzeAccesses inspects every stateful cluster and derives, per register
+// array, the index operand, visit predicate, and their resolvability.
+func analyzeAccesses(t *tac, p *pvsm) []regAccessInfo {
+	writer := tempWriters(t)
+	var infos []regAccessInfo
+	for c, regs := range p.clusterRegs {
+		for _, r := range regs {
+			info := regAccessInfo{reg: r, cluster: c, idxOK: true}
+			var preds []predKey
+			hasUncond := false
+			first := true
+			for i := range t.instrs {
+				in := &t.instrs[i]
+				if !in.Op.IsStateful() || in.Reg != r {
+					continue
+				}
+				if first {
+					info.idx = in.Idx
+					first = false
+				} else if !sameOperand(info.idx, in.Idx) {
+					info.idxOK = false
+				}
+				if in.Pred.IsNone() {
+					hasUncond = true
+				} else {
+					preds = append(preds, predKey{in.Pred, in.PredNeg})
+					if _, pure := sliceOf(t, writer, in.Pred); !pure {
+						info.statefulPred = true
+					}
+				}
+			}
+			if info.idxOK {
+				info.idxSlice, info.idxPure = sliceOf(t, writer, info.idx)
+			}
+			switch {
+			case hasUncond || len(preds) == 0:
+				// At least one op always runs: the visit is
+				// unconditional and therefore exactly known.
+				info.visitAlways = true
+				info.predExact = true
+				info.predSlice = map[int]bool{}
+			case allSamePred(preds):
+				slice, pure := sliceOf(t, writer, preds[0].op)
+				if pure {
+					info.pred = preds[0].op
+					info.predNeg = preds[0].neg
+					info.predExact = true
+					info.predSlice = slice
+				} else {
+					// Stateful predicate: conservatively
+					// visit always (phantom regardless).
+					info.visitAlways = true
+					info.predExact = false
+					info.predSlice = map[int]bool{}
+				}
+			default:
+				// Mixed predicates across the array's ops:
+				// conservatively visit always.
+				info.visitAlways = true
+				info.predExact = false
+				info.predSlice = map[int]bool{}
+			}
+			infos = append(infos, info)
+		}
+	}
+	sort.Slice(infos, func(a, b int) bool { return infos[a].reg < infos[b].reg })
+	return infos
+}
+
+// predKey identifies a predicate (operand + polarity).
+type predKey struct {
+	op  ir.Operand
+	neg bool
+}
+
+func allSamePred(preds []predKey) bool {
+	for _, p := range preds[1:] {
+		if !sameOperand(p.op, preds[0].op) || p.neg != preds[0].neg {
+			return false
+		}
+	}
+	return true
+}
+
+// transform applies MP5's PVSM-to-PVSM transformation (Figure 5):
+//
+//  1. Decide shardability per register array. An array is sharded unless
+//     (a) its cluster co-locates several arrays (serialization impossible),
+//     (b) its stateful instructions disagree on the index operand, or
+//     (c) the index computation is itself stateful (§3.3 fallback).
+//  2. Hoist the stateless backward slices of sharded indices and
+//     resolvable predicates into leading resolution stages, followed by
+//     one map-lookup/phantom-generation stage.
+//  3. Re-level the remaining code after the resolution prefix, and
+//     serialize sharded arrays into distinct stages, spilling to the
+//     unsharded fallback when maxStages would be exceeded.
+func transform(t *tac, p *pvsm, maxStages int) (*transformResult, error) {
+	infos := analyzeAccesses(t, p)
+	sharded := make([]bool, len(t.regs))
+	multiReg := make([]bool, len(p.clusterRegs))
+	for c, regs := range p.clusterRegs {
+		multiReg[c] = len(regs) > 1
+	}
+	byReg := map[int]*regAccessInfo{}
+	for i := range infos {
+		info := &infos[i]
+		byReg[info.reg] = info
+		sharded[info.reg] = !multiReg[info.cluster] && info.idxOK && info.idxPure
+	}
+
+	// Hoist set: index slices of sharded arrays, predicate slices of
+	// preemptively-resolvable conditional accesses.
+	hoist := map[int]bool{}
+	for i := range infos {
+		info := &infos[i]
+		if sharded[info.reg] {
+			for j := range info.idxSlice {
+				hoist[j] = true
+			}
+		}
+		if info.predExact && !info.visitAlways {
+			for j := range info.predSlice {
+				hoist[j] = true
+			}
+		}
+	}
+
+	// Level the hoisted subgraph on its own (its dependencies are closed
+	// within itself plus pure inputs).
+	preassigned := map[int]int{}
+	resLevels := 0
+	if len(hoist) > 0 {
+		hl := map[int]int{}
+		var lvl func(i int) int
+		lvl = func(i int) int {
+			if v, ok := hl[i]; ok {
+				return v
+			}
+			hl[i] = 0 // break accidental cycles defensively
+			max := 0
+			for _, d := range p.deps[i] {
+				if hoist[d] {
+					if l := lvl(d) + 1; l > max {
+						max = l
+					}
+				}
+			}
+			hl[i] = max
+			return max
+		}
+		for i := range hoist {
+			lvl(i)
+		}
+		for i, l := range hl {
+			preassigned[i] = l
+			if l+1 > resLevels {
+				resLevels = l + 1
+			}
+		}
+	}
+	// One extra stage performs the index-to-pipeline map lookup and
+	// phantom generation (runtime behaviour keyed off the Access list).
+	resolutionStages := resLevels + 1
+
+	clusterMin := map[int]int{}
+	var level []int
+	for round := 0; ; round++ {
+		if round > 4*len(t.regs)+16 {
+			return nil, fmt.Errorf("compiler: stage serialization did not converge")
+		}
+		level = levelize(t, p.deps, p.cluster, preassigned, resolutionStages, clusterMin)
+		numLevels := 0
+		for _, l := range level {
+			if l+1 > numLevels {
+				numLevels = l + 1
+			}
+		}
+		// Find a level shared by more than one sharded cluster.
+		conflictLevel, conflictClusters := findShardedConflict(t, p, level, sharded)
+		if conflictLevel < 0 {
+			// Done: check the stage budget.
+			if numLevels > maxStages {
+				return nil, fmt.Errorf("compiler: program needs %d stages, target has %d", numLevels, maxStages)
+			}
+			res := &transformResult{
+				level:            level,
+				numLevels:        numLevels,
+				resolutionStages: resolutionStages,
+				sharded:          sharded,
+			}
+			for i := range infos {
+				if infos[i].statefulPred {
+					res.statefulPredicates = true
+				}
+			}
+			res.accesses = buildAccessList(t, p, infos, sharded, level)
+			return res, nil
+		}
+		if numLevels+len(conflictClusters)-1 > maxStages {
+			// Not enough stages to serialize: fall back to
+			// unsharded co-location for the arrays at this level.
+			for _, c := range conflictClusters {
+				for _, r := range p.clusterRegs[c] {
+					sharded[r] = false
+				}
+			}
+			continue
+		}
+		// Serialize: push every conflicting cluster after the first to
+		// its own later stage.
+		for n, c := range conflictClusters[1:] {
+			if m := conflictLevel + n + 1; clusterMin[c] < m {
+				clusterMin[c] = m
+			}
+		}
+	}
+}
+
+// findShardedConflict returns the first level occupied by more than one
+// stateful cluster where at least one of them is sharded (a sharded array
+// must have its stage to itself: the packet can only be in one pipeline per
+// stage, and a sharded index may live in any of them). Returns the clusters
+// in cluster-id order, or (-1, nil) when no such level exists.
+func findShardedConflict(t *tac, p *pvsm, level []int, sharded []bool) (int, []int) {
+	byLevel := map[int][]int{}
+	seen := map[[2]int]bool{}
+	isSharded := func(c int) bool {
+		for _, r := range p.clusterRegs[c] {
+			if sharded[r] {
+				return true
+			}
+		}
+		return false
+	}
+	for i := range t.instrs {
+		c := p.cluster[i]
+		if c < 0 {
+			continue
+		}
+		key := [2]int{level[i], c}
+		if !seen[key] {
+			seen[key] = true
+			byLevel[level[i]] = append(byLevel[level[i]], c)
+		}
+	}
+	var levels []int
+	for l, cs := range byLevel {
+		if len(cs) < 2 {
+			continue
+		}
+		for _, c := range cs {
+			if isSharded(c) {
+				levels = append(levels, l)
+				break
+			}
+		}
+	}
+	if len(levels) == 0 {
+		return -1, nil
+	}
+	sort.Ints(levels)
+	cs := byLevel[levels[0]]
+	sort.Ints(cs)
+	return levels[0], cs
+}
+
+// buildAccessList derives the per-register Access entries in stage order.
+func buildAccessList(t *tac, p *pvsm, infos []regAccessInfo, sharded []bool, level []int) []ir.Access {
+	// Stage of each cluster = level of any member instruction.
+	clusterStage := map[int]int{}
+	for i := range t.instrs {
+		if c := p.cluster[i]; c >= 0 {
+			clusterStage[c] = level[i]
+		}
+	}
+	var accs []ir.Access
+	for i := range infos {
+		info := &infos[i]
+		a := ir.Access{
+			Reg:   info.reg,
+			Stage: clusterStage[info.cluster],
+		}
+		if sharded[info.reg] {
+			a.Idx = info.idx
+		}
+		a.PredResolvable = info.predExact
+		if info.predExact && !info.visitAlways {
+			a.Pred = info.pred
+			a.PredNeg = info.predNeg
+		}
+		accs = append(accs, a)
+	}
+	sort.SliceStable(accs, func(a, b int) bool {
+		if accs[a].Stage != accs[b].Stage {
+			return accs[a].Stage < accs[b].Stage
+		}
+		return accs[a].Reg < accs[b].Reg
+	})
+	return accs
+}

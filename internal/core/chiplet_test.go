@@ -1,0 +1,96 @@
+package core_test
+
+import (
+	"testing"
+
+	"mp5/internal/core"
+	"mp5/internal/equiv"
+	"mp5/internal/workload"
+)
+
+// TestCrossLatencyPreservesEquivalence: any inter-pipeline link latency
+// must leave functional equivalence and C1 intact — early data parks until
+// its phantom lands.
+func TestCrossLatencyPreservesEquivalence(t *testing.T) {
+	for _, lat := range []int64{1, 2, 4, 8} {
+		prog, trace := synthSetup(t, 4, 64, 4, 4000, workload.Skewed, 31)
+		sim := core.NewSimulator(prog, core.Config{
+			Arch: core.ArchMP5, Pipelines: 4, Seed: 3,
+			CrossLatency:  lat,
+			RecordOutputs: true, RecordAccessOrder: true,
+		})
+		res := sim.Run(trace)
+		if res.Stalled {
+			t.Fatalf("latency %d: stalled", lat)
+		}
+		if res.Completed != res.Injected {
+			t.Fatalf("latency %d: completed %d of %d", lat, res.Completed, res.Injected)
+		}
+		if res.C1Violating != 0 {
+			t.Fatalf("latency %d: %d C1 violations", lat, res.C1Violating)
+		}
+		if rep := equiv.Check(prog, sim, trace); !rep.Equivalent {
+			t.Fatalf("latency %d: not equivalent: %v", lat, rep.Mismatches[:min(3, len(rep.Mismatches))])
+		}
+	}
+}
+
+// TestCrossLatencyZeroUnchanged: CrossLatency 0 must behave byte-for-byte
+// like the original single-die model.
+func TestCrossLatencyZeroUnchanged(t *testing.T) {
+	prog, trace := synthSetup(t, 4, 64, 4, 4000, workload.Uniform, 7)
+	a := core.NewSimulator(prog, core.Config{Arch: core.ArchMP5, Pipelines: 4, Seed: 3})
+	b := core.NewSimulator(prog, core.Config{Arch: core.ArchMP5, Pipelines: 4, Seed: 3, CrossLatency: 0})
+	ra, rb := a.Run(trace), b.Run(trace)
+	if ra.Cycles != rb.Cycles || ra.Throughput != rb.Throughput || ra.MaxFIFODepth != rb.MaxFIFODepth {
+		t.Fatalf("zero-latency runs diverge: %+v vs %+v", ra, rb)
+	}
+}
+
+// TestCrossLatencyAddsLatencyNotLoss: slower links raise packet latency
+// but (at admissible load) lose nothing.
+func TestCrossLatencyAddsLatencyNotLoss(t *testing.T) {
+	prog, trace := synthSetup(t, 4, 512, 4, 6000, workload.Uniform, 9)
+	var prevLat float64
+	for i, lat := range []int64{0, 4, 8} {
+		sim := core.NewSimulator(prog, core.Config{
+			Arch: core.ArchMP5, Pipelines: 4, Seed: 3, CrossLatency: lat,
+		})
+		res := sim.Run(trace)
+		if res.Completed != res.Injected {
+			t.Fatalf("latency %d: loss", lat)
+		}
+		if i > 0 && res.MeanLatency <= prevLat {
+			t.Errorf("mean latency did not grow with link latency: %.1f after %.1f", res.MeanLatency, prevLat)
+		}
+		prevLat = res.MeanLatency
+	}
+}
+
+// TestCrossLatencyNoD4: the no-D4 variant also routes its (un-ordered)
+// data through the slow crossbar without stalling or losing packets.
+func TestCrossLatencyNoD4(t *testing.T) {
+	prog, trace := synthSetup(t, 2, 64, 4, 3000, workload.Uniform, 15)
+	sim := core.NewSimulator(prog, core.Config{
+		Arch: core.ArchMP5NoD4, Pipelines: 4, Seed: 3, CrossLatency: 3,
+	})
+	res := sim.Run(trace)
+	if res.Stalled || res.Completed != res.Injected {
+		t.Fatalf("no-D4 with slow crossbar: %+v", res)
+	}
+}
+
+// TestLatencyStats sanity-checks the new latency accounting.
+func TestLatencyStats(t *testing.T) {
+	prog, trace := synthSetup(t, 2, 512, 4, 3000, workload.Uniform, 4)
+	sim := core.NewSimulator(prog, core.Config{Arch: core.ArchMP5, Pipelines: 4, Seed: 1})
+	res := sim.Run(trace)
+	minPossible := float64(prog.NumStages())
+	if res.MeanLatency < minPossible {
+		t.Errorf("mean latency %.1f below pipeline depth %v", res.MeanLatency, minPossible)
+	}
+	if res.P99Latency < int64(res.MeanLatency) || res.MaxLatency < res.P99Latency {
+		t.Errorf("latency ordering broken: mean %.1f p99 %d max %d",
+			res.MeanLatency, res.P99Latency, res.MaxLatency)
+	}
+}

@@ -1,0 +1,217 @@
+package core_test
+
+import (
+	"testing"
+
+	"mp5/internal/apps"
+	"mp5/internal/compiler"
+	"mp5/internal/core"
+	"mp5/internal/equiv"
+	"mp5/internal/workload"
+)
+
+// perFlowReorderings counts, per flow, packets that egressed before an
+// earlier-arriving packet of the same flow.
+func perFlowReorderings(egress []int64, flowOf map[int64]int64) int {
+	lastSeen := map[int64]int64{} // flow → highest id seen so far... we need inversions
+	suffixMin := map[int64]int64{}
+	// Walk backwards per flow computing suffix minima.
+	n := 0
+	type rec struct {
+		id   int64
+		flow int64
+	}
+	var seq []rec
+	for _, id := range egress {
+		seq = append(seq, rec{id, flowOf[id]})
+	}
+	for i := len(seq) - 1; i >= 0; i-- {
+		f := seq[i].flow
+		if m, ok := suffixMin[f]; ok && seq[i].id > m {
+			n++
+		}
+		if m, ok := suffixMin[f]; !ok || seq[i].id < m {
+			suffixMin[f] = seq[i].id
+		}
+	}
+	_ = lastSeen
+	return n
+}
+
+// TestOrderingStageRestoresPerFlowOrder: with stateless packets bypassing
+// queued stateful ones, per-flow reordering appears; the §3.4 dummy
+// ordering stage eliminates it without breaking equivalence.
+func TestOrderingStageRestoresPerFlowOrder(t *testing.T) {
+	build := func(withGuard bool) (reordered int, equivalent bool) {
+		// A NAT/firewall shape: flows (identified by h0) mix stateful
+		// packets with stateless ones, so stateless priority reorders
+		// packets *within* a flow (§3.4).
+		p, err := apps.Synthetic(1, 64, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if withGuard {
+			if err := compiler.AddOrderingStage(p, 256, "h0"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		trace := workload.Synthetic(p, workload.Spec{
+			Packets: 8000, Pipelines: 4, Seed: 13, StatelessFraction: 0.5,
+			Pattern: workload.Skewed,
+		}, 1, 64)
+		sim := core.NewSimulator(p, core.Config{
+			Arch: core.ArchMP5, Pipelines: 4, Seed: 3, RecordOutputs: true,
+		})
+		res := sim.Run(trace)
+		if res.Stalled || res.Completed != res.Injected {
+			t.Fatalf("run broken: %+v", res)
+		}
+		h0 := p.FieldIndex("h0")
+		flowOf := map[int64]int64{}
+		for i, a := range trace {
+			flowOf[int64(i)] = a.Fields[h0]
+		}
+		rep := equiv.Check(p, sim, trace)
+		return perFlowReorderings(sim.EgressOrder(), flowOf), rep.Equivalent
+	}
+
+	without, okWithout := build(false)
+	if without == 0 {
+		t.Fatal("expected per-flow reordering without the guard (stateless priority)")
+	}
+	if !okWithout {
+		t.Fatal("reordering must not break functional equivalence")
+	}
+	with, okWith := build(true)
+	if with != 0 {
+		t.Fatalf("ordering stage left %d per-flow reorderings", with)
+	}
+	if !okWith {
+		t.Fatal("ordering stage broke functional equivalence")
+	}
+	t.Logf("per-flow reorderings: %d without guard, %d with", without, with)
+}
+
+// TestECNMarking: with a small threshold on a congested program, packets
+// get marked; with no threshold, none are.
+func TestECNMarking(t *testing.T) {
+	prog, err := apps.Synthetic(1, 1, 16) // global counter at line rate: deep queue
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := workload.Synthetic(prog, workload.Spec{
+		Packets: 8000, Pipelines: 4, Seed: 5,
+	}, 1, 1)
+	marked := core.NewSimulator(prog, core.Config{
+		Arch: core.ArchMP5, Pipelines: 4, Seed: 1, ECNThreshold: 8,
+	})
+	res := marked.Run(trace)
+	if res.MarkedECN == 0 {
+		t.Fatal("no ECN marks despite a saturated FIFO")
+	}
+	if res.MarkedECN > res.Completed {
+		t.Fatalf("marks %d exceed packets %d (must count distinct packets)", res.MarkedECN, res.Completed)
+	}
+	unmarked := core.NewSimulator(prog, core.Config{
+		Arch: core.ArchMP5, Pipelines: 4, Seed: 1,
+	})
+	if r := unmarked.Run(trace); r.MarkedECN != 0 {
+		t.Fatalf("marks without a threshold: %d", r.MarkedECN)
+	}
+	// An uncongested workload stays unmarked even with a threshold.
+	light, err := apps.Synthetic(1, 512, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lightTrace := workload.Synthetic(light, workload.Spec{
+		Packets: 8000, Pipelines: 4, Seed: 5, PacketSize: 512,
+	}, 1, 512)
+	calm := core.NewSimulator(light, core.Config{
+		Arch: core.ArchMP5, Pipelines: 4, Seed: 1, ECNThreshold: 8,
+	})
+	if r := calm.Run(lightTrace); r.MarkedECN != 0 {
+		t.Errorf("light load marked %d packets", r.MarkedECN)
+	}
+}
+
+// TestStarvationGuard: with stateless priority, a saturated stateful queue
+// starves; the guard trades stateless drops for bounded stateful waits.
+func TestStarvationGuard(t *testing.T) {
+	prog, err := apps.Synthetic(1, 1, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := workload.Synthetic(prog, workload.Spec{
+		Packets: 12000, Pipelines: 4, Seed: 9, StatelessFraction: 0.6,
+	}, 1, 1)
+	noGuard := core.NewSimulator(prog, core.Config{
+		Arch: core.ArchMP5, Pipelines: 4, Seed: 2,
+	})
+	rn := noGuard.Run(trace)
+	guarded := core.NewSimulator(prog, core.Config{
+		Arch: core.ArchMP5, Pipelines: 4, Seed: 2, StarveThreshold: 64,
+	})
+	rg := guarded.Run(trace)
+	if rg.DroppedStarved == 0 {
+		t.Fatal("guard never fired despite starvation pressure")
+	}
+	if rn.DroppedStarved != 0 {
+		t.Fatal("drops without a guard configured")
+	}
+	if rg.Completed+rg.DroppedStarved != rg.Injected {
+		t.Fatalf("accounting: %d + %d != %d", rg.Completed, rg.DroppedStarved, rg.Injected)
+	}
+	// The guard must reduce the worst stateful queueing (FIFO drains
+	// faster when stateless arrivals yield).
+	if rg.MaxFIFODepth >= rn.MaxFIFODepth {
+		t.Errorf("guard did not reduce max queue: %d vs %d", rg.MaxFIFODepth, rn.MaxFIFODepth)
+	}
+}
+
+// TestOrderingStageOnRealApp: the guard composes with a real program.
+func TestOrderingStageOnRealApp(t *testing.T) {
+	app, err := apps.ByName("wfq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := app.MP5()
+	if err := compiler.AddOrderingStage(prog, 1024, "flow"); err != nil {
+		t.Fatal(err)
+	}
+	trace := workload.Flows(prog, workload.FlowSpec{Packets: 4000, Pipelines: 4, Seed: 3}, app.Bind)
+	sim := core.NewSimulator(prog, core.Config{
+		Arch: core.ArchMP5, Pipelines: 4, Seed: 3, RecordOutputs: true,
+	})
+	res := sim.Run(trace)
+	if res.Completed != res.Injected {
+		t.Fatalf("loss: %+v", res)
+	}
+	if rep := equiv.Check(prog, sim, trace); !rep.Equivalent {
+		t.Fatalf("guard broke wfq equivalence: %v", rep.Mismatches)
+	}
+}
+
+// TestOrderingStageErrors covers the guard's input validation.
+func TestOrderingStageErrors(t *testing.T) {
+	app, _ := apps.ByName("wfq")
+	prog := app.MP5()
+	if err := compiler.AddOrderingStage(prog, 0, "flow"); err == nil {
+		t.Error("zero size accepted")
+	}
+	if err := compiler.AddOrderingStage(prog, 64, "nope"); err == nil {
+		t.Error("unknown field accepted")
+	}
+	if err := compiler.AddOrderingStage(prog, 64); err == nil {
+		t.Error("no fields accepted")
+	}
+	single := app.SinglePipeline()
+	if err := compiler.AddOrderingStage(single, 64, "flow"); err == nil {
+		t.Error("single-pipeline program accepted")
+	}
+	if err := compiler.AddOrderingStage(prog, 64, "flow"); err != nil {
+		t.Fatalf("first guard rejected: %v", err)
+	}
+	if err := compiler.AddOrderingStage(prog, 64, "flow"); err == nil {
+		t.Error("second guard accepted")
+	}
+}

@@ -1,0 +1,202 @@
+// Package core implements the MP5 multi-pipeline switch simulator: the
+// crossbar-connected pipelines, per-stage k-FIFO structures, the phantom
+// channel, packet steering, and the dynamic-sharding runtime — plus the
+// paper's baseline architectures (no-D4, recirculation, naive single-pipe
+// state, static sharding, and the ideal upper bound).
+package core
+
+import "fmt"
+
+// fifoEntry is one slot in a stage FIFO: either a data packet or a phantom
+// placeholder awaiting its data packet (§3.2).
+type fifoEntry struct {
+	ts    int64 // ordering timestamp = packet arrival sequence number
+	data  *Packet
+	pktID int64 // packet this entry belongs to (phantom: the awaited packet)
+	enq   int64 // cycle the entry was enqueued (starvation accounting)
+}
+
+func (e *fifoEntry) isPhantom() bool { return e.data == nil }
+
+// ring is a growable ring buffer with stable sequence addressing: entry seq
+// s stays addressable at the same logical position while entries ahead of
+// it are popped, which is what the phantom directory needs for insert().
+type ring struct {
+	buf     []fifoEntry
+	start   int   // position of headSeq in buf
+	n       int   // live entries
+	headSeq int64 // sequence number of the head entry
+}
+
+func (r *ring) len() int { return r.n }
+
+func (r *ring) posOf(seq int64) int {
+	off := int(seq - r.headSeq)
+	if off < 0 || off >= r.n {
+		panic(fmt.Sprintf("core: fifo seq %d outside [%d,%d)", seq, r.headSeq, r.headSeq+int64(r.n)))
+	}
+	return (r.start + off) % len(r.buf)
+}
+
+// at returns the entry stored at sequence seq.
+func (r *ring) at(seq int64) *fifoEntry { return &r.buf[r.posOf(seq)] }
+
+func (r *ring) head() *fifoEntry {
+	if r.n == 0 {
+		panic("core: head of empty fifo")
+	}
+	return &r.buf[r.start]
+}
+
+// push appends an entry and returns its sequence number.
+func (r *ring) push(e fifoEntry) int64 {
+	if r.n == len(r.buf) {
+		grown := make([]fifoEntry, max(4, 2*len(r.buf)))
+		for i := 0; i < r.n; i++ {
+			grown[i] = r.buf[(r.start+i)%len(r.buf)]
+		}
+		r.buf = grown
+		r.start = 0
+	}
+	seq := r.headSeq + int64(r.n)
+	r.buf[(r.start+r.n)%len(r.buf)] = e
+	r.n++
+	return seq
+}
+
+// popHead removes and returns the head entry.
+func (r *ring) popHead() fifoEntry {
+	e := *r.head()
+	r.buf[r.start] = fifoEntry{}
+	r.start = (r.start + 1) % len(r.buf)
+	r.n--
+	r.headSeq++
+	return e
+}
+
+// entryPos locates a phantom in the directory.
+type entryPos struct {
+	fifo int
+	seq  int64
+}
+
+// StageFIFO is the per-stage buffering structure of MP5 (§3.2): k physical
+// ring-buffer FIFOs (one per source pipeline) operating as a single logical
+// FIFO, plus the phantom directory indexed by packet id.
+//
+//   - Push adds a data or phantom packet to the tail of one sub-FIFO,
+//     dropping it when the sub-FIFO is at capacity.
+//   - Insert replaces a phantom (located via the directory) with its data
+//     packet; a directory miss drops the data packet.
+//   - Pop inspects the k heads and selects the smallest timestamp; a
+//     phantom head blocks (returns blocked=true) so that later packets
+//     cannot overtake the awaited one.
+type StageFIFO struct {
+	rings []ring
+	dir   map[int64]entryPos
+	cap   int // per-sub-FIFO capacity; 0 = unbounded
+	depth int // current total entries
+	maxD  int // high-water mark
+}
+
+// NewStageFIFO builds a k-FIFO with the given per-sub-FIFO capacity
+// (0 = unbounded, the paper's adaptive sizing for loss-free sensitivity
+// experiments).
+func NewStageFIFO(k, capacity int) *StageFIFO {
+	return &StageFIFO{
+		rings: make([]ring, k),
+		dir:   make(map[int64]entryPos),
+		cap:   capacity,
+	}
+}
+
+// Len returns the total number of queued entries (data + phantom).
+func (f *StageFIFO) Len() int { return f.depth }
+
+// MaxDepth returns the high-water mark of total queued entries.
+func (f *StageFIFO) MaxDepth() int { return f.maxD }
+
+func (f *StageFIFO) bump(d int) {
+	f.depth += d
+	if f.depth > f.maxD {
+		f.maxD = f.depth
+	}
+}
+
+// PushPhantom enqueues a phantom for packet pktID arriving from srcPipe.
+// It returns false (drop) when the sub-FIFO is full.
+func (f *StageFIFO) PushPhantom(srcPipe int, ts, pktID, now int64) bool {
+	r := &f.rings[srcPipe]
+	if f.cap > 0 && r.len() >= f.cap {
+		return false
+	}
+	seq := r.push(fifoEntry{ts: ts, pktID: pktID, enq: now})
+	f.dir[pktID] = entryPos{fifo: srcPipe, seq: seq}
+	f.bump(1)
+	return true
+}
+
+// PushData enqueues a data packet directly (used by the no-D4 baseline,
+// which has no phantoms). Returns false (drop) when the sub-FIFO is full.
+func (f *StageFIFO) PushData(srcPipe int, p *Packet, now int64) bool {
+	r := &f.rings[srcPipe]
+	if f.cap > 0 && r.len() >= f.cap {
+		return false
+	}
+	r.push(fifoEntry{ts: p.ID, data: p, pktID: p.ID, enq: now})
+	f.bump(1)
+	return true
+}
+
+// Insert replaces packet p's phantom with p itself. Returns false when the
+// directory has no entry for p (its phantom was dropped): the caller drops
+// the data packet (§3.4, handling packet drops).
+func (f *StageFIFO) Insert(p *Packet, now int64) bool {
+	pos, ok := f.dir[p.ID]
+	if !ok {
+		return false
+	}
+	delete(f.dir, p.ID)
+	e := f.rings[pos.fifo].at(pos.seq)
+	if !e.isPhantom() || e.pktID != p.ID {
+		panic("core: directory points at a non-phantom entry")
+	}
+	e.data = p
+	e.enq = now
+	return true
+}
+
+// Head returns the entry with the smallest timestamp among the k sub-FIFO
+// heads, along with its sub-FIFO index. ok is false when all sub-FIFOs are
+// empty.
+func (f *StageFIFO) Head() (e *fifoEntry, fifo int, ok bool) {
+	for i := range f.rings {
+		r := &f.rings[i]
+		if r.len() == 0 {
+			continue
+		}
+		h := r.head()
+		if !ok || h.ts < e.ts {
+			e, fifo, ok = h, i, true
+		}
+	}
+	return e, fifo, ok
+}
+
+// PopHead removes the head of the given sub-FIFO (after the caller selected
+// it via Head) and returns the entry.
+func (f *StageFIFO) PopHead(fifo int) fifoEntry {
+	e := f.rings[fifo].popHead()
+	if e.isPhantom() {
+		delete(f.dir, e.pktID)
+	}
+	f.bump(-1)
+	return e
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

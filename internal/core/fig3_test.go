@@ -1,0 +1,213 @@
+package core_test
+
+import (
+	"testing"
+
+	"mp5/internal/compiler"
+	"mp5/internal/core"
+	"mp5/internal/equiv"
+	"mp5/internal/workload"
+)
+
+// fig3Program is the paper's running example (Figure 3), with reg3
+// initialized to 2 so that the multiplicative updates distinguish
+// processing orders (the paper's walkthrough multiplies reg1[1]=4 into
+// reg3[2] for packets A–D and adds reg2[3]=7 for packet E; with a zero
+// initial value every order collapses to the same result).
+const fig3Program = `
+struct Packet {
+    int h1;
+    int h2;
+    int h3;
+    int val;
+    int mux;
+};
+
+int reg1 [4] = {2,4,8,16};
+int reg2 [4] = {1,3,5,7};
+int reg3 [4] = {2,2,2,2};
+
+void func (struct Packet p) {
+    p.val = (p.mux == 1)
+        ? reg1[p.h1%4]
+        : reg2[p.h2%4];
+
+    reg3[p.h3%4] = (p.mux == 1)
+        ? reg3[p.h3%4] * p.val
+        : reg3[p.h3%4] + p.val;
+}
+`
+
+// fig3Trace builds the example's packet sequence: A, B (t=0, ports 1,2),
+// C, D (t=1), E (t=2). A–D access reg1[1] and reg3[2] (mux=1); E accesses
+// reg2[3] and reg3[2] (mux=0).
+func fig3Trace() []core.Arrival {
+	mk := func(cycle int64, port int, h1, h2, h3, mux int64) core.Arrival {
+		return core.Arrival{
+			Cycle: cycle, Port: port, Size: 64,
+			// fields: h1 h2 h3 val mux
+			Fields: []int64{h1, h2, h3, 0, mux},
+		}
+	}
+	return []core.Arrival{
+		mk(0, 1, 1, 1, 2, 1), // A
+		mk(0, 2, 1, 1, 2, 1), // B
+		mk(1, 1, 1, 1, 2, 1), // C
+		mk(1, 2, 1, 1, 2, 1), // D
+		mk(2, 1, 1, 3, 2, 0), // E
+	}
+}
+
+// TestFigure3Walkthrough replays the paper's worked example on a
+// 2-pipelined MP5 and checks the exact serial result: reg3[2] must be
+// 2*4*4*4*4 + 7 = 519, the value a single Banzai pipeline produces when
+// A,B,C,D multiply by reg1[1]=4 in arrival order and E adds reg2[3]=7
+// last. Without order enforcement the paper shows E can overtake D and
+// produce ((2*4*4*4)+7)*4 = 540 instead.
+func TestFigure3Walkthrough(t *testing.T) {
+	prog, err := compiler.Compile(fig3Program, compiler.Options{Target: compiler.TargetMP5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := fig3Trace()
+
+	refRegs, _ := equiv.Reference(prog, trace)
+	reg3 := prog.RegIndex("reg3")
+	if got := refRegs[reg3][2]; got != 519 {
+		t.Fatalf("reference reg3[2] = %d, want 519 (2*4^4 + 7)", got)
+	}
+
+	sim := core.NewSimulator(prog, core.Config{
+		Arch: core.ArchMP5, Pipelines: 2,
+		RecordOutputs: true, RecordAccessOrder: true,
+	})
+	res := sim.Run(trace)
+	if res.Completed != 5 {
+		t.Fatalf("completed %d of 5", res.Completed)
+	}
+	if got := sim.FinalRegs()[reg3][2]; got != 519 {
+		t.Fatalf("MP5 reg3[2] = %d, want 519 (C1 enforced)", got)
+	}
+	if res.C1Violating != 0 {
+		t.Fatalf("violations: %d", res.C1Violating)
+	}
+	if rep := equiv.Check(prog, sim, trace); !rep.Equivalent {
+		t.Fatalf("not equivalent: %v", rep.Mismatches)
+	}
+}
+
+// TestFigure3AccessOrderExact: the per-state access sequences on MP5 must
+// equal arrival order exactly (A,B,C,D for reg1[1]; A,B,C,D,E for
+// reg3[2]; E for reg2[3]).
+func TestFigure3AccessOrderExact(t *testing.T) {
+	prog, err := compiler.Compile(fig3Program, compiler.Options{Target: compiler.TargetMP5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := core.NewSimulator(prog, core.Config{
+		Arch: core.ArchMP5, Pipelines: 2, RecordAccessOrder: true,
+	})
+	sim.Run(fig3Trace())
+	orders := sim.AccessOrders()
+	want := map[string][]int64{
+		keyFor(prog.RegIndex("reg1"), 1): {0, 1, 2, 3},
+		keyFor(prog.RegIndex("reg2"), 3): {4},
+		keyFor(prog.RegIndex("reg3"), 2): {0, 1, 2, 3, 4},
+	}
+	for k, w := range want {
+		got := orders[k]
+		if len(got) != len(w) {
+			t.Fatalf("%s order = %v, want %v (all orders: %v)", k, got, w, orders)
+		}
+		for i := range w {
+			if got[i] != w[i] {
+				t.Fatalf("%s order = %v, want %v", k, got, w)
+			}
+		}
+	}
+	// No other state may have been touched.
+	if len(orders) != len(want) {
+		t.Fatalf("unexpected state accesses: %v", orders)
+	}
+}
+
+func keyFor(reg, idx int) string {
+	return "r" + itoa(reg) + "[" + itoa(idx) + "]"
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var b []byte
+	for v > 0 {
+		b = append([]byte{byte('0' + v%10)}, b...)
+		v /= 10
+	}
+	if neg {
+		return "-" + string(b)
+	}
+	return string(b)
+}
+
+// TestDegenerateSinglePipeline: with k=1 every architecture collapses to a
+// single pipeline and must match the reference exactly — including the
+// baselines that are otherwise incorrect or lossy.
+func TestDegenerateSinglePipeline(t *testing.T) {
+	prog, trace := synthSetup(t, 3, 64, 1, 3000, workload.Skewed, 17)
+	for _, arch := range []core.Arch{
+		core.ArchMP5, core.ArchMP5NoD4, core.ArchIdeal,
+		core.ArchNaive, core.ArchStaticShard, core.ArchRecirc,
+	} {
+		sim := core.NewSimulator(prog, core.Config{
+			Arch: arch, Pipelines: 1, Seed: 1,
+			RecordOutputs: true, RecordAccessOrder: true,
+		})
+		res := sim.Run(trace)
+		if res.Completed != res.Injected {
+			t.Fatalf("%v: completed %d of %d", arch, res.Completed, res.Injected)
+		}
+		if res.C1Violating != 0 {
+			t.Errorf("%v: %d violations impossible with one pipeline", arch, res.C1Violating)
+		}
+		if res.Recirculations != 0 {
+			t.Errorf("%v: %d recirculations with one pipeline", arch, res.Recirculations)
+		}
+		if rep := equiv.Check(prog, sim, trace); !rep.Equivalent {
+			t.Fatalf("%v k=1 not equivalent: %v", arch, rep.Mismatches)
+		}
+	}
+}
+
+// TestAccessOrderMatchesReferenceExactly: beyond counting violations, the
+// MP5 per-state access sequences must equal the reference executor's
+// sequences element by element.
+func TestAccessOrderMatchesReferenceExactly(t *testing.T) {
+	prog, trace := synthSetup(t, 4, 64, 4, 4000, workload.Skewed, 23)
+	sim := core.NewSimulator(prog, core.Config{
+		Arch: core.ArchMP5, Pipelines: 4, Seed: 2, RecordAccessOrder: true,
+	})
+	res := sim.Run(trace)
+	if res.Completed != res.Injected {
+		t.Fatalf("loss: %+v", res)
+	}
+	for key, seq := range sim.AccessOrders() {
+		for i := 1; i < len(seq); i++ {
+			if seq[i] <= seq[i-1] {
+				t.Fatalf("%s access sequence not strictly in arrival order at %d: %v",
+					key, i, seq[max(0, i-3):min(len(seq), i+3)])
+			}
+		}
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

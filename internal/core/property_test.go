@@ -1,0 +1,113 @@
+package core_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"mp5/internal/core"
+	"mp5/internal/workload"
+)
+
+// TestSimulatorDeterminism: the same program, trace, and config must
+// reproduce identical results run after run — the property the
+// functional-equivalence methodology rests on.
+func TestSimulatorDeterminism(t *testing.T) {
+	for _, arch := range []core.Arch{
+		core.ArchMP5, core.ArchMP5NoD4, core.ArchIdeal,
+		core.ArchNaive, core.ArchStaticShard, core.ArchRecirc,
+	} {
+		prog, trace := synthSetup(t, 3, 128, 4, 3000, workload.Skewed, 55)
+		run := func() (*core.Result, []int64) {
+			sim := core.NewSimulator(prog, core.Config{
+				Arch: arch, Pipelines: 4, Seed: 5, RecordAccessOrder: true,
+			})
+			r := sim.Run(trace)
+			return r, append([]int64(nil), sim.EgressOrder()...)
+		}
+		r1, e1 := run()
+		r2, e2 := run()
+		if fmt.Sprintf("%+v", resultComparable(r1)) != fmt.Sprintf("%+v", resultComparable(r2)) {
+			t.Fatalf("%v: results differ:\n%+v\n%+v", arch, r1, r2)
+		}
+		if len(e1) != len(e2) {
+			t.Fatalf("%v: egress lengths differ", arch)
+		}
+		for i := range e1 {
+			if e1[i] != e2[i] {
+				t.Fatalf("%v: egress order diverges at %d", arch, i)
+			}
+		}
+	}
+}
+
+// resultComparable strips the slice field so Result values compare with ==.
+func resultComparable(r *core.Result) core.Result {
+	c := *r
+	c.MaxFIFOPerStage = nil
+	return c
+}
+
+// TestConservationProperty: across random configurations, every injected
+// packet is either completed or accounted to exactly one drop counter.
+func TestConservationProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	archs := []core.Arch{
+		core.ArchMP5, core.ArchMP5NoD4, core.ArchIdeal,
+		core.ArchNaive, core.ArchStaticShard, core.ArchRecirc,
+	}
+	for trial := 0; trial < 20; trial++ {
+		arch := archs[rng.Intn(len(archs))]
+		k := []int{1, 2, 3, 4, 8}[rng.Intn(5)]
+		stages := 1 + rng.Intn(4)
+		size := []int{1, 8, 64, 512}[rng.Intn(4)]
+		fifoCap := []int{0, 0, 2, 8}[rng.Intn(4)]
+		lat := []int64{0, 0, 1, 3}[rng.Intn(4)]
+		starve := []int64{0, 0, 32}[rng.Intn(3)]
+		prog, trace := synthSetup(t, stages, size, k, 2000, workload.Pattern(rng.Intn(2)), int64(trial))
+		sim := core.NewSimulator(prog, core.Config{
+			Arch: arch, Pipelines: k, Seed: int64(trial),
+			FIFOCap: fifoCap, CrossLatency: lat, StarveThreshold: starve,
+		})
+		res := sim.Run(trace)
+		if res.Stalled {
+			t.Fatalf("trial %d (%v k=%d st=%d sz=%d cap=%d lat=%d): stalled",
+				trial, arch, k, stages, size, fifoCap, lat)
+		}
+		accounted := res.Completed + res.DroppedData + res.DroppedInsert +
+			res.DroppedIngress + res.DroppedStarved
+		if accounted != res.Injected {
+			t.Fatalf("trial %d (%v k=%d cap=%d): %d accounted of %d injected (%+v)",
+				trial, arch, k, fifoCap, accounted, res.Injected, res)
+		}
+		if res.Throughput < 0 || res.Throughput > 1.2 {
+			t.Fatalf("trial %d: nonsense throughput %f", trial, res.Throughput)
+		}
+	}
+}
+
+// TestUnsortedTraceRejected: the simulator refuses traces that violate the
+// (cycle, port) arrival order contract.
+func TestUnsortedTraceRejected(t *testing.T) {
+	prog, trace := synthSetup(t, 1, 8, 2, 10, workload.Uniform, 1)
+	trace[3], trace[4] = trace[4], trace[3]
+	// Force a genuine order violation regardless of what the swap did.
+	trace[3].Cycle = trace[4].Cycle + 10
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unsorted trace accepted")
+		}
+	}()
+	core.NewSimulator(prog, core.Config{Arch: core.ArchMP5, Pipelines: 2}).Run(trace)
+}
+
+// TestEmptyTrace: a zero-packet run terminates immediately with a sane
+// zero Result.
+func TestEmptyTrace(t *testing.T) {
+	prog, _ := synthSetup(t, 1, 8, 2, 10, workload.Uniform, 1)
+	sim := core.NewSimulator(prog, core.Config{Arch: core.ArchMP5, Pipelines: 2})
+	res := sim.Run(nil)
+	if res.Injected != 0 || res.Completed != 0 || res.Stalled {
+		t.Fatalf("empty run: %+v", res)
+	}
+}

@@ -1,0 +1,997 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"mp5/internal/banzai"
+	"mp5/internal/ir"
+	"mp5/internal/sharding"
+)
+
+// accessKey identifies one state for ordering purposes: a sharded register
+// index, or a whole unsharded array (idx = -1).
+type accessKey struct {
+	reg int
+	idx int
+}
+
+// phantomEv is a scheduled phantom-channel delivery (Invariant 1: phantoms
+// are never queued before their destination stage, so delivery time is
+// generation time plus the stage distance).
+type phantomEv struct {
+	stage   int
+	pipe    int
+	srcPipe int
+	ts      int64
+	pktID   int64
+}
+
+// crossEv is a data packet in flight across an inter-pipeline link.
+type crossEv struct {
+	stage int
+	pkt   *Packet
+}
+
+// pktStage keys per-(packet, stage) phantom bookkeeping.
+type pktStage struct {
+	id    int64
+	stage int
+}
+
+// stageState is the per-(stage, pipeline) runtime state.
+type stageState struct {
+	// inline is the packet delivered this cycle on the pass-through
+	// path (same pipeline, no state access here).
+	inline *Packet
+	// out is the packet emitted by this stage this cycle, delivered to
+	// the next stage at the start of the next cycle.
+	out *Packet
+	// fifo buffers stateful visitors (nil for stateless stages and in
+	// ideal mode).
+	fifo *StageFIFO
+	// idealQ replaces the FIFO in ideal mode: selection is by per-index
+	// eligibility instead of a single logical FIFO.
+	idealQ []*Packet
+}
+
+// pktQueue is an amortized O(1) FIFO of packets.
+type pktQueue struct {
+	items []*Packet
+	head  int
+}
+
+func (q *pktQueue) len() int { return len(q.items) - q.head }
+func (q *pktQueue) push(p *Packet) {
+	q.items = append(q.items, p)
+}
+func (q *pktQueue) pop() *Packet {
+	p := q.items[q.head]
+	q.items[q.head] = nil
+	q.head++
+	if q.head > 1024 && q.head*2 > len(q.items) {
+		q.items = append([]*Packet(nil), q.items[q.head:]...)
+		q.head = 0
+	}
+	return p
+}
+func (q *pktQueue) peek() *Packet { return q.items[q.head] }
+
+// recircEntry is a packet waiting to re-enter a pipeline input.
+type recircEntry struct {
+	p     *Packet
+	ready int64
+}
+
+// Simulator is a deterministic cycle-accurate model of one MP5 (or
+// baseline) switch instance running one compiled program.
+type Simulator struct {
+	cfg  Config
+	prog *ir.Program
+	k    int // pipelines
+	S    int // stages
+	// resStage is the final address-resolution stage (phantom
+	// generation happens when a packet is processed there).
+	resStage int
+
+	shard *sharding.Map
+	regs  []*banzai.RegFile
+	st    [][]stageState // [stage][pipe]
+
+	// phantoms and crossings are cyclic schedules indexed by delivery
+	// cycle modulo their length; delays are bounded by the pipeline
+	// depth plus the crossbar latency, so a slot always drains before
+	// it is reused (and its backing array is recycled).
+	phantoms  [][]phantomEv
+	crossings [][]crossEv
+	// phantomPending/-Dropped track phantom state per (packet, stage)
+	// so early data arrivals can wait for their placeholder instead of
+	// being miscounted as drops.
+	phantomPending map[pktStage]bool
+	phantomDropped map[pktStage]bool
+	// pendingInserts holds data packets that arrived at their visit
+	// stage before their phantom (possible only with CrossLatency > 0).
+	pendingInserts map[pktStage]*Packet
+
+	ingress     pktQueue      // global ingress (sprayed architectures)
+	pipeIngress []pktQueue    // per-pipe ingress (recirculation)
+	pipeRecirc  []pktQueue    // per-pipe recirculation queue (priority)
+	recircWait  []recircEntry // packets between pipeline passes
+
+	pendingOrder map[accessKey][]int64 // ideal-mode eligibility fronts
+	deadIDs      map[int64]bool        // dropped packets with live phantoms
+
+	accessLog   map[accessKey][]int64
+	outputs     map[int64][]int64
+	egressOrder []int64
+	latencies   []int64
+
+	res Result
+	now int64
+}
+
+// NewSimulator builds a simulator for an MP5-compiled program (the program
+// must carry access metadata, i.e. compiled with TargetMP5 — baselines also
+// consume that metadata for steering and state placement).
+func NewSimulator(prog *ir.Program, cfg Config) *Simulator {
+	cfg = cfg.withDefaults()
+	if err := prog.Validate(); err != nil {
+		panic(fmt.Sprintf("core: invalid program: %v", err))
+	}
+	if len(prog.Accesses) > 0 && prog.ResolutionStages == 0 {
+		panic("core: stateful program lacks resolution stages; compile with TargetMP5")
+	}
+	s := &Simulator{
+		cfg:            cfg,
+		prog:           prog,
+		k:              cfg.Pipelines,
+		S:              prog.NumStages(),
+		resStage:       prog.ResolutionStages - 1,
+		shard:          sharding.New(prog, cfg.Pipelines, cfg.ShardPolicy, cfg.Seed),
+		phantoms:       make([][]phantomEv, prog.NumStages()+int(cfg.CrossLatency)+2),
+		crossings:      make([][]crossEv, cfg.CrossLatency+2),
+		phantomPending: make(map[pktStage]bool),
+		phantomDropped: make(map[pktStage]bool),
+		pendingInserts: make(map[pktStage]*Packet),
+		pendingOrder:   make(map[accessKey][]int64),
+		deadIDs:        make(map[int64]bool),
+	}
+	s.regs = make([]*banzai.RegFile, s.k)
+	for j := 0; j < s.k; j++ {
+		s.regs[j] = banzai.NewRegFile(prog)
+	}
+	s.st = make([][]stageState, s.S)
+	stateful := map[int]bool{}
+	for _, a := range prog.Accesses {
+		stateful[a.Stage] = true
+	}
+	for i := range s.st {
+		s.st[i] = make([]stageState, s.k)
+		if stateful[i] && cfg.Arch != ArchIdeal && cfg.Arch != ArchRecirc {
+			for j := range s.st[i] {
+				s.st[i][j].fifo = NewStageFIFO(s.k, cfg.FIFOCap)
+			}
+		}
+	}
+	if cfg.Arch == ArchRecirc {
+		s.pipeIngress = make([]pktQueue, s.k)
+		s.pipeRecirc = make([]pktQueue, s.k)
+	}
+	if cfg.RecordAccessOrder {
+		s.accessLog = make(map[accessKey][]int64)
+	}
+	if cfg.RecordOutputs {
+		s.outputs = make(map[int64][]int64)
+	}
+	s.res.Arch = cfg.Arch
+	s.res.Pipelines = s.k
+	s.res.MaxFIFOPerStage = make([]int, s.S)
+	return s
+}
+
+// usePhantoms reports whether the architecture enforces D4 via phantoms.
+func (s *Simulator) usePhantoms() bool {
+	switch s.cfg.Arch {
+	case ArchMP5, ArchNaive, ArchStaticShard:
+		return true
+	}
+	return false
+}
+
+// Run executes the simulation over the arrival trace (must be sorted by
+// Cycle, ties by Port) and returns the result summary.
+func (s *Simulator) Run(arrivals []Arrival) *Result {
+	for i := 1; i < len(arrivals); i++ {
+		a, b := arrivals[i-1], arrivals[i]
+		if b.Cycle < a.Cycle || (b.Cycle == a.Cycle && b.Port < a.Port) {
+			panic("core: arrival trace not sorted by (cycle, port)")
+		}
+	}
+	s.res.Injected = int64(len(arrivals))
+	if len(arrivals) > 0 {
+		s.res.FirstArrival = arrivals[0].Cycle
+		s.res.LastArrival = arrivals[len(arrivals)-1].Cycle
+		s.now = arrivals[0].Cycle
+	}
+	maxCycles := s.cfg.MaxCycles
+	if maxCycles == 0 {
+		maxCycles = s.res.LastArrival + 100000 + s.res.Injected*int64(4*s.S+8)
+	}
+
+	ai := 0
+	for {
+		if ai == len(arrivals) && s.idle() {
+			break
+		}
+		if s.now > maxCycles {
+			s.res.Stalled = true
+			break
+		}
+		s.deliverPhantoms()
+		s.deliverCrossings()
+		s.deliverOutputs()
+		ai = s.admitArrivals(arrivals, ai)
+		s.processStages()
+		s.maybeRemap()
+		s.now++
+	}
+	s.finalize()
+	return &s.res
+}
+
+// idle reports whether no packet is anywhere in the switch.
+func (s *Simulator) idle() bool {
+	if s.ingress.len() > 0 || len(s.recircWait) > 0 {
+		return false
+	}
+	for i := range s.pipeIngress {
+		if s.pipeIngress[i].len() > 0 || s.pipeRecirc[i].len() > 0 {
+			return false
+		}
+	}
+	for i := range s.st {
+		for j := range s.st[i] {
+			st := &s.st[i][j]
+			if st.inline != nil || st.out != nil || len(st.idealQ) > 0 {
+				return false
+			}
+			if st.fifo != nil && st.fifo.Len() > 0 {
+				// Dead phantoms drain via processSlot; anything
+				// queued means the run is not over yet.
+				return false
+			}
+		}
+	}
+	for _, evs := range s.phantoms {
+		if len(evs) > 0 {
+			return false
+		}
+	}
+	for _, evs := range s.crossings {
+		if len(evs) > 0 {
+			return false
+		}
+	}
+	return len(s.pendingInserts) == 0
+}
+
+// deliverPhantoms lands phantom-channel deliveries scheduled for this cycle
+// (before data deliveries, so inserts find their placeholders), then
+// retries data packets that had outrun their phantoms.
+func (s *Simulator) deliverPhantoms() {
+	slot := int(s.now % int64(len(s.phantoms)))
+	if evs := s.phantoms[slot]; len(evs) > 0 {
+		s.phantoms[slot] = evs[:0]
+		for _, ev := range evs {
+			if s.cfg.CrossLatency > 0 {
+				delete(s.phantomPending, pktStage{ev.pktID, ev.stage})
+			}
+			st := &s.st[ev.stage][ev.pipe]
+			if st.fifo.PushPhantom(ev.srcPipe, ev.ts, ev.pktID, s.now) {
+				s.emit(EvPhantom, ev.pktID, ev.stage, ev.pipe)
+			} else {
+				s.res.DroppedPhantom++
+				s.phantomDropped[pktStage{ev.pktID, ev.stage}] = true
+			}
+			s.noteFIFODepth(ev.stage, st)
+		}
+	}
+	if len(s.pendingInserts) > 0 {
+		// Snapshot first: a retry that is still early re-parks itself.
+		retry := make([]pktStage, 0, len(s.pendingInserts))
+		for key := range s.pendingInserts {
+			retry = append(retry, key)
+		}
+		for _, key := range retry {
+			p := s.pendingInserts[key]
+			delete(s.pendingInserts, key)
+			s.arriveAtVisit(p, key.stage)
+		}
+	}
+}
+
+// deliverCrossings lands data packets whose inter-pipeline link traversal
+// (Config.CrossLatency) completes this cycle.
+func (s *Simulator) deliverCrossings() {
+	slot := int(s.now % int64(len(s.crossings)))
+	evs := s.crossings[slot]
+	if len(evs) == 0 {
+		return
+	}
+	s.crossings[slot] = evs[:0]
+	for _, ev := range evs {
+		s.arriveAtVisit(ev.pkt, ev.stage)
+	}
+}
+
+// deliverOutputs moves every stage's emitted packet into the next stage
+// (crossbar steering happens here) or to egress.
+func (s *Simulator) deliverOutputs() {
+	for i := s.S - 1; i >= 0; i-- {
+		for j := 0; j < s.k; j++ {
+			st := &s.st[i][j]
+			if st.out == nil {
+				continue
+			}
+			p := st.out
+			st.out = nil
+			s.route(p, i+1)
+		}
+	}
+}
+
+// route places packet p into stage (or egress when stage == S).
+func (s *Simulator) route(p *Packet, stage int) {
+	if stage == s.S {
+		s.egress(p)
+		return
+	}
+	if s.cfg.Arch == ArchRecirc {
+		// No crossbar: the packet continues in its pipeline.
+		st := &s.st[stage][p.pipe]
+		if st.inline != nil {
+			panic("core: inline slot collision (recirc)")
+		}
+		st.inline = p
+		return
+	}
+	if v := p.visitAt(stage); v != nil {
+		crossing := v.pipe != p.pipe
+		p.srcPipe = p.pipe
+		p.pipe = v.pipe
+		if crossing {
+			s.emit(EvSteer, p.ID, stage, v.pipe)
+		}
+		if crossing && s.cfg.CrossLatency > 0 {
+			slot := int((s.now + s.cfg.CrossLatency) % int64(len(s.crossings)))
+			s.crossings[slot] = append(s.crossings[slot], crossEv{stage: stage, pkt: p})
+			return
+		}
+		s.arriveAtVisit(p, stage)
+		return
+	}
+	st := &s.st[stage][p.pipe]
+	if st.inline != nil {
+		panic("core: inline slot collision")
+	}
+	st.inline = p
+}
+
+// arriveAtVisit lands a data packet at its stateful visit stage: ECN
+// marking, then the architecture's buffering discipline. With a slow
+// crossbar a packet can beat its phantom here; it parks until the
+// placeholder lands or is known dropped.
+func (s *Simulator) arriveAtVisit(p *Packet, stage int) {
+	st := &s.st[stage][p.pipe]
+	if th := s.cfg.ECNThreshold; th > 0 {
+		depth := len(st.idealQ)
+		if st.fifo != nil {
+			depth = st.fifo.Len()
+		}
+		if depth > th && !p.ecnMarked {
+			s.res.MarkedECN++
+			p.ecnMarked = true
+		}
+	}
+	switch s.cfg.Arch {
+	case ArchMP5NoD4:
+		if st.fifo.PushData(p.srcPipe, p, s.now) {
+			s.emit(EvEnqueue, p.ID, stage, p.pipe)
+		} else {
+			s.res.DroppedData++
+			s.abandon(p)
+		}
+	case ArchIdeal:
+		st.idealQ = append(st.idealQ, p)
+		s.emit(EvEnqueue, p.ID, stage, p.pipe)
+		if d := len(st.idealQ); d > s.res.MaxFIFOPerStage[stage] {
+			s.res.MaxFIFOPerStage[stage] = d
+			if d > s.res.MaxFIFODepth {
+				s.res.MaxFIFODepth = d
+			}
+		}
+	default:
+		if st.fifo.Insert(p, s.now) {
+			s.emit(EvEnqueue, p.ID, stage, p.pipe)
+			break
+		}
+		key := pktStage{p.ID, stage}
+		switch {
+		case s.phantomPending[key]:
+			// The phantom is still on the (slower) phantom
+			// channel: wait in the crossbar buffer.
+			s.pendingInserts[key] = p
+		default:
+			delete(s.phantomDropped, key)
+			s.res.DroppedInsert++
+			s.abandon(p)
+		}
+	}
+	s.noteFIFODepth(stage, st)
+}
+
+func (s *Simulator) noteFIFODepth(stage int, st *stageState) {
+	if st.fifo == nil {
+		return
+	}
+	if d := st.fifo.Len(); d > s.res.MaxFIFOPerStage[stage] {
+		s.res.MaxFIFOPerStage[stage] = d
+		if d > s.res.MaxFIFODepth {
+			s.res.MaxFIFODepth = d
+		}
+	}
+}
+
+// admitArrivals moves due arrivals into ingress queues and fills free
+// stage-0 slots (one packet per pipeline per cycle).
+func (s *Simulator) admitArrivals(arrivals []Arrival, ai int) int {
+	for ai < len(arrivals) && arrivals[ai].Cycle <= s.now {
+		a := &arrivals[ai]
+		p := &Packet{
+			ID:           int64(ai),
+			Port:         a.Port,
+			Size:         a.Size,
+			ArrivalCycle: a.Cycle,
+			Env:          ir.NewEnv(s.prog),
+		}
+		copy(p.Env.Fields, a.Fields)
+		if s.cfg.Arch == ArchRecirc {
+			pipe := a.Port * s.k / s.cfg.Ports
+			if pipe >= s.k {
+				pipe = s.k - 1
+			}
+			if cap := s.cfg.RecircIngressCap; cap > 0 && s.pipeIngress[pipe].len() >= cap {
+				// Ingress buffer overflow: today's switches
+				// drop rather than queue without bound.
+				s.res.DroppedIngress++
+				s.emit(EvDrop, p.ID, -1, pipe)
+			} else {
+				p.pipe = pipe
+				s.pipeIngress[pipe].push(p)
+			}
+		} else {
+			s.ingress.push(p)
+		}
+		ai++
+	}
+	if s.cfg.Arch == ArchRecirc {
+		// Re-admit recirculated packets whose delay elapsed. The
+		// recirculation port has priority over fresh arrivals, as on
+		// production switches — otherwise re-circulated packets sit
+		// behind an ever-growing arrival backlog.
+		kept := s.recircWait[:0]
+		for _, e := range s.recircWait {
+			if e.ready <= s.now {
+				s.pipeRecirc[e.p.pipe].push(e.p)
+			} else {
+				kept = append(kept, e)
+			}
+		}
+		s.recircWait = kept
+		for j := 0; j < s.k; j++ {
+			q := &s.pipeIngress[j]
+			if d := q.len() + s.pipeRecirc[j].len(); d > s.res.MaxIngressDepth {
+				s.res.MaxIngressDepth = d
+			}
+			if s.st[0][j].inline != nil {
+				continue
+			}
+			switch {
+			case s.pipeRecirc[j].len() > 0:
+				s.st[0][j].inline = s.pipeRecirc[j].pop()
+				s.emit(EvAdmit, s.st[0][j].inline.ID, 0, j)
+			case q.len() > 0:
+				s.st[0][j].inline = q.pop()
+				s.emit(EvAdmit, s.st[0][j].inline.ID, 0, j)
+			}
+		}
+		return ai
+	}
+	if d := s.ingress.len(); d > s.res.MaxIngressDepth {
+		s.res.MaxIngressDepth = d
+	}
+	// Uniform spray (D1): free pipelines pick up arrivals in order.
+	for j := 0; j < s.k && s.ingress.len() > 0; j++ {
+		if s.st[0][j].inline == nil {
+			p := s.ingress.pop()
+			p.pipe = j
+			s.st[0][j].inline = p
+			s.emit(EvAdmit, p.ID, 0, j)
+		}
+	}
+	return ai
+}
+
+// processStages runs every (stage, pipeline) slot for one cycle: serve at
+// most one packet — the inline pass-through packet if present (Invariant 2:
+// stateless packets are never queued and take priority), else an eligible
+// queued stateful packet.
+func (s *Simulator) processStages() {
+	for i := 0; i < s.S; i++ {
+		for j := 0; j < s.k; j++ {
+			s.processSlot(i, j)
+		}
+	}
+}
+
+func (s *Simulator) processSlot(stage, pipe int) {
+	st := &s.st[stage][pipe]
+	if s.cfg.Arch == ArchRecirc {
+		s.processRecircSlot(stage, pipe, st)
+		return
+	}
+
+	// Starvation guard (§3.4): drop an incoming truly-stateless packet
+	// in favour of a long-waiting queued stateful packet.
+	if st.inline != nil && s.cfg.StarveThreshold > 0 && st.fifo != nil && st.inline.stateless() {
+		if h, _, ok := st.fifo.Head(); ok && !h.isPhantom() && s.now-h.enq > s.cfg.StarveThreshold {
+			s.res.DroppedStarved++
+			s.abandon(st.inline)
+			st.inline = nil
+		}
+	}
+
+	var serve *Packet
+	fromQueue := false
+	switch {
+	case st.inline != nil:
+		serve = st.inline
+		st.inline = nil
+	case s.cfg.Arch == ArchIdeal && len(st.idealQ) > 0:
+		serve = s.popIdeal(st)
+		fromQueue = serve != nil
+	case st.fifo != nil:
+		for {
+			h, fi, ok := st.fifo.Head()
+			if !ok {
+				break
+			}
+			if h.isPhantom() {
+				if len(s.deadIDs) > 0 && s.deadIDs[h.pktID] {
+					// The awaited packet was dropped
+					// upstream: clear the placeholder.
+					st.fifo.PopHead(fi)
+					s.res.DeadPhantomPops++
+					continue
+				}
+				break // D4: block until the data packet arrives
+			}
+			e := st.fifo.PopHead(fi)
+			serve = e.data
+			fromQueue = true
+			break
+		}
+	}
+	if serve == nil {
+		return
+	}
+	s.emit(EvExec, serve.ID, stage, pipe)
+	if fromQueue {
+		s.accountVisitExecution(serve, stage, pipe)
+	}
+	ir.ExecStage(&s.prog.Stages[stage], serve.Env, s.regs[pipe])
+	if fromQueue {
+		s.completeVisit(serve, stage)
+	}
+	if stage == s.resStage && !serve.resolved {
+		s.resolve(serve, pipe)
+	}
+	st.out = serve
+}
+
+// accountVisitExecution counts conservative-phantom visits whose stateful
+// work is predicated off (§3.3's wasted cycle).
+func (s *Simulator) accountVisitExecution(p *Packet, stage, pipe int) {
+	any := false
+	for _, in := range s.prog.Stages[stage].Instrs {
+		if !in.Op.IsStateful() {
+			continue
+		}
+		if in.Pred.IsNone() {
+			any = true
+			break
+		}
+		truth := p.Env.Load(in.Pred) != 0
+		if truth != in.PredNeg {
+			any = true
+			break
+		}
+	}
+	if !any {
+		s.res.WastedVisits++
+	}
+}
+
+// completeVisit finishes the packet's pending visit at this stage:
+// in-flight counters drop, access order is logged, eligibility fronts pop.
+func (s *Simulator) completeVisit(p *Packet, stage int) {
+	v := p.pendingVisit()
+	if v == nil || v.stage != stage {
+		panic("core: queued packet served at wrong stage")
+	}
+	for _, a := range v.accs {
+		s.shard.NoteDone(a.reg, a.idx)
+		key := accessKey{a.reg, a.idx}
+		if s.accessLog != nil {
+			s.accessLog[key] = append(s.accessLog[key], p.ID)
+		}
+		if s.cfg.Arch == ArchIdeal {
+			s.popPendingOrder(key, p.ID)
+		}
+	}
+	p.nextVisit++
+}
+
+// popIdeal selects, among queued packets, the smallest-id packet whose every
+// access is at the front of its per-index pending order (per-index order
+// enforcement with no head-of-line blocking — the ideal design of §3.5.2).
+func (s *Simulator) popIdeal(st *stageState) *Packet {
+	best := -1
+	for i, p := range st.idealQ {
+		v := p.pendingVisit()
+		ok := true
+		for _, a := range v.accs {
+			q := s.pendingOrder[accessKey{a.reg, a.idx}]
+			if len(q) == 0 || q[0] != p.ID {
+				ok = false
+				break
+			}
+		}
+		if ok && (best < 0 || p.ID < st.idealQ[best].ID) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	p := st.idealQ[best]
+	st.idealQ = append(st.idealQ[:best], st.idealQ[best+1:]...)
+	return p
+}
+
+// popPendingOrder removes id from the front of key's eligibility list.
+func (s *Simulator) popPendingOrder(key accessKey, id int64) {
+	q := s.pendingOrder[key]
+	if len(q) == 0 || q[0] != id {
+		panic("core: ideal eligibility order corrupted")
+	}
+	if len(q) == 1 {
+		delete(s.pendingOrder, key)
+	} else {
+		s.pendingOrder[key] = q[1:]
+	}
+}
+
+// removePendingOrder removes id from anywhere in key's list (drop path).
+func (s *Simulator) removePendingOrder(key accessKey, id int64) {
+	q := s.pendingOrder[key]
+	for i, v := range q {
+		if v == id {
+			s.pendingOrder[key] = append(q[:i], q[i+1:]...)
+			return
+		}
+	}
+}
+
+// resolve performs preemptive address resolution for packet p (processed in
+// the final resolution stage of pipeline pipe): evaluate resolvable
+// predicates, clamp indices, look up the index-to-pipeline map, bump
+// counters, build the visit list, and emit phantoms over the phantom
+// channel (one per stateful stage visit).
+func (s *Simulator) resolve(p *Packet, pipe int) {
+	p.resolved = true
+	s.emit(EvResolve, p.ID, s.resStage, pipe)
+	if n := len(s.prog.Accesses); n > 0 {
+		// One flat allocation each for the visit list and the access
+		// records; same-stage access groups sub-slice accsBuf (which
+		// never reallocates, so the sub-slices stay valid).
+		p.visits = make([]visit, 0, n)
+		p.accsBuf = make([]visitAcc, 0, n)
+	}
+	for ai := range s.prog.Accesses {
+		a := &s.prog.Accesses[ai]
+		if a.PredResolvable && !a.Pred.IsNone() {
+			truth := p.Env.Load(a.Pred) != 0
+			if truth == a.PredNeg {
+				continue // resolved: this access will not happen
+			}
+		}
+		idx := -1
+		if s.shard.Sharded(a.Reg) {
+			idx = banzai.ClampIndex(int(p.Env.Load(a.Idx)), s.prog.Regs[a.Reg].Size)
+		}
+		dest := s.shard.PipeOf(a.Reg, maxIdx(idx))
+		s.shard.NoteResolved(a.Reg, maxIdx(idx))
+		p.accsBuf = append(p.accsBuf, visitAcc{reg: a.Reg, idx: idx})
+		n := len(p.visits)
+		if n > 0 && p.visits[n-1].stage == a.Stage {
+			if p.visits[n-1].pipe != dest {
+				panic("core: co-located accesses resolved to different pipelines")
+			}
+			p.visits[n-1].accs = p.accsBuf[len(p.accsBuf)-len(p.visits[n-1].accs)-1:]
+		} else {
+			p.visits = append(p.visits, visit{
+				stage: a.Stage, pipe: dest,
+				accs: p.accsBuf[len(p.accsBuf)-1:],
+			})
+		}
+		if s.cfg.Arch == ArchIdeal {
+			s.insertPendingOrder(accessKey{a.Reg, idx}, p.ID)
+		}
+	}
+	if s.usePhantoms() {
+		for _, v := range p.visits {
+			// With a slow crossbar (CrossLatency > 0) every phantom
+			// takes the worst-case path — the phantom channel is
+			// pipelined to constant depth — so phantoms still land
+			// in generation order globally. A same-pipe phantom
+			// arriving "late" only parks its (earlier) data packet
+			// briefly; a crossing phantom arriving after another
+			// flow's service would break C1.
+			at := s.now + int64(v.stage-s.resStage) + s.cfg.CrossLatency
+			slot := int(at % int64(len(s.phantoms)))
+			s.phantoms[slot] = append(s.phantoms[slot], phantomEv{
+				stage: v.stage, pipe: v.pipe, srcPipe: pipe,
+				ts: p.ID, pktID: p.ID,
+			})
+			if s.cfg.CrossLatency > 0 {
+				// Pending-phantom bookkeeping only matters when
+				// data can outrun its phantom (slow crossbar).
+				s.phantomPending[pktStage{p.ID, v.stage}] = true
+			}
+		}
+	}
+}
+
+// insertPendingOrder inserts id into key's list keeping ascending order
+// (resolutions of different pipelines can interleave within a cycle).
+func (s *Simulator) insertPendingOrder(key accessKey, id int64) {
+	q := s.pendingOrder[key]
+	i := len(q)
+	for i > 0 && q[i-1] > id {
+		i--
+	}
+	q = append(q, 0)
+	copy(q[i+1:], q[i:])
+	q[i] = id
+	s.pendingOrder[key] = q
+}
+
+// maxIdx maps the array-level marker (-1) to slot 0 for the sharding map.
+func maxIdx(idx int) int {
+	if idx < 0 {
+		return 0
+	}
+	return idx
+}
+
+// abandon drops packet p mid-flight: releases its in-flight counters,
+// eligibility entries, and marks its id dead so later phantom placeholders
+// get cleared instead of blocking forever.
+func (s *Simulator) abandon(p *Packet) {
+	s.emit(EvDrop, p.ID, -1, p.pipe)
+	for vi := p.nextVisit; vi < len(p.visits); vi++ {
+		for _, a := range p.visits[vi].accs {
+			s.shard.NoteDone(a.reg, a.idx)
+			if s.cfg.Arch == ArchIdeal {
+				s.removePendingOrder(accessKey{a.reg, a.idx}, p.ID)
+			}
+		}
+	}
+	p.nextVisit = len(p.visits)
+	if s.usePhantoms() {
+		s.deadIDs[p.ID] = true
+	}
+}
+
+// processRecircSlot models a legacy pipeline stage: strictly inline, one
+// packet per cycle, executing only the not-yet-executed stage span and
+// freezing when the needed state lives in another pipeline.
+func (s *Simulator) processRecircSlot(stage, pipe int, st *stageState) {
+	p := st.inline
+	if p == nil {
+		return
+	}
+	st.inline = nil
+	s.emit(EvExec, p.ID, stage, pipe)
+	if !p.frozen && stage >= p.resumeStage {
+		if v := p.visitAt(stage); v != nil && v.pipe != pipe {
+			// State lives elsewhere: stop executing; the packet
+			// drains and re-circulates (§2.3).
+			p.frozen = true
+			p.resumeStage = stage
+		} else {
+			ir.ExecStage(&s.prog.Stages[stage], p.Env, s.regs[pipe])
+			if v != nil {
+				s.completeVisit(p, stage)
+			}
+			if stage == s.resStage && !p.resolved {
+				s.resolve(p, pipe)
+			}
+		}
+	}
+	st.out = p
+}
+
+// egress handles a packet leaving the last stage: completion, or (for the
+// recirculation baseline) re-injection towards its next pipeline.
+func (s *Simulator) egress(p *Packet) {
+	if s.cfg.Arch == ArchRecirc && !p.stateless() {
+		v := p.pendingVisit()
+		p.frozen = false
+		p.pipe = v.pipe
+		p.recircs++
+		s.res.Recirculations++
+		s.emit(EvSteer, p.ID, -1, v.pipe)
+		s.recircWait = append(s.recircWait, recircEntry{p: p, ready: s.now + s.cfg.RecircDelay})
+		return
+	}
+	s.res.Completed++
+	s.emit(EvEgress, p.ID, s.S-1, p.pipe)
+	if s.res.Completed == 1 {
+		s.res.FirstDone = s.now
+	}
+	s.res.LastDone = s.now
+	s.egressOrder = append(s.egressOrder, p.ID)
+	s.latencies = append(s.latencies, s.now-p.ArrivalCycle)
+	if s.outputs != nil {
+		s.outputs[p.ID] = append([]int64(nil), p.Env.Fields...)
+	}
+}
+
+// maybeRemap runs the dynamic-sharding step on its period and applies the
+// resulting state movements (atomic within the cycle, §3.4).
+func (s *Simulator) maybeRemap() {
+	if !s.cfg.dynamicSharding() || s.now == 0 || s.now%s.cfg.RemapInterval != 0 {
+		return
+	}
+	var moves []sharding.Move
+	if s.cfg.Arch == ArchIdeal {
+		moves = s.shard.RemapLPT()
+	} else {
+		moves = s.shard.Remap()
+	}
+	for _, m := range moves {
+		s.regs[m.To].Array(m.Reg)[m.Idx] = s.regs[m.From].Array(m.Reg)[m.Idx]
+	}
+	s.res.ShardMoves += int64(len(moves))
+}
+
+// finalize computes the derived statistics.
+func (s *Simulator) finalize() {
+	s.res.Cycles = s.now
+	offeredSpan := s.res.LastArrival - s.res.FirstArrival + 1
+	doneSpan := s.res.LastDone - s.res.FirstDone + 1
+	if s.res.Injected > 0 && s.res.Completed > 0 && offeredSpan > 0 && doneSpan > 0 {
+		offeredRate := float64(s.res.Injected) / float64(offeredSpan)
+		achievedRate := float64(s.res.Completed) / float64(doneSpan)
+		s.res.Throughput = achievedRate / offeredRate
+	}
+	if len(s.latencies) > 0 {
+		sorted := append([]int64(nil), s.latencies...)
+		sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+		var sum int64
+		for _, l := range sorted {
+			sum += l
+		}
+		s.res.MeanLatency = float64(sum) / float64(len(sorted))
+		s.res.MaxLatency = sorted[len(sorted)-1]
+		s.res.P99Latency = sorted[(len(sorted)-1)*99/100]
+	}
+	s.res.Reordered = countOvertakers(s.egressOrder)
+	if s.accessLog != nil {
+		violators := map[int64]bool{}
+		for _, seq := range s.accessLog {
+			markViolators(seq, violators)
+		}
+		s.res.C1Violating = int64(len(violators))
+		if s.res.Completed > 0 {
+			s.res.ViolationFraction = float64(s.res.C1Violating) / float64(s.res.Completed)
+		}
+	}
+}
+
+// countOvertakers counts ids that appear before some smaller id in the
+// sequence (packets that egressed ahead of an earlier arrival).
+func countOvertakers(seq []int64) int64 {
+	var n int64
+	minSuffix := int64(1<<63 - 1)
+	for i := len(seq) - 1; i >= 0; i-- {
+		if seq[i] > minSuffix {
+			n++
+		}
+		if seq[i] < minSuffix {
+			minSuffix = seq[i]
+		}
+	}
+	return n
+}
+
+// markViolators adds to set every id that accessed the state before some
+// smaller id that had already been resolved to access it (condition C1:
+// same state, same order as arrival order).
+func markViolators(seq []int64, set map[int64]bool) {
+	minSuffix := int64(1<<63 - 1)
+	for i := len(seq) - 1; i >= 0; i-- {
+		if seq[i] > minSuffix {
+			set[seq[i]] = true
+		}
+		if seq[i] < minSuffix {
+			minSuffix = seq[i]
+		}
+	}
+}
+
+// AccessLog exposes the recorded per-state access order (RecordAccessOrder).
+func (s *Simulator) AccessLog() map[accessKey][]int64 { return s.accessLog }
+
+// AccessOrderByReg flattens the access log to register granularity,
+// comparable with the reference machine's log: per register, the packet ids
+// in access order, merged across indices by position in time is NOT
+// meaningful — so this returns per-(reg,idx) sequences keyed canonically.
+func (s *Simulator) AccessOrders() map[string][]int64 {
+	out := make(map[string][]int64, len(s.accessLog))
+	for k, v := range s.accessLog {
+		out[fmt.Sprintf("r%d[%d]", k.reg, k.idx)] = append([]int64(nil), v...)
+	}
+	return out
+}
+
+// Outputs returns the recorded per-packet final header fields
+// (RecordOutputs).
+func (s *Simulator) Outputs() map[int64][]int64 { return s.outputs }
+
+// EgressOrder returns packet ids in egress order.
+func (s *Simulator) EgressOrder() []int64 { return s.egressOrder }
+
+// FinalRegs returns the merged register state: for each array, each index's
+// value read from the pipeline currently holding its active copy.
+func (s *Simulator) FinalRegs() [][]int64 {
+	out := make([][]int64, len(s.prog.Regs))
+	for r := range s.prog.Regs {
+		size := s.prog.Regs[r].Size
+		vals := make([]int64, size)
+		if s.shard.Sharded(r) {
+			for i := 0; i < size; i++ {
+				vals[i] = s.regs[s.shard.PipeOf(r, i)].Array(r)[i]
+			}
+		} else {
+			copy(vals, s.regs[s.shard.PipeOf(r, 0)].Array(r))
+		}
+		out[r] = vals
+	}
+	return out
+}
+
+// Shard exposes the sharding map (tests and diagnostics).
+func (s *Simulator) Shard() *sharding.Map { return s.shard }
+
+// SortedAccessKeys lists the access-log keys in deterministic order.
+func (s *Simulator) SortedAccessKeys() []string {
+	keys := make([]string, 0, len(s.accessLog))
+	for k := range s.accessLog {
+		keys = append(keys, fmt.Sprintf("r%d[%d]", k.reg, k.idx))
+	}
+	sort.Strings(keys)
+	return keys
+}

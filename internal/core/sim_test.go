@@ -1,0 +1,375 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"mp5/internal/apps"
+	"mp5/internal/compiler"
+	"mp5/internal/core"
+	"mp5/internal/equiv"
+	"mp5/internal/ir"
+	"mp5/internal/workload"
+)
+
+// counterProgram is Example 1 from §2.3.1: a global packet counter that
+// also stamps the count into the packet (the network-sequencer shape of
+// Example 2, so ordering mistakes become visible in packet state).
+const counterProgram = `
+struct Packet { int seq; };
+int count [1] = {0};
+void counter (struct Packet p) {
+    count[0] = count[0] + 1;
+    p.seq = count[0];
+}
+`
+
+func compileMP5(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	p, err := compiler.Compile(src, compiler.Options{Target: compiler.TargetMP5})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return p
+}
+
+// lineRateTrace offers n minimum-size packets at line rate for k pipelines
+// with single-field-programs in mind; fields are zero.
+func lineRateTrace(prog *ir.Program, n, k int, seed int64) []core.Arrival {
+	rng := rand.New(rand.NewSource(seed))
+	arr := make([]core.Arrival, n)
+	for i := range arr {
+		arr[i] = core.Arrival{
+			Cycle:  int64(i / k),
+			Port:   rng.Intn(64),
+			Size:   64,
+			Fields: make([]int64, len(prog.Fields)),
+		}
+	}
+	// sort ports within each cycle ascending (required order).
+	for i := 1; i < len(arr); i++ {
+		j := i
+		for j > 0 && arr[j-1].Cycle == arr[j].Cycle && arr[j-1].Port > arr[j].Port {
+			arr[j-1], arr[j] = arr[j], arr[j-1]
+			j--
+		}
+	}
+	return arr
+}
+
+// TestSequencerEquivalence is the paper's running correctness example: on
+// MP5, a global sequencer must stamp packets exactly as a single pipeline
+// would, despite parallel pipelines.
+func TestSequencerEquivalence(t *testing.T) {
+	prog := compileMP5(t, counterProgram)
+	for _, k := range []int{1, 2, 4, 8} {
+		trace := lineRateTrace(prog, 400, k, int64(k))
+		sim := core.NewSimulator(prog, core.Config{
+			Arch: core.ArchMP5, Pipelines: k,
+			RecordOutputs: true, RecordAccessOrder: true,
+		})
+		res := sim.Run(trace)
+		if res.Completed != res.Injected {
+			t.Fatalf("k=%d: completed %d of %d", k, res.Completed, res.Injected)
+		}
+		rep := equiv.Check(prog, sim, trace)
+		if !rep.Equivalent {
+			t.Fatalf("k=%d: not equivalent: %v", k, rep.Mismatches)
+		}
+		if res.C1Violating != 0 {
+			t.Fatalf("k=%d: %d C1 violations with D4 on", k, res.C1Violating)
+		}
+		// A global counter serializes on one pipeline: the count must
+		// be exactly the packet count.
+		if got := sim.FinalRegs()[0][0]; got != res.Injected {
+			t.Fatalf("k=%d: count = %d, want %d", k, got, res.Injected)
+		}
+	}
+}
+
+// TestGlobalCounterRateLimit: a single shared state caps throughput at one
+// pipeline's rate (§3.5.2's fundamental limit), so at line rate for k>1 the
+// normalized throughput should approach 1/k.
+func TestGlobalCounterRateLimit(t *testing.T) {
+	prog := compileMP5(t, counterProgram)
+	k := 4
+	trace := lineRateTrace(prog, 4000, k, 1)
+	sim := core.NewSimulator(prog, core.Config{Arch: core.ArchMP5, Pipelines: k})
+	res := sim.Run(trace)
+	want := 1.0 / float64(k)
+	if res.Throughput < want*0.8 || res.Throughput > want*1.2 {
+		t.Fatalf("throughput = %.3f, want about %.3f", res.Throughput, want)
+	}
+}
+
+// synthSetup compiles the sensitivity program and generates its trace.
+func synthSetup(t *testing.T, statefulStages, regSize, k, packets int, pattern workload.Pattern, seed int64) (*ir.Program, []core.Arrival) {
+	t.Helper()
+	prog, err := apps.Synthetic(statefulStages, regSize, 16)
+	if err != nil {
+		t.Fatalf("synthetic compile: %v", err)
+	}
+	trace := workload.Synthetic(prog, workload.Spec{
+		Packets: packets, Pipelines: k, Pattern: pattern, Seed: seed,
+	}, statefulStages, regSize)
+	return prog, trace
+}
+
+// TestMP5EquivalenceSynthetic: the headline invariant — MP5 is functionally
+// equivalent to the single pipeline across architectures that enforce C1,
+// patterns, and pipeline counts.
+func TestMP5EquivalenceSynthetic(t *testing.T) {
+	for _, arch := range []core.Arch{core.ArchMP5, core.ArchNaive, core.ArchStaticShard, core.ArchIdeal} {
+		for _, k := range []int{2, 4} {
+			for _, pat := range []workload.Pattern{workload.Uniform, workload.Skewed} {
+				prog, trace := synthSetup(t, 4, 64, k, 3000, pat, 42)
+				sim := core.NewSimulator(prog, core.Config{
+					Arch: arch, Pipelines: k, Seed: 7,
+					RecordOutputs: true, RecordAccessOrder: true,
+				})
+				res := sim.Run(trace)
+				if res.Stalled {
+					t.Fatalf("%v k=%d %v: stalled", arch, k, pat)
+				}
+				if res.Completed != res.Injected {
+					t.Fatalf("%v k=%d %v: completed %d of %d",
+						arch, k, pat, res.Completed, res.Injected)
+				}
+				if res.C1Violating != 0 {
+					t.Fatalf("%v k=%d %v: %d C1 violations",
+						arch, k, pat, res.C1Violating)
+				}
+				rep := equiv.Check(prog, sim, trace)
+				if !rep.Equivalent {
+					t.Fatalf("%v k=%d %v: not equivalent: %v",
+						arch, k, pat, rep.Mismatches[:min(3, len(rep.Mismatches))])
+				}
+			}
+		}
+	}
+}
+
+// TestNoD4ViolatesC1: without preemptive order enforcement, contention must
+// produce C1 violations (the §4.3.2 D4 ablation reports 14–26%).
+func TestNoD4ViolatesC1(t *testing.T) {
+	prog, trace := synthSetup(t, 4, 512, 4, 20000, workload.Skewed, 11)
+	sim := core.NewSimulator(prog, core.Config{
+		Arch: core.ArchMP5NoD4, Pipelines: 4, Seed: 7, RecordAccessOrder: true,
+	})
+	res := sim.Run(trace)
+	if res.Stalled {
+		t.Fatal("stalled")
+	}
+	if res.C1Violating == 0 {
+		t.Fatal("no C1 violations without D4 under skewed contention; ablation would be vacuous")
+	}
+	t.Logf("no-D4 violation fraction: %.1f%%", 100*res.ViolationFraction)
+}
+
+// TestRecirculation: the legacy baseline recirculates to reach remote
+// state, reducing throughput and violating C1 under contention.
+func TestRecirculation(t *testing.T) {
+	prog, trace := synthSetup(t, 4, 512, 4, 20000, workload.Uniform, 3)
+	sim := core.NewSimulator(prog, core.Config{
+		Arch: core.ArchRecirc, Pipelines: 4, Seed: 7, RecordAccessOrder: true,
+	})
+	res := sim.Run(trace)
+	if res.Stalled {
+		t.Fatal("stalled")
+	}
+	if res.Completed+res.DroppedIngress != res.Injected {
+		t.Fatalf("accounting: completed %d + ingress drops %d != injected %d",
+			res.Completed, res.DroppedIngress, res.Injected)
+	}
+	if res.Recirculations == 0 {
+		t.Fatal("no recirculations despite sharded remote state")
+	}
+	if res.C1Violating == 0 {
+		t.Fatal("recirculation produced zero C1 violations under contention")
+	}
+	mp5 := core.NewSimulator(prog, core.Config{Arch: core.ArchMP5, Pipelines: 4, Seed: 7})
+	mres := mp5.Run(trace)
+	if res.Throughput >= mres.Throughput {
+		t.Fatalf("recirculation throughput %.3f not below MP5 %.3f", res.Throughput, mres.Throughput)
+	}
+	t.Logf("recirc: %.2f recircs/pkt, tput %.3f vs MP5 %.3f",
+		float64(res.Recirculations)/float64(res.Injected), res.Throughput, mres.Throughput)
+}
+
+// TestIdealAtLeastMP5: removing HOL blocking and using LPT sharding must
+// not hurt throughput.
+func TestIdealAtLeastMP5(t *testing.T) {
+	prog, trace := synthSetup(t, 4, 512, 4, 20000, workload.Skewed, 5)
+	mp5 := core.NewSimulator(prog, core.Config{Arch: core.ArchMP5, Pipelines: 4, Seed: 7})
+	ideal := core.NewSimulator(prog, core.Config{Arch: core.ArchIdeal, Pipelines: 4, Seed: 7})
+	rm := mp5.Run(trace)
+	ri := ideal.Run(trace)
+	if ri.Throughput < rm.Throughput*0.98 {
+		t.Fatalf("ideal %.3f below MP5 %.3f", ri.Throughput, rm.Throughput)
+	}
+}
+
+// TestStatelessLineRate: a stateless program must sustain line rate on any
+// number of pipelines with zero queueing (D1 alone suffices).
+func TestStatelessLineRate(t *testing.T) {
+	src := `
+struct Packet { int a; int b; };
+void f (struct Packet p) { p.b = p.a * 3 + 1; }
+`
+	prog := compileMP5(t, src)
+	for _, k := range []int{1, 4, 8} {
+		trace := lineRateTrace(prog, 2000, k, int64(k))
+		sim := core.NewSimulator(prog, core.Config{Arch: core.ArchMP5, Pipelines: k, RecordOutputs: true})
+		res := sim.Run(trace)
+		if res.Throughput < 0.99 {
+			t.Fatalf("k=%d: stateless throughput %.3f", k, res.Throughput)
+		}
+		if res.MaxFIFODepth != 0 {
+			t.Fatalf("k=%d: stateless program queued packets", k)
+		}
+		rep := equiv.Check(prog, sim, trace)
+		if !rep.Equivalent {
+			t.Fatalf("k=%d: %v", k, rep.Mismatches)
+		}
+	}
+}
+
+// TestRealAppsEquivalence runs the four §4.4 applications end to end on
+// MP5 with realistic flow workloads and checks functional equivalence.
+func TestRealAppsEquivalence(t *testing.T) {
+	for _, app := range apps.All() {
+		t.Run(app.Name, func(t *testing.T) {
+			prog := app.MustCompile(compiler.TargetMP5)
+			trace := workload.Flows(prog, workload.FlowSpec{
+				Packets: 5000, Pipelines: 4, Seed: 99,
+			}, app.Bind)
+			sim := core.NewSimulator(prog, core.Config{
+				Arch: core.ArchMP5, Pipelines: 4, Seed: 1,
+				RecordOutputs: true, RecordAccessOrder: true,
+			})
+			res := sim.Run(trace)
+			if res.Stalled {
+				t.Fatal("stalled")
+			}
+			if res.Completed != res.Injected {
+				t.Fatalf("completed %d of %d", res.Completed, res.Injected)
+			}
+			if res.C1Violating != 0 {
+				t.Fatalf("%d C1 violations", res.C1Violating)
+			}
+			rep := equiv.Check(prog, sim, trace)
+			if !rep.Equivalent {
+				t.Fatalf("not equivalent: %v", rep.Mismatches[:min(3, len(rep.Mismatches))])
+			}
+			if res.Throughput < 0.95 {
+				t.Errorf("throughput %.3f below line rate for realistic sizes", res.Throughput)
+			}
+		})
+	}
+}
+
+// TestBoundedFIFODrops: with tiny FIFOs at an overloaded stage, phantom and
+// insert drops must occur, the run must still terminate, and zombie
+// phantoms must be cleaned up.
+func TestBoundedFIFODrops(t *testing.T) {
+	prog := compileMP5(t, counterProgram)
+	k := 4
+	trace := lineRateTrace(prog, 4000, k, 2)
+	sim := core.NewSimulator(prog, core.Config{
+		Arch: core.ArchMP5, Pipelines: k, FIFOCap: 4,
+	})
+	res := sim.Run(trace)
+	if res.Stalled {
+		t.Fatal("stalled")
+	}
+	if res.DroppedPhantom == 0 || res.DroppedInsert == 0 {
+		t.Fatalf("expected drops with FIFOCap=4: phantom=%d insert=%d",
+			res.DroppedPhantom, res.DroppedInsert)
+	}
+	if res.Completed+res.DroppedInsert != res.Injected {
+		t.Fatalf("accounting: completed %d + dropped %d != injected %d",
+			res.Completed, res.DroppedInsert, res.Injected)
+	}
+}
+
+// TestDynamicShardingMoves: under a skewed workload the remap heuristic
+// must actually move state between pipelines.
+func TestDynamicShardingMoves(t *testing.T) {
+	prog, trace := synthSetup(t, 4, 512, 4, 20000, workload.Skewed, 8)
+	sim := core.NewSimulator(prog, core.Config{Arch: core.ArchMP5, Pipelines: 4, Seed: 7})
+	res := sim.Run(trace)
+	if res.ShardMoves == 0 {
+		t.Fatal("dynamic sharding made zero moves under a skewed workload")
+	}
+}
+
+// TestDynamicBeatsStaticSkewed: the D2 ablation direction — dynamic
+// sharding must beat frozen random sharding under a churning skewed load.
+func TestDynamicBeatsStaticSkewed(t *testing.T) {
+	prog, err := apps.Synthetic(4, 512, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := workload.Synthetic(prog, workload.Spec{
+		Packets: 30000, Pipelines: 4, Pattern: workload.Skewed,
+		ChurnInterval: 2000, Seed: 21,
+	}, 4, 512)
+	dyn := core.NewSimulator(prog, core.Config{Arch: core.ArchMP5, Pipelines: 4, Seed: 5})
+	sta := core.NewSimulator(prog, core.Config{Arch: core.ArchStaticShard, Pipelines: 4, Seed: 5})
+	rd := dyn.Run(trace)
+	rs := sta.Run(trace)
+	if rd.Throughput <= rs.Throughput {
+		t.Fatalf("dynamic %.3f not above static %.3f under skewed+churn", rd.Throughput, rs.Throughput)
+	}
+	t.Logf("dynamic %.3f vs static %.3f (%.2fx)", rd.Throughput, rs.Throughput, rd.Throughput/rs.Throughput)
+}
+
+// TestStatelessPriorityReordering: mixing stateless packets into a
+// congested stateful flow produces egress reordering (stateless packets
+// overtake queued stateful ones) — the §3.4 re-ordering discussion.
+func TestStatelessPriorityReordering(t *testing.T) {
+	prog, err := apps.Synthetic(1, 1, 16) // single shared counter: heavy contention
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := workload.Synthetic(prog, workload.Spec{
+		Packets: 8000, Pipelines: 4, Seed: 13, StatelessFraction: 0.5,
+	}, 1, 1)
+	sim := core.NewSimulator(prog, core.Config{Arch: core.ArchMP5, Pipelines: 4, Seed: 3})
+	res := sim.Run(trace)
+	if res.Reordered == 0 {
+		t.Fatal("expected egress reordering when stateless packets bypass queued stateful ones")
+	}
+}
+
+// TestEquivalenceRandomPrograms is the property-style end-to-end check:
+// random synthetic configurations stay functionally equivalent on MP5.
+func TestEquivalenceRandomPrograms(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 12; trial++ {
+		stages := 1 + rng.Intn(5)
+		size := []int{1, 4, 64, 512}[rng.Intn(4)]
+		k := []int{2, 3, 4, 8}[rng.Intn(4)]
+		pat := workload.Pattern(rng.Intn(2))
+		prog, trace := synthSetup(t, stages, size, k, 2000, pat, int64(trial))
+		sim := core.NewSimulator(prog, core.Config{
+			Arch: core.ArchMP5, Pipelines: k, Seed: int64(trial),
+			RecordOutputs: true, RecordAccessOrder: true,
+		})
+		res := sim.Run(trace)
+		if res.Stalled || res.Completed != res.Injected || res.C1Violating != 0 {
+			t.Fatalf("trial %d (stages=%d size=%d k=%d %v): %+v",
+				trial, stages, size, k, pat, res)
+		}
+		if rep := equiv.Check(prog, sim, trace); !rep.Equivalent {
+			t.Fatalf("trial %d: not equivalent: %v", trial, rep.Mismatches[:min(3, len(rep.Mismatches))])
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

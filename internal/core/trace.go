@@ -1,0 +1,68 @@
+package core
+
+import "fmt"
+
+// EventKind classifies simulator trace events (Config.Trace).
+type EventKind int
+
+const (
+	// EvAdmit: a packet entered stage 0 of a pipeline.
+	EvAdmit EventKind = iota
+	// EvExec: a stage processed a packet this cycle (at most one per
+	// (stage, pipeline, cycle) — Banzai's "one packet per stage").
+	EvExec
+	// EvResolve: preemptive address resolution completed for a packet.
+	EvResolve
+	// EvPhantom: a phantom landed in a stage FIFO.
+	EvPhantom
+	// EvEnqueue: a data packet entered a stage FIFO (insert/push) or
+	// ideal queue.
+	EvEnqueue
+	// EvSteer: a packet started an inter-pipeline crossing.
+	EvSteer
+	// EvEgress: a packet left the last stage.
+	EvEgress
+	// EvDrop: a packet was dropped (FIFO overflow, directory miss,
+	// ingress overflow, or starvation-guard policy).
+	EvDrop
+)
+
+var eventNames = map[EventKind]string{
+	EvAdmit: "admit", EvExec: "exec", EvResolve: "resolve",
+	EvPhantom: "phantom", EvEnqueue: "enqueue", EvSteer: "steer",
+	EvEgress: "egress", EvDrop: "drop",
+}
+
+// String names the event kind.
+func (k EventKind) String() string {
+	if s, ok := eventNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("event(%d)", int(k))
+}
+
+// Event is one simulator occurrence, delivered synchronously to
+// Config.Trace in deterministic order within a cycle.
+type Event struct {
+	Cycle int64
+	Kind  EventKind
+	// PktID identifies the packet (phantoms carry their data packet's
+	// id).
+	PktID int64
+	// Stage and Pipe locate the event; -1 when not applicable.
+	Stage int
+	Pipe  int
+}
+
+// String renders the event.
+func (e Event) String() string {
+	return fmt.Sprintf("c%d %v pkt=%d stage=%d pipe=%d", e.Cycle, e.Kind, e.PktID, e.Stage, e.Pipe)
+}
+
+// emit delivers an event to the trace hook, if any.
+func (s *Simulator) emit(kind EventKind, pktID int64, stage, pipe int) {
+	if s.cfg.Trace == nil {
+		return
+	}
+	s.cfg.Trace(Event{Cycle: s.now, Kind: kind, PktID: pktID, Stage: stage, Pipe: pipe})
+}

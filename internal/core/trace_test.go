@@ -1,0 +1,191 @@
+package core_test
+
+import (
+	"testing"
+
+	"mp5/internal/core"
+	"mp5/internal/workload"
+)
+
+// collectEvents runs one simulation with the trace hook attached.
+func collectEvents(t *testing.T, arch core.Arch, lat int64) ([]core.Event, *core.Result) {
+	t.Helper()
+	prog, trace := synthSetup(t, 3, 64, 4, 3000, workload.Skewed, 41)
+	var events []core.Event
+	sim := core.NewSimulator(prog, core.Config{
+		Arch: arch, Pipelines: 4, Seed: 2, CrossLatency: lat,
+		Trace: func(e core.Event) { events = append(events, e) },
+	})
+	res := sim.Run(trace)
+	return events, res
+}
+
+// TestInvariantOnePacketPerStagePerCycle: Banzai's core structural rule,
+// checked from the outside through the event stream.
+func TestInvariantOnePacketPerStagePerCycle(t *testing.T) {
+	for _, arch := range []core.Arch{core.ArchMP5, core.ArchMP5NoD4, core.ArchIdeal, core.ArchRecirc} {
+		events, _ := collectEvents(t, arch, 0)
+		type slot struct {
+			cycle int64
+			stage int
+			pipe  int
+		}
+		seen := map[slot]int64{}
+		for _, e := range events {
+			if e.Kind != core.EvExec {
+				continue
+			}
+			k := slot{e.Cycle, e.Stage, e.Pipe}
+			if prev, ok := seen[k]; ok {
+				t.Fatalf("%v: stage %d pipe %d executed packets %d and %d in cycle %d",
+					arch, e.Stage, e.Pipe, prev, e.PktID, e.Cycle)
+			}
+			seen[k] = e.PktID
+		}
+		if len(seen) == 0 {
+			t.Fatalf("%v: no exec events", arch)
+		}
+	}
+}
+
+// TestInvariantFeedForward: a packet's executed stages are strictly
+// increasing (within each pipeline pass), and execution times are strictly
+// increasing — packets never move backwards (D3's feed-forward rule).
+func TestInvariantFeedForward(t *testing.T) {
+	events, _ := collectEvents(t, core.ArchMP5, 0)
+	lastStage := map[int64]int{}
+	lastCycle := map[int64]int64{}
+	for _, e := range events {
+		if e.Kind != core.EvExec {
+			continue
+		}
+		if s, ok := lastStage[e.PktID]; ok {
+			if e.Stage <= s {
+				t.Fatalf("packet %d moved from stage %d to %d", e.PktID, s, e.Stage)
+			}
+			if e.Cycle <= lastCycle[e.PktID] {
+				t.Fatalf("packet %d executed twice in cycle %d", e.PktID, e.Cycle)
+			}
+		}
+		lastStage[e.PktID] = e.Stage
+		lastCycle[e.PktID] = e.Cycle
+	}
+}
+
+// TestInvariantPhantomBeforeData: in MP5, every data enqueue at a stage is
+// preceded by that packet's phantom landing at the same stage — at any
+// crossbar latency.
+func TestInvariantPhantomBeforeData(t *testing.T) {
+	for _, lat := range []int64{0, 3} {
+		events, res := collectEvents(t, core.ArchMP5, lat)
+		if res.Completed != res.Injected {
+			t.Fatalf("latency %d: loss", lat)
+		}
+		type key struct {
+			id    int64
+			stage int
+		}
+		phantomAt := map[key]int64{}
+		for _, e := range events {
+			switch e.Kind {
+			case core.EvPhantom:
+				phantomAt[key{e.PktID, e.Stage}] = e.Cycle
+			case core.EvEnqueue:
+				ph, ok := phantomAt[key{e.PktID, e.Stage}]
+				if !ok {
+					t.Fatalf("latency %d: packet %d enqueued at stage %d with no phantom",
+						lat, e.PktID, e.Stage)
+				}
+				if ph > e.Cycle {
+					t.Fatalf("latency %d: packet %d phantom landed at %d after data at %d",
+						lat, e.PktID, ph, e.Cycle)
+				}
+			}
+		}
+	}
+}
+
+// TestInvariantLifecycle: every admitted packet either egresses or drops,
+// exactly once; resolution happens exactly once per packet.
+func TestInvariantLifecycle(t *testing.T) {
+	for _, arch := range []core.Arch{core.ArchMP5, core.ArchRecirc} {
+		events, res := collectEvents(t, arch, 0)
+		egress := map[int64]int{}
+		drops := map[int64]int{}
+		resolved := map[int64]int{}
+		admitted := map[int64]bool{}
+		for _, e := range events {
+			switch e.Kind {
+			case core.EvAdmit:
+				admitted[e.PktID] = true
+			case core.EvEgress:
+				egress[e.PktID]++
+			case core.EvDrop:
+				drops[e.PktID]++
+			case core.EvResolve:
+				resolved[e.PktID]++
+			}
+		}
+		for id := range admitted {
+			if egress[id]+drops[id] != 1 {
+				t.Fatalf("%v: packet %d egressed %d times, dropped %d times",
+					arch, id, egress[id], drops[id])
+			}
+			if resolved[id] != 1 {
+				t.Fatalf("%v: packet %d resolved %d times", arch, id, resolved[id])
+			}
+		}
+		if int64(len(egress)) != res.Completed {
+			t.Fatalf("%v: %d egress events vs %d completed", arch, len(egress), res.Completed)
+		}
+	}
+}
+
+// TestInvariantSteerTargetsVisits: every steer event lands the packet in a
+// pipeline where it subsequently executes the steered-to stage.
+func TestInvariantSteerTargetsVisits(t *testing.T) {
+	events, _ := collectEvents(t, core.ArchMP5, 0)
+	type steer struct {
+		id    int64
+		stage int
+		pipe  int
+	}
+	pending := map[int64]steer{}
+	for _, e := range events {
+		switch e.Kind {
+		case core.EvSteer:
+			pending[e.PktID] = steer{e.PktID, e.Stage, e.Pipe}
+		case core.EvExec:
+			if st, ok := pending[e.PktID]; ok && e.Stage == st.stage {
+				if e.Pipe != st.pipe {
+					t.Fatalf("packet %d steered to pipe %d but executed stage %d in pipe %d",
+						e.PktID, st.pipe, e.Stage, e.Pipe)
+				}
+				delete(pending, e.PktID)
+			}
+		}
+	}
+}
+
+// TestTraceDisabledByDefault ensures the hook has no effect when unset
+// (results identical with and without tracing).
+func TestTraceDisabledByDefault(t *testing.T) {
+	prog, trace := synthSetup(t, 2, 64, 4, 2000, workload.Uniform, 3)
+	plain := core.NewSimulator(prog, core.Config{Arch: core.ArchMP5, Pipelines: 4, Seed: 1})
+	traced := core.NewSimulator(prog, core.Config{
+		Arch: core.ArchMP5, Pipelines: 4, Seed: 1,
+		Trace: func(core.Event) {},
+	})
+	rp, rt := plain.Run(trace), traced.Run(trace)
+	if rp.Throughput != rt.Throughput || rp.Cycles != rt.Cycles {
+		t.Fatalf("tracing changed behaviour: %+v vs %+v", rp, rt)
+	}
+}
+
+// TestEventStrings smoke-checks the renderings.
+func TestEventStrings(t *testing.T) {
+	e := core.Event{Cycle: 3, Kind: core.EvExec, PktID: 7, Stage: 2, Pipe: 1}
+	if e.String() == "" || core.EvEgress.String() != "egress" {
+		t.Error("event rendering broken")
+	}
+}

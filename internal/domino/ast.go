@@ -1,0 +1,220 @@
+package domino
+
+import (
+	"fmt"
+	"strings"
+)
+
+// File is a parsed Domino program: one packet struct, zero or more global
+// register arrays, and one packet-processing function.
+type File struct {
+	PacketName string   // struct name, normally "Packet"
+	FieldNames []string // declaration order
+	Regs       []RegDecl
+	Tables     []TableDecl
+	FuncName   string
+	ParamName  string // the packet parameter, e.g. "p"
+	Body       []Stmt
+}
+
+// RegDecl declares one global register array: int name[size] = {init...}.
+type RegDecl struct {
+	Name string
+	Size int
+	Init []int64
+	Pos  Pos
+}
+
+// TableDecl declares one control-plane match table:
+// table name(keys) [= default];
+type TableDecl struct {
+	Name    string
+	Keys    int
+	Default int64
+	Pos     Pos
+}
+
+// Stmt is a statement node.
+type Stmt interface {
+	stmtNode()
+	String() string
+}
+
+// AssignStmt is `lvalue = expr;`. The lvalue is either a packet field or a
+// register element.
+type AssignStmt struct {
+	LHS Expr // *FieldExpr or *RegExpr
+	RHS Expr
+	Pos Pos
+}
+
+// IfStmt is `if (cond) {...} [else {...}]`.
+type IfStmt struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+	Pos  Pos
+}
+
+func (*AssignStmt) stmtNode() {}
+func (*IfStmt) stmtNode()     {}
+
+// String renders the assignment.
+func (s *AssignStmt) String() string {
+	return fmt.Sprintf("%s = %s;", s.LHS, s.RHS)
+}
+
+// String renders the conditional.
+func (s *IfStmt) String() string {
+	out := fmt.Sprintf("if (%s) { %s }", s.Cond, joinStmts(s.Then))
+	if len(s.Else) > 0 {
+		out += fmt.Sprintf(" else { %s }", joinStmts(s.Else))
+	}
+	return out
+}
+
+func joinStmts(ss []Stmt) string {
+	parts := make([]string, len(ss))
+	for i, s := range ss {
+		parts[i] = s.String()
+	}
+	return strings.Join(parts, " ")
+}
+
+// Expr is an expression node.
+type Expr interface {
+	exprNode()
+	String() string
+}
+
+// NumExpr is an integer literal.
+type NumExpr struct {
+	Val int64
+	Pos Pos
+}
+
+// FieldExpr is a packet field reference `p.name`.
+type FieldExpr struct {
+	Name string
+	Pos  Pos
+}
+
+// RegExpr is a register element reference `reg[idx]`.
+type RegExpr struct {
+	Name string
+	Idx  Expr
+	Pos  Pos
+}
+
+// UnaryExpr is `!x` or `-x`.
+type UnaryExpr struct {
+	Op  TokKind // TokBang or TokMinus
+	X   Expr
+	Pos Pos
+}
+
+// BinExpr is a binary operation.
+type BinExpr struct {
+	Op   TokKind
+	L, R Expr
+	Pos  Pos
+}
+
+// CondExpr is the ternary `c ? t : f`.
+type CondExpr struct {
+	Cond, Then, Else Expr
+	Pos              Pos
+}
+
+// CallExpr is a builtin call: hash2, hash3, max, min.
+type CallExpr struct {
+	Name string
+	Args []Expr
+	Pos  Pos
+}
+
+func (*NumExpr) exprNode()   {}
+func (*FieldExpr) exprNode() {}
+func (*RegExpr) exprNode()   {}
+func (*UnaryExpr) exprNode() {}
+func (*BinExpr) exprNode()   {}
+func (*CondExpr) exprNode()  {}
+func (*CallExpr) exprNode()  {}
+
+// String renders the literal.
+func (e *NumExpr) String() string { return fmt.Sprintf("%d", e.Val) }
+
+// String renders the field reference.
+func (e *FieldExpr) String() string { return "p." + e.Name }
+
+// String renders the register reference.
+func (e *RegExpr) String() string { return fmt.Sprintf("%s[%s]", e.Name, e.Idx) }
+
+// String renders the unary expression.
+func (e *UnaryExpr) String() string { return e.Op.String() + e.X.String() }
+
+// String renders the binary expression.
+func (e *BinExpr) String() string {
+	return fmt.Sprintf("(%s %s %s)", e.L, e.Op, e.R)
+}
+
+// String renders the ternary expression.
+func (e *CondExpr) String() string {
+	return fmt.Sprintf("(%s ? %s : %s)", e.Cond, e.Then, e.Else)
+}
+
+// String renders the call expression.
+func (e *CallExpr) String() string {
+	args := make([]string, len(e.Args))
+	for i, a := range e.Args {
+		args[i] = a.String()
+	}
+	return fmt.Sprintf("%s(%s)", e.Name, strings.Join(args, ", "))
+}
+
+// WalkExpr visits e and all sub-expressions in pre-order.
+func WalkExpr(e Expr, visit func(Expr)) {
+	if e == nil {
+		return
+	}
+	visit(e)
+	switch x := e.(type) {
+	case *RegExpr:
+		WalkExpr(x.Idx, visit)
+	case *UnaryExpr:
+		WalkExpr(x.X, visit)
+	case *BinExpr:
+		WalkExpr(x.L, visit)
+		WalkExpr(x.R, visit)
+	case *CondExpr:
+		WalkExpr(x.Cond, visit)
+		WalkExpr(x.Then, visit)
+		WalkExpr(x.Else, visit)
+	case *CallExpr:
+		for _, a := range x.Args {
+			WalkExpr(a, visit)
+		}
+	}
+}
+
+// WalkStmts visits every statement (recursing into if-branches) in order.
+func WalkStmts(ss []Stmt, visit func(Stmt)) {
+	for _, s := range ss {
+		visit(s)
+		if ifs, ok := s.(*IfStmt); ok {
+			WalkStmts(ifs.Then, visit)
+			WalkStmts(ifs.Else, visit)
+		}
+	}
+}
+
+// ExprUsesReg reports whether e reads any register element.
+func ExprUsesReg(e Expr) bool {
+	found := false
+	WalkExpr(e, func(x Expr) {
+		if _, ok := x.(*RegExpr); ok {
+			found = true
+		}
+	})
+	return found
+}

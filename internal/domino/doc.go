@@ -1,0 +1,59 @@
+// Package domino implements a frontend for the subset of the Domino
+// packet-processing language used by the paper: a single struct Packet
+// declaration, global register arrays, and one packet-processing function
+// over C-like integer expressions (ternary, if/else, builtin hashes).
+//
+// The subset covers the paper's running example (Figure 3), all four
+// evaluated applications (§4.4), and the published Domino example
+// programs' style. Grammar:
+//
+//	program     = { declaration } ;
+//	declaration = structDecl | regDecl | tableDecl | funcDecl ;
+//
+//	structDecl  = "struct" IDENT "{" { "int" IDENT ";" } "}" ";" ;
+//	regDecl     = "int" IDENT "[" NUMBER "]" [ "=" "{" init { "," init } "}" ] ";" ;
+//	tableDecl   = "table" IDENT "(" NUMBER ")" [ "=" init ] ";" ;
+//	init        = [ "-" ] NUMBER ;
+//	funcDecl    = "void" IDENT "(" "struct" IDENT IDENT ")" block ;
+//
+//	block       = "{" { statement } "}" ;
+//	statement   = assign | ifStmt ;
+//	assign      = lvalue "=" expr ";" ;
+//	lvalue      = IDENT "." IDENT            (packet field)
+//	            | IDENT "[" expr "]" ;       (register element)
+//	ifStmt      = "if" "(" expr ")" branch [ "else" ( ifStmt | branch ) ] ;
+//	branch      = block | statement ;
+//
+//	expr        = ternary ;
+//	ternary     = or [ "?" expr ":" ternary ] ;
+//	or .. mult  = C-style binary operator precedence:
+//	              "||"  "&&"  "|"  "^"  "&"  "=="/"!="
+//	              "<"/"<="/">"/">="  "<<"/">>"  "+"/"-"  "*"/"/"/"%"
+//	unary       = { "!" | "-" } primary ;
+//	primary     = NUMBER | "(" expr ")"
+//	            | IDENT "." IDENT            (packet field)
+//	            | IDENT "[" expr "]"         (register element)
+//	            | IDENT "(" [ expr { "," expr } ] ")" ;   (builtin or table)
+//
+// Builtins: hash2(a,b), hash3(a,b,c) — deterministic non-negative 63-bit
+// hashes — and max(a,b), min(a,b).
+//
+// Match tables (§2.1 of the paper): `table route(2) = 7;` declares an
+// exact-match table over two keys with miss value 7. Tables are populated
+// by the control plane before the run (ir.Program.InstallTable) and are
+// read-only in the data plane; `route(p.dst, p.vlan)` matches and yields
+// the installed value or the default.
+//
+// Lexical details: //-line and /* */ block comments; decimal and 0x hex
+// integer literals; #define NAME VALUE object macros are substituted
+// textually before lexing (other # lines are stripped).
+//
+// Semantics notes:
+//   - all values are 64-bit signed integers; division and modulo by zero
+//     yield zero; shift amounts clamp to [0, 63];
+//   - && and || do not short-circuit (Banzai atoms evaluate both sides);
+//   - register indices are reduced modulo the array size (non-negative),
+//     so out-of-range accesses wrap rather than trap;
+//   - a register array declared with a single initializer {v} fills every
+//     entry with v (Domino's fill rule); longer lists leave the tail zero.
+package domino

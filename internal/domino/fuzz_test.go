@@ -1,0 +1,75 @@
+package domino
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse: the parser must never panic, whatever the input; valid parses
+// must re-validate under the semantic checker (Parse runs it), and the
+// original sources of this repository's programs seed the corpus.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		fig3Program,
+		`struct Packet { int x; }; void f (struct Packet p) { p.x = 1; }`,
+		`struct Packet { int a; int b; };
+int r [4] = {1,2};
+table t (2) = -1;
+void f (struct Packet p) {
+    if (p.a > 0) { r[p.a % 4] = t(p.a, p.b); } else { p.b = hash2(p.a, 3) % 7; }
+}`,
+		`#define N 8
+struct Packet { int x; }; int r[N]; void f (struct Packet p) { r[p.x % N] = p.x; }`,
+		`/* comment */ struct Packet { int x; }; // trailing`,
+		`struct Packet { int x; }; void f (struct Packet p) { p.x = ((1 ? 2 : 3) << 4) | -5; }`,
+		"struct Packet { int x; }; \x00\x01\x02",
+		strings.Repeat("(", 50),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		// Deeply nested expressions legitimately exhaust the
+		// recursive-descent stack; cap input size like any realistic
+		// program source.
+		if len(src) > 4096 {
+			t.Skip()
+		}
+		file, err := Parse(src)
+		if err != nil {
+			return
+		}
+		// A successful parse must produce a structurally sound file.
+		if file.PacketName == "" || file.FuncName == "" {
+			t.Fatalf("parse accepted a file without required declarations: %+v", file)
+		}
+		for _, r := range file.Regs {
+			if r.Size <= 0 || len(r.Init) > r.Size {
+				t.Fatalf("bad register decl accepted: %+v", r)
+			}
+		}
+		for _, tb := range file.Tables {
+			if tb.Keys < 1 || tb.Keys > 3 {
+				t.Fatalf("bad table decl accepted: %+v", tb)
+			}
+		}
+	})
+}
+
+// FuzzLexer: tokenization never panics and always terminates with EOF.
+func FuzzLexer(f *testing.F) {
+	f.Add("int a [4] = {1, -2}; << >> <= >= == != && || 0x1f /* x */ // y")
+	f.Add("@#$%^&*")
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 4096 {
+			t.Skip()
+		}
+		toks, err := Tokenize(src)
+		if err != nil {
+			return
+		}
+		if len(toks) == 0 || toks[len(toks)-1].Kind != TokEOF {
+			t.Fatal("token stream does not end with EOF")
+		}
+	})
+}

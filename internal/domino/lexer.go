@@ -1,0 +1,264 @@
+package domino
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Lexer tokenizes Domino source. It supports //-line and /* */ block
+// comments, decimal and hexadecimal integer literals, and the operator set
+// declared in token.go.
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) pos() Pos { return Pos{Line: l.line, Col: l.col} }
+
+func (l *Lexer) skipSpaceAndComments() error {
+	for l.off < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peek2() == '/':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peek2() == '*':
+			start := l.pos()
+			l.advance()
+			l.advance()
+			closed := false
+			for l.off < len(l.src) {
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return errAt(start, "unterminated block comment")
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentCont(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// Next returns the next token, or an error for malformed input.
+func (l *Lexer) Next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	pos := l.pos()
+	if l.off >= len(l.src) {
+		return Token{Kind: TokEOF, Pos: pos}, nil
+	}
+	c := l.peek()
+	switch {
+	case isIdentStart(c):
+		start := l.off
+		for l.off < len(l.src) && isIdentCont(l.peek()) {
+			l.advance()
+		}
+		text := l.src[start:l.off]
+		if k, ok := keywords[text]; ok {
+			return Token{Kind: k, Text: text, Pos: pos}, nil
+		}
+		return Token{Kind: TokIdent, Text: text, Pos: pos}, nil
+	case isDigit(c):
+		start := l.off
+		base := 10
+		if c == '0' && (l.peek2() == 'x' || l.peek2() == 'X') {
+			l.advance()
+			l.advance()
+			base = 16
+			for l.off < len(l.src) && isHexDigit(l.peek()) {
+				l.advance()
+			}
+		} else {
+			for l.off < len(l.src) && isDigit(l.peek()) {
+				l.advance()
+			}
+		}
+		text := l.src[start:l.off]
+		digits := text
+		if base == 16 {
+			digits = text[2:]
+			if digits == "" {
+				return Token{}, errAt(pos, "malformed hex literal %q", text)
+			}
+		}
+		v, err := strconv.ParseInt(digits, base, 64)
+		if err != nil {
+			return Token{}, errAt(pos, "malformed integer literal %q", text)
+		}
+		return Token{Kind: TokNumber, Text: text, Val: v, Pos: pos}, nil
+	}
+	// operators and punctuation
+	two := ""
+	if l.off+1 < len(l.src) {
+		two = l.src[l.off : l.off+2]
+	}
+	twoKinds := map[string]TokKind{
+		"<<": TokShl, ">>": TokShr, "==": TokEq, "!=": TokNe,
+		"<=": TokLe, ">=": TokGe, "&&": TokAndAnd, "||": TokOrOr,
+	}
+	if k, ok := twoKinds[two]; ok {
+		l.advance()
+		l.advance()
+		return Token{Kind: k, Text: two, Pos: pos}, nil
+	}
+	oneKinds := map[byte]TokKind{
+		'{': TokLBrace, '}': TokRBrace, '(': TokLParen, ')': TokRParen,
+		'[': TokLBrack, ']': TokRBrack, ';': TokSemi, ',': TokComma,
+		'.': TokDot, '=': TokAssign, '?': TokQuest, ':': TokColon,
+		'+': TokPlus, '-': TokMinus, '*': TokStar, '/': TokSlash,
+		'%': TokPercent, '&': TokAmp, '|': TokPipe, '^': TokCaret,
+		'<': TokLt, '>': TokGt, '!': TokBang,
+	}
+	if k, ok := oneKinds[c]; ok {
+		l.advance()
+		return Token{Kind: k, Text: string(c), Pos: pos}, nil
+	}
+	return Token{}, errAt(pos, "unexpected character %q", string(c))
+}
+
+func isHexDigit(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+
+// Tokenize scans the whole input and returns all tokens including a final
+// EOF token.
+func Tokenize(src string) ([]Token, error) {
+	l := NewLexer(src)
+	var toks []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == TokEOF {
+			return toks, nil
+		}
+	}
+}
+
+// stripPreprocessor removes #define-style lines, substituting simple object
+// macros (NAME VALUE) into the source. Domino examples use #define for
+// constants such as thresholds and array sizes.
+func stripPreprocessor(src string) string {
+	lines := strings.Split(src, "\n")
+	macros := map[string]string{}
+	var kept []string
+	for _, line := range lines {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "#define") {
+			parts := strings.Fields(trimmed)
+			if len(parts) >= 3 {
+				macros[parts[1]] = strings.Join(parts[2:], " ")
+			}
+			kept = append(kept, "") // preserve line numbering
+			continue
+		}
+		if strings.HasPrefix(trimmed, "#") {
+			kept = append(kept, "")
+			continue
+		}
+		kept = append(kept, line)
+	}
+	out := strings.Join(kept, "\n")
+	// Longest-name-first substitution avoids prefix collisions.
+	names := make([]string, 0, len(macros))
+	for name := range macros {
+		names = append(names, name)
+	}
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			if len(names[j]) > len(names[i]) {
+				names[i], names[j] = names[j], names[i]
+			}
+		}
+	}
+	for _, name := range names {
+		out = replaceWord(out, name, macros[name])
+	}
+	return out
+}
+
+// replaceWord replaces whole-identifier occurrences of name with repl.
+func replaceWord(src, name, repl string) string {
+	var b strings.Builder
+	for i := 0; i < len(src); {
+		j := strings.Index(src[i:], name)
+		if j < 0 {
+			b.WriteString(src[i:])
+			break
+		}
+		j += i
+		before := byte(0)
+		if j > 0 {
+			before = src[j-1]
+		}
+		after := byte(0)
+		if j+len(name) < len(src) {
+			after = src[j+len(name)]
+		}
+		if !isIdentCont(before) && !isIdentCont(after) {
+			b.WriteString(src[i:j])
+			b.WriteString(repl)
+		} else {
+			b.WriteString(src[i : j+len(name)])
+		}
+		i = j + len(name)
+	}
+	return b.String()
+}

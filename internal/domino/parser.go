@@ -1,0 +1,590 @@
+package domino
+
+import "fmt"
+
+// Builtins maps builtin function names to their arity.
+var Builtins = map[string]int{
+	"hash2": 2,
+	"hash3": 3,
+	"max":   2,
+	"min":   2,
+}
+
+// Parser is a recursive-descent parser for the Domino subset.
+type Parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse parses Domino source into a File. #define object macros are
+// expanded before lexing.
+func Parse(src string) (*File, error) {
+	toks, err := Tokenize(stripPreprocessor(src))
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	f, err := p.parseFile()
+	if err != nil {
+		return nil, err
+	}
+	if err := checkSemantics(f); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (p *Parser) cur() Token  { return p.toks[p.pos] }
+func (p *Parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *Parser) accept(k TokKind) bool {
+	if p.cur().Kind == k {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(k TokKind) (Token, error) {
+	t := p.cur()
+	if t.Kind != k {
+		return t, errAt(t.Pos, "expected %s, found %s %q", k, t.Kind, t.Text)
+	}
+	p.pos++
+	return t, nil
+}
+
+func (p *Parser) parseFile() (*File, error) {
+	f := &File{}
+	for p.cur().Kind != TokEOF {
+		switch p.cur().Kind {
+		case TokStruct:
+			if f.PacketName != "" {
+				return nil, errAt(p.cur().Pos, "duplicate struct declaration")
+			}
+			if err := p.parseStruct(f); err != nil {
+				return nil, err
+			}
+		case TokInt:
+			if err := p.parseRegDecl(f); err != nil {
+				return nil, err
+			}
+		case TokTable:
+			if err := p.parseTableDecl(f); err != nil {
+				return nil, err
+			}
+		case TokVoid:
+			if f.FuncName != "" {
+				return nil, errAt(p.cur().Pos, "duplicate function declaration")
+			}
+			if err := p.parseFunc(f); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, errAt(p.cur().Pos, "expected declaration, found %s %q", p.cur().Kind, p.cur().Text)
+		}
+	}
+	if f.PacketName == "" {
+		return nil, fmt.Errorf("domino: missing struct Packet declaration")
+	}
+	if f.FuncName == "" {
+		return nil, fmt.Errorf("domino: missing packet-processing function")
+	}
+	return f, nil
+}
+
+// parseStruct parses `struct Name { int f1; int f2; ... };`.
+func (p *Parser) parseStruct(f *File) error {
+	p.next() // struct
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return err
+	}
+	f.PacketName = name.Text
+	if _, err := p.expect(TokLBrace); err != nil {
+		return err
+	}
+	for !p.accept(TokRBrace) {
+		if _, err := p.expect(TokInt); err != nil {
+			return err
+		}
+		fld, err := p.expect(TokIdent)
+		if err != nil {
+			return err
+		}
+		f.FieldNames = append(f.FieldNames, fld.Text)
+		if _, err := p.expect(TokSemi); err != nil {
+			return err
+		}
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return err
+	}
+	return nil
+}
+
+// parseRegDecl parses `int name[size] = {v, v, ...};` or `int name[size];`.
+func (p *Parser) parseRegDecl(f *File) error {
+	p.next() // int
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(TokLBrack); err != nil {
+		return err
+	}
+	sizeTok, err := p.expect(TokNumber)
+	if err != nil {
+		return err
+	}
+	if sizeTok.Val <= 0 {
+		return errAt(sizeTok.Pos, "register array %s must have positive size", name.Text)
+	}
+	if _, err := p.expect(TokRBrack); err != nil {
+		return err
+	}
+	decl := RegDecl{Name: name.Text, Size: int(sizeTok.Val), Pos: name.Pos}
+	if p.accept(TokAssign) {
+		if _, err := p.expect(TokLBrace); err != nil {
+			return err
+		}
+		for {
+			neg := p.accept(TokMinus)
+			v, err := p.expect(TokNumber)
+			if err != nil {
+				return err
+			}
+			val := v.Val
+			if neg {
+				val = -val
+			}
+			decl.Init = append(decl.Init, val)
+			if !p.accept(TokComma) {
+				break
+			}
+		}
+		if _, err := p.expect(TokRBrace); err != nil {
+			return err
+		}
+		if len(decl.Init) > decl.Size {
+			return errAt(name.Pos, "register array %s: %d initializers for size %d",
+				name.Text, len(decl.Init), decl.Size)
+		}
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return err
+	}
+	f.Regs = append(f.Regs, decl)
+	return nil
+}
+
+// parseTableDecl parses `table name(keys) [= default];` — an exact-match
+// table with 1–3 match keys, populated by the control plane before the
+// run, producing `default` on a miss.
+func (p *Parser) parseTableDecl(f *File) error {
+	p.next() // table
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(TokLParen); err != nil {
+		return err
+	}
+	keys, err := p.expect(TokNumber)
+	if err != nil {
+		return err
+	}
+	if keys.Val < 1 || keys.Val > 3 {
+		return errAt(keys.Pos, "table %s: key count must be 1–3, got %d", name.Text, keys.Val)
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return err
+	}
+	decl := TableDecl{Name: name.Text, Keys: int(keys.Val), Pos: name.Pos}
+	if p.accept(TokAssign) {
+		neg := p.accept(TokMinus)
+		v, err := p.expect(TokNumber)
+		if err != nil {
+			return err
+		}
+		decl.Default = v.Val
+		if neg {
+			decl.Default = -v.Val
+		}
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return err
+	}
+	f.Tables = append(f.Tables, decl)
+	return nil
+}
+
+// parseFunc parses `void name(struct Packet p) { stmts }`.
+func (p *Parser) parseFunc(f *File) error {
+	p.next() // void
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return err
+	}
+	f.FuncName = name.Text
+	if _, err := p.expect(TokLParen); err != nil {
+		return err
+	}
+	if _, err := p.expect(TokStruct); err != nil {
+		return err
+	}
+	st, err := p.expect(TokIdent)
+	if err != nil {
+		return err
+	}
+	if f.PacketName == "" {
+		return errAt(st.Pos, "missing struct declaration before function %s", f.FuncName)
+	}
+	if st.Text != f.PacketName {
+		return errAt(st.Pos, "parameter type struct %s does not match struct %s", st.Text, f.PacketName)
+	}
+	param, err := p.expect(TokIdent)
+	if err != nil {
+		return err
+	}
+	f.ParamName = param.Text
+	if _, err := p.expect(TokRParen); err != nil {
+		return err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return err
+	}
+	f.Body = body
+	return nil
+}
+
+func (p *Parser) parseBlock() ([]Stmt, error) {
+	if _, err := p.expect(TokLBrace); err != nil {
+		return nil, err
+	}
+	var stmts []Stmt
+	for !p.accept(TokRBrace) {
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+	}
+	return stmts, nil
+}
+
+func (p *Parser) parseStmt() (Stmt, error) {
+	if p.cur().Kind == TokIf {
+		return p.parseIf()
+	}
+	pos := p.cur().Pos
+	lhs, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	switch lhs.(type) {
+	case *FieldExpr, *RegExpr:
+	default:
+		return nil, errAt(pos, "assignment target must be a packet field or register element")
+	}
+	if _, err := p.expect(TokAssign); err != nil {
+		return nil, err
+	}
+	rhs, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	// Domino examples sometimes omit the trailing semicolon on the last
+	// statement of a block; require it strictly for clarity.
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	return &AssignStmt{LHS: lhs, RHS: rhs, Pos: pos}, nil
+}
+
+func (p *Parser) parseIf() (Stmt, error) {
+	pos := p.next().Pos // if
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	var then []Stmt
+	if p.cur().Kind == TokLBrace {
+		then, err = p.parseBlock()
+	} else {
+		var s Stmt
+		s, err = p.parseStmt()
+		then = []Stmt{s}
+	}
+	if err != nil {
+		return nil, err
+	}
+	var els []Stmt
+	if p.accept(TokElse) {
+		if p.cur().Kind == TokIf {
+			s, err := p.parseIf()
+			if err != nil {
+				return nil, err
+			}
+			els = []Stmt{s}
+		} else if p.cur().Kind == TokLBrace {
+			els, err = p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			s, err := p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+			els = []Stmt{s}
+		}
+	}
+	return &IfStmt{Cond: cond, Then: then, Else: els, Pos: pos}, nil
+}
+
+// Expression grammar (precedence climbing, lowest first):
+//
+//	ternary:  or ( '?' expr ':' ternary )?
+//	or:       and ( '||' and )*
+//	and:      bitor ( '&&' bitor )*
+//	bitor:    bitxor ( '|' bitxor )*
+//	bitxor:   bitand ( '^' bitand )*
+//	bitand:   equality ( '&' equality )*
+//	equality: relational ( ('=='|'!=') relational )*
+//	relational: shift ( ('<'|'<='|'>'|'>=') shift )*
+//	shift:    additive ( ('<<'|'>>') additive )*
+//	additive: multiplicative ( ('+'|'-') multiplicative )*
+//	multiplicative: unary ( ('*'|'/'|'%') unary )*
+//	unary:    ('!'|'-')* primary
+func (p *Parser) parseExpr() (Expr, error) { return p.parseTernary() }
+
+func (p *Parser) parseTernary() (Expr, error) {
+	cond, err := p.parseBinary(0)
+	if err != nil {
+		return nil, err
+	}
+	if !p.accept(TokQuest) {
+		return cond, nil
+	}
+	pos := p.cur().Pos
+	then, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokColon); err != nil {
+		return nil, err
+	}
+	els, err := p.parseTernary()
+	if err != nil {
+		return nil, err
+	}
+	return &CondExpr{Cond: cond, Then: then, Else: els, Pos: pos}, nil
+}
+
+// binLevels orders binary operators from lowest to highest precedence.
+var binLevels = [][]TokKind{
+	{TokOrOr},
+	{TokAndAnd},
+	{TokPipe},
+	{TokCaret},
+	{TokAmp},
+	{TokEq, TokNe},
+	{TokLt, TokLe, TokGt, TokGe},
+	{TokShl, TokShr},
+	{TokPlus, TokMinus},
+	{TokStar, TokSlash, TokPercent},
+}
+
+func (p *Parser) parseBinary(level int) (Expr, error) {
+	if level >= len(binLevels) {
+		return p.parseUnary()
+	}
+	left, err := p.parseBinary(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := false
+		for _, k := range binLevels[level] {
+			if p.cur().Kind == k {
+				pos := p.next().Pos
+				right, err := p.parseBinary(level + 1)
+				if err != nil {
+					return nil, err
+				}
+				left = &BinExpr{Op: k, L: left, R: right, Pos: pos}
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return left, nil
+		}
+	}
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	switch p.cur().Kind {
+	case TokBang:
+		pos := p.next().Pos
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: TokBang, X: x, Pos: pos}, nil
+	case TokMinus:
+		pos := p.next().Pos
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		if n, ok := x.(*NumExpr); ok {
+			return &NumExpr{Val: -n.Val, Pos: pos}, nil
+		}
+		return &UnaryExpr{Op: TokMinus, X: x, Pos: pos}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokNumber:
+		p.next()
+		return &NumExpr{Val: t.Val, Pos: t.Pos}, nil
+	case TokLParen:
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case TokIdent:
+		p.next()
+		switch p.cur().Kind {
+		case TokDot:
+			p.next()
+			fld, err := p.expect(TokIdent)
+			if err != nil {
+				return nil, err
+			}
+			return &FieldExpr{Name: fld.Text, Pos: t.Pos}, nil
+		case TokLBrack:
+			p.next()
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokRBrack); err != nil {
+				return nil, err
+			}
+			return &RegExpr{Name: t.Text, Idx: idx, Pos: t.Pos}, nil
+		case TokLParen:
+			p.next()
+			var args []Expr
+			if p.cur().Kind != TokRParen {
+				for {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+					if !p.accept(TokComma) {
+						break
+					}
+				}
+			}
+			if _, err := p.expect(TokRParen); err != nil {
+				return nil, err
+			}
+			return &CallExpr{Name: t.Text, Args: args, Pos: t.Pos}, nil
+		default:
+			return nil, errAt(t.Pos, "bare identifier %q: expected p.field, reg[idx], or builtin call", t.Text)
+		}
+	}
+	return nil, errAt(t.Pos, "expected expression, found %s %q", t.Kind, t.Text)
+}
+
+// checkSemantics validates name resolution and builtin arities.
+func checkSemantics(f *File) error {
+	fields := map[string]bool{}
+	for _, name := range f.FieldNames {
+		if fields[name] {
+			return fmt.Errorf("domino: duplicate packet field %q", name)
+		}
+		fields[name] = true
+	}
+	regs := map[string]bool{}
+	for _, r := range f.Regs {
+		if regs[r.Name] {
+			return errAt(r.Pos, "duplicate register array %q", r.Name)
+		}
+		if fields[r.Name] {
+			return errAt(r.Pos, "register array %q collides with a packet field", r.Name)
+		}
+		regs[r.Name] = true
+	}
+	tables := map[string]int{}
+	for _, tb := range f.Tables {
+		if _, dup := tables[tb.Name]; dup {
+			return errAt(tb.Pos, "duplicate table %q", tb.Name)
+		}
+		if regs[tb.Name] || fields[tb.Name] {
+			return errAt(tb.Pos, "table %q collides with another declaration", tb.Name)
+		}
+		if _, isBuiltin := Builtins[tb.Name]; isBuiltin {
+			return errAt(tb.Pos, "table %q shadows a builtin", tb.Name)
+		}
+		tables[tb.Name] = tb.Keys
+	}
+	var err error
+	check := func(e Expr) {
+		if err != nil {
+			return
+		}
+		switch x := e.(type) {
+		case *FieldExpr:
+			if !fields[x.Name] {
+				err = errAt(x.Pos, "unknown packet field %q", x.Name)
+			}
+		case *RegExpr:
+			if !regs[x.Name] {
+				err = errAt(x.Pos, "unknown register array %q", x.Name)
+			}
+		case *CallExpr:
+			if keys, isTable := tables[x.Name]; isTable {
+				if len(x.Args) != keys {
+					err = errAt(x.Pos, "table %s matches %d keys, got %d", x.Name, keys, len(x.Args))
+				}
+				break
+			}
+			arity, ok := Builtins[x.Name]
+			if !ok {
+				err = errAt(x.Pos, "unknown builtin or table %q", x.Name)
+			} else if len(x.Args) != arity {
+				err = errAt(x.Pos, "builtin %s expects %d arguments, got %d", x.Name, arity, len(x.Args))
+			}
+		}
+	}
+	WalkStmts(f.Body, func(s Stmt) {
+		switch st := s.(type) {
+		case *AssignStmt:
+			WalkExpr(st.LHS, check)
+			WalkExpr(st.RHS, check)
+		case *IfStmt:
+			WalkExpr(st.Cond, check)
+		}
+	})
+	return err
+}

@@ -1,0 +1,112 @@
+package domino
+
+import "fmt"
+
+// TokKind classifies lexical tokens.
+type TokKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokNumber
+	// punctuation
+	TokLBrace  // {
+	TokRBrace  // }
+	TokLParen  // (
+	TokRParen  // )
+	TokLBrack  // [
+	TokRBrack  // ]
+	TokSemi    // ;
+	TokComma   // ,
+	TokDot     // .
+	TokAssign  // =
+	TokQuest   // ?
+	TokColon   // :
+	TokPlus    // +
+	TokMinus   // -
+	TokStar    // *
+	TokSlash   // /
+	TokPercent // %
+	TokAmp     // &
+	TokPipe    // |
+	TokCaret   // ^
+	TokShl     // <<
+	TokShr     // >>
+	TokEq      // ==
+	TokNe      // !=
+	TokLt      // <
+	TokLe      // <=
+	TokGt      // >
+	TokGe      // >=
+	TokAndAnd  // &&
+	TokOrOr    // ||
+	TokBang    // !
+	// keywords
+	TokStruct
+	TokInt
+	TokVoid
+	TokIf
+	TokElse
+	TokTable
+)
+
+var kindNames = map[TokKind]string{
+	TokEOF: "EOF", TokIdent: "identifier", TokNumber: "number",
+	TokLBrace: "{", TokRBrace: "}", TokLParen: "(", TokRParen: ")",
+	TokLBrack: "[", TokRBrack: "]", TokSemi: ";", TokComma: ",",
+	TokDot: ".", TokAssign: "=", TokQuest: "?", TokColon: ":",
+	TokPlus: "+", TokMinus: "-", TokStar: "*", TokSlash: "/",
+	TokPercent: "%", TokAmp: "&", TokPipe: "|", TokCaret: "^",
+	TokShl: "<<", TokShr: ">>", TokEq: "==", TokNe: "!=",
+	TokLt: "<", TokLe: "<=", TokGt: ">", TokGe: ">=",
+	TokAndAnd: "&&", TokOrOr: "||", TokBang: "!",
+	TokStruct: "struct", TokInt: "int", TokVoid: "void",
+	TokIf: "if", TokElse: "else", TokTable: "table",
+}
+
+// String renders the token kind.
+func (k TokKind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("tok(%d)", uint8(k))
+}
+
+var keywords = map[string]TokKind{
+	"struct": TokStruct,
+	"int":    TokInt,
+	"void":   TokVoid,
+	"if":     TokIf,
+	"else":   TokElse,
+	"table":  TokTable,
+}
+
+// Pos is a 1-based source position.
+type Pos struct {
+	Line, Col int
+}
+
+// String renders the position as line:col.
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical token.
+type Token struct {
+	Kind TokKind
+	Text string
+	Val  int64 // for TokNumber
+	Pos  Pos
+}
+
+// Error is a frontend error with a source position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+func errAt(pos Pos, format string, args ...any) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,138 @@
+// Package equiv checks functional equivalence (§2.2.1) between a simulated
+// multi-pipeline switch and the logical single-pipeline reference: starting
+// from the same initial state and the same input packet stream, the final
+// register state and every packet's final header contents must be
+// identical.
+package equiv
+
+import (
+	"fmt"
+
+	"mp5/internal/banzai"
+	"mp5/internal/core"
+	"mp5/internal/ir"
+)
+
+// Mismatch describes one difference between the reference and the
+// simulated switch.
+type Mismatch struct {
+	// Kind is "register" or "packet".
+	Kind string
+	// Reg/Idx locate a register mismatch.
+	Reg, Idx int
+	// PktID/Field locate a packet-state mismatch.
+	PktID int64
+	Field int
+	// Want is the reference value; Got the simulated one.
+	Want, Got int64
+}
+
+// String renders the mismatch.
+func (m Mismatch) String() string {
+	if m.Kind == "register" {
+		return fmt.Sprintf("register r%d[%d]: reference=%d simulated=%d", m.Reg, m.Idx, m.Want, m.Got)
+	}
+	return fmt.Sprintf("packet %d field %d: reference=%d simulated=%d", m.PktID, m.Field, m.Want, m.Got)
+}
+
+// Report is the outcome of an equivalence check.
+type Report struct {
+	Equivalent bool
+	// Mismatches lists up to Limit differences (register state first).
+	Mismatches []Mismatch
+	// PacketsCompared counts packets whose outputs were checked.
+	PacketsCompared int
+}
+
+// Limit caps the number of recorded mismatches.
+const Limit = 32
+
+// Reference runs the single-pipeline reference executor over the arrival
+// trace (in arrival order — the definition of the logical single-pipeline
+// switch) and returns the final register snapshot and per-packet outputs.
+func Reference(prog *ir.Program, arrivals []core.Arrival) (regs [][]int64, outputs map[int64][]int64) {
+	m := banzai.NewMachine(prog)
+	outputs = make(map[int64][]int64, len(arrivals))
+	for i := range arrivals {
+		env := ir.NewEnv(prog)
+		copy(env.Fields, arrivals[i].Fields)
+		m.Process(int64(i), env)
+		outputs[int64(i)] = append([]int64(nil), env.Fields...)
+	}
+	return m.Regs().Snapshot(), outputs
+}
+
+// Check compares a completed simulation against the reference execution of
+// the same program and trace. The simulator must have been run with
+// RecordOutputs; only packets that completed (not dropped) are compared,
+// and register equivalence is only meaningful for loss-free runs (§3.5.1) —
+// the caller should ensure no drops occurred before trusting it.
+func Check(prog *ir.Program, sim *core.Simulator, arrivals []core.Arrival) *Report {
+	refRegs, refOut := Reference(prog, arrivals)
+	rep := &Report{Equivalent: true}
+	add := func(m Mismatch) {
+		rep.Equivalent = false
+		if len(rep.Mismatches) < Limit {
+			rep.Mismatches = append(rep.Mismatches, m)
+		}
+	}
+	simRegs := sim.FinalRegs()
+	for r := range refRegs {
+		for i := range refRegs[r] {
+			if refRegs[r][i] != simRegs[r][i] {
+				add(Mismatch{Kind: "register", Reg: r, Idx: i,
+					Want: refRegs[r][i], Got: simRegs[r][i]})
+			}
+		}
+	}
+	simOut := sim.Outputs()
+	if simOut == nil {
+		panic("equiv: simulator was not run with RecordOutputs")
+	}
+	for id, got := range simOut {
+		want := refOut[id]
+		rep.PacketsCompared++
+		for f := range want {
+			if want[f] != got[f] {
+				add(Mismatch{Kind: "packet", PktID: id, Field: f,
+					Want: want[f], Got: got[f]})
+			}
+		}
+	}
+	return rep
+}
+
+// ViolationStats summarizes C1 bookkeeping for a run: the number of state
+// access sequences inspected and how many packets jumped ahead of an
+// earlier arrival on some shared state.
+type ViolationStats struct {
+	States     int
+	Accesses   int64
+	Violating  int64
+	OfComplete float64
+}
+
+// Violations recomputes C1-violation statistics from a simulator run with
+// RecordAccessOrder enabled.
+func Violations(sim *core.Simulator, completed int64) ViolationStats {
+	var st ViolationStats
+	violators := map[int64]bool{}
+	for _, seq := range sim.AccessOrders() {
+		st.States++
+		st.Accesses += int64(len(seq))
+		minSuffix := int64(1<<63 - 1)
+		for i := len(seq) - 1; i >= 0; i-- {
+			if seq[i] > minSuffix {
+				violators[seq[i]] = true
+			}
+			if seq[i] < minSuffix {
+				minSuffix = seq[i]
+			}
+		}
+	}
+	st.Violating = int64(len(violators))
+	if completed > 0 {
+		st.OfComplete = float64(st.Violating) / float64(completed)
+	}
+	return st
+}

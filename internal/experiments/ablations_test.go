@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+func TestAblationRemapIntervalShape(t *testing.T) {
+	tab := AblationRemapInterval(tiny)
+	if len(tab.Rows) != 7 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// The "off" row must move nothing and do no better than the default.
+	off := tab.Rows[len(tab.Rows)-1]
+	if off[0] != "off" || off[2] != "0.00" {
+		t.Fatalf("off row = %v", off)
+	}
+	def := cell(t, tab, 2, 1) // interval 100
+	offT := cell(t, tab, len(tab.Rows)-1, 1)
+	if offT > def+0.02 {
+		t.Errorf("disabling remap (%.3f) should not beat the default interval (%.3f)", offT, def)
+	}
+}
+
+func TestAblationFIFOCapacityShape(t *testing.T) {
+	tab := AblationFIFOCapacity(tiny)
+	rows := map[string][]string{}
+	for _, r := range tab.Rows {
+		rows[r[0]] = r
+	}
+	// Paper's sizing rule: depth 8 suffices for the real applications.
+	if d, _ := strconv.ParseFloat(rows["8"][1], 64); d != 0 {
+		t.Errorf("flowlet drops at depth 8: %v (paper: none)", d)
+	}
+	if d, _ := strconv.ParseFloat(rows["unbounded"][1], 64); d != 0 {
+		t.Errorf("flowlet drops with unbounded FIFOs: %v", d)
+	}
+	// Tiny FIFOs drop on the saturated synthetic load.
+	if d, _ := strconv.ParseFloat(rows["2"][3], 64); d == 0 {
+		t.Error("no synthetic drops at depth 2 under saturation")
+	}
+}
+
+func TestAblationSkewShape(t *testing.T) {
+	tab := AblationSkew(tiny)
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, r := range tab.Rows {
+		gain, _ := strconv.ParseFloat(r[4], 64)
+		// At a single tiny-scale seed, static can win a particular
+		// draw; only a real collapse is a bug.
+		if gain < 0.88 {
+			t.Errorf("hot fraction %s: dynamic gain %.2f collapsed below static", r[0], gain)
+		}
+		ideal, _ := strconv.ParseFloat(r[3], 64)
+		mp5v, _ := strconv.ParseFloat(r[1], 64)
+		if ideal < mp5v-0.03 {
+			t.Errorf("hot fraction %s: ideal %.3f below mp5 %.3f", r[0], ideal, mp5v)
+		}
+	}
+}
+
+func TestAblationMitigationsShape(t *testing.T) {
+	tab := AblationMitigations(tiny)
+	rows := map[string][]string{}
+	for _, r := range tab.Rows {
+		rows[r[0]] = r
+	}
+	if rows["baseline"][3] != "0" || rows["baseline"][4] != "0" {
+		t.Errorf("baseline must not drop or mark: %v", rows["baseline"])
+	}
+	if rows["starve-guard(64)"][3] == "0" {
+		t.Error("starvation guard never fired")
+	}
+	if rows["ecn(16)"][4] == "0" {
+		t.Error("ECN never marked")
+	}
+	bq, _ := strconv.Atoi(rows["baseline"][5])
+	gq, _ := strconv.Atoi(rows["starve-guard(64)"][5])
+	if gq >= bq {
+		t.Errorf("guard did not reduce max queue: %d vs %d", gq, bq)
+	}
+}
+
+func TestAtomsCensus(t *testing.T) {
+	tab := Atoms()
+	apps := map[string]int{}
+	pairSeen := false
+	for _, r := range tab.Rows {
+		apps[r[0]]++
+		if r[0] == "conga" && r[2] == "Pairs" {
+			pairSeen = true
+		}
+	}
+	for _, name := range []string{"flowlet", "conga", "wfq", "sequencer"} {
+		if apps[name] == 0 {
+			t.Errorf("no atoms reported for %s", name)
+		}
+	}
+	if apps["flowlet"] != 2 {
+		t.Errorf("flowlet atoms = %d, want 2", apps["flowlet"])
+	}
+	if !pairSeen {
+		t.Error("conga must need a Pairs atom")
+	}
+}

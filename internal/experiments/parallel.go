@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelFor runs body(i) for i in [0, n) across GOMAXPROCS workers.
+// Bodies must be independent; each writes only its own result slot.
+// Experiment tables stay deterministic because results are indexed, not
+// appended.
+func parallelFor(n int, body func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				body(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// runAll executes a batch of independent experiment cells in parallel.
+func runAll(tasks []func()) {
+	parallelFor(len(tasks), func(i int) { tasks[i]() })
+}

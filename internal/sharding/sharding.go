@@ -1,0 +1,337 @@
+// Package sharding implements MP5's dynamically sharded shared memory (D2):
+// the index-to-pipeline map, the per-index access and in-flight counters,
+// the Figure-6 remap heuristic, and the LPT rebalancer used by the paper's
+// "ideal" baseline (optimal bin packing stand-in).
+package sharding
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mp5/internal/ir"
+)
+
+// Policy selects the initial index-to-pipeline assignment.
+type Policy int
+
+const (
+	// PolicyRoundRobin assigns index i of every sharded array to
+	// pipeline i mod k.
+	PolicyRoundRobin Policy = iota
+	// PolicyRandom assigns each index to a uniformly random pipeline
+	// (the paper's static-sharding baseline: "sharded randomly across
+	// pipelines at compile time").
+	PolicyRandom
+	// PolicySinglePipe homes every index and every array in pipeline 0
+	// (the naive all-state-in-one-pipeline design from D1).
+	PolicySinglePipe
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case PolicyRoundRobin:
+		return "round-robin"
+	case PolicyRandom:
+		return "random"
+	case PolicySinglePipe:
+		return "single-pipe"
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
+}
+
+// Move records one register-entry migration between pipelines. The caller
+// copies the register value from From to To when applying the move.
+type Move struct {
+	Reg  int
+	Idx  int
+	From int
+	To   int
+}
+
+// regShard is the runtime state of one register array.
+type regShard struct {
+	sharded bool
+	size    int
+	// pipeOf[i] is the pipeline whose copy of index i is active.
+	// Unsharded arrays use pipeOf[0] as the whole-array home.
+	pipeOf []int
+	// access[i] counts resolutions since the last remap (§3.4).
+	access []int64
+	// ewma[i] smooths access counts across remap windows; the LPT
+	// rebalancer uses it so single-window noise does not cause
+	// pointless mass migrations.
+	ewma []float64
+	// inflight[i] counts packets resolved to index i that have not yet
+	// performed the access; a remap may only move index i when zero.
+	inflight []int64
+}
+
+func (r *regShard) slot(idx int) int {
+	if !r.sharded {
+		return 0
+	}
+	if idx < 0 || idx >= r.size {
+		panic(fmt.Sprintf("sharding: index %d out of range [0,%d)", idx, r.size))
+	}
+	return idx
+}
+
+// Map is the index-to-pipeline map for one program instance. The paper
+// replicates it read-only in every pipeline and updates it atomically from
+// the background remap process; a single authoritative copy models that
+// exactly in a simulator.
+type Map struct {
+	k     int
+	regs  []regShard
+	moves int64
+}
+
+// New builds the map for program p over k pipelines. Unsharded arrays are
+// homed so that arrays sharing a stage share a pipeline (they may be
+// accessed by one packet in one stage visit); the home is stage mod k to
+// spread pinned state across pipelines. seed drives PolicyRandom.
+func New(p *ir.Program, k int, policy Policy, seed int64) *Map {
+	if k <= 0 {
+		panic("sharding: need at least one pipeline")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	m := &Map{k: k, regs: make([]regShard, len(p.Regs))}
+	for i := range p.Regs {
+		info := &p.Regs[i]
+		rs := &m.regs[i]
+		rs.sharded = info.Sharded && policy != PolicySinglePipe
+		rs.size = info.Size
+		n := 1
+		if rs.sharded {
+			n = info.Size
+		}
+		rs.pipeOf = make([]int, n)
+		rs.access = make([]int64, n)
+		rs.ewma = make([]float64, n)
+		rs.inflight = make([]int64, n)
+		switch {
+		case policy == PolicySinglePipe:
+			// all zeros
+		case rs.sharded && policy == PolicyRandom:
+			for j := range rs.pipeOf {
+				rs.pipeOf[j] = rng.Intn(k)
+			}
+		case rs.sharded: // round robin
+			for j := range rs.pipeOf {
+				rs.pipeOf[j] = j % k
+			}
+		default:
+			// Unsharded: home by stage so same-stage arrays
+			// co-locate.
+			home := 0
+			if info.Stage >= 0 {
+				home = info.Stage % k
+			}
+			rs.pipeOf[0] = home
+		}
+	}
+	return m
+}
+
+// K returns the number of pipelines.
+func (m *Map) K() int { return m.k }
+
+// Sharded reports whether register array reg is sharded per-index.
+func (m *Map) Sharded(reg int) bool { return m.regs[reg].sharded }
+
+// PipeOf returns the pipeline holding the active copy of reg[idx].
+// For unsharded arrays idx is ignored.
+func (m *Map) PipeOf(reg, idx int) int {
+	rs := &m.regs[reg]
+	return rs.pipeOf[rs.slot(idx)]
+}
+
+// NoteResolved records that a packet has been resolved to access reg[idx]:
+// it bumps the access counter and the in-flight counter.
+func (m *Map) NoteResolved(reg, idx int) {
+	rs := &m.regs[reg]
+	s := rs.slot(idx)
+	rs.access[s]++
+	rs.inflight[s]++
+}
+
+// NoteDone records that a resolved packet has performed (or abandoned, for
+// drops) its access to reg[idx].
+func (m *Map) NoteDone(reg, idx int) {
+	rs := &m.regs[reg]
+	s := rs.slot(idx)
+	if rs.inflight[s] <= 0 {
+		panic("sharding: in-flight counter underflow")
+	}
+	rs.inflight[s]--
+}
+
+// Inflight returns the current in-flight count for reg[idx].
+func (m *Map) Inflight(reg, idx int) int64 {
+	rs := &m.regs[reg]
+	return rs.inflight[rs.slot(idx)]
+}
+
+// Moves returns the total number of entry migrations applied so far.
+func (m *Map) Moves() int64 { return m.moves }
+
+// Remap runs one iteration of the paper's Figure-6 heuristic for every
+// sharded register array and resets the access counters. It returns the
+// moves to apply; the caller must copy register values accordingly (the
+// map is already updated).
+func (m *Map) Remap() []Move {
+	var moves []Move
+	for reg := range m.regs {
+		rs := &m.regs[reg]
+		if !rs.sharded {
+			continue
+		}
+		if mv, ok := m.remapOne(reg, rs); ok {
+			moves = append(moves, mv)
+		}
+		for i := range rs.access {
+			rs.access[i] = 0
+		}
+	}
+	return moves
+}
+
+// remapOne applies Figure 6 to one register array:
+//
+//	find pipelines H and L with the highest (cmax) and lowest (cmin)
+//	aggregate access counts; let C = (cmax-cmin)/2; move the index in H
+//	with the largest count < C (and zero in-flight packets) to L.
+func (m *Map) remapOne(reg int, rs *regShard) (Move, bool) {
+	agg := make([]int64, m.k)
+	for i, pipe := range rs.pipeOf {
+		agg[pipe] += rs.access[i]
+	}
+	h, l := 0, 0
+	for p := 1; p < m.k; p++ {
+		if agg[p] > agg[h] {
+			h = p
+		}
+		if agg[p] < agg[l] {
+			l = p
+		}
+	}
+	if h == l || agg[h] == agg[l] {
+		return Move{}, false
+	}
+	c := (agg[h] - agg[l]) / 2
+	best := -1
+	for i, pipe := range rs.pipeOf {
+		if pipe != h || rs.inflight[i] != 0 {
+			continue
+		}
+		if rs.access[i] >= c || rs.access[i] == 0 {
+			continue
+		}
+		if best < 0 || rs.access[i] > rs.access[best] {
+			best = i
+		}
+	}
+	if best < 0 {
+		return Move{}, false
+	}
+	rs.pipeOf[best] = l
+	m.moves++
+	return Move{Reg: reg, Idx: best, From: h, To: l}, true
+}
+
+// RemapLPT rebalances every sharded array towards the bin-packing optimum,
+// the stand-in for the paper's "optimal bin packing for dynamic state
+// sharding" in the ideal baseline. It iterates best-fit moves from the
+// heaviest to the lightest pipeline until the load gap closes (within the
+// sampling noise of the measurement window), working on EWMA-smoothed
+// access counts. The incremental form is deliberately sticky: unlike a
+// from-scratch re-pack it never migrates state that is not part of the
+// imbalance, so measurement noise cannot thrash placements. Indexes with
+// in-flight packets stay put. Access counters reset afterwards.
+func (m *Map) RemapLPT() []Move {
+	var moves []Move
+	for reg := range m.regs {
+		rs := &m.regs[reg]
+		if !rs.sharded {
+			continue
+		}
+		var total float64
+		for i := range rs.ewma {
+			rs.ewma[i] = 0.5*rs.ewma[i] + float64(rs.access[i])
+			total += rs.ewma[i]
+		}
+		if total > 0 {
+			mean := total / float64(m.k)
+			// Stop once the heaviest-lightest gap is within the
+			// window's sampling noise.
+			margin := 0.05 * mean
+			if noise := 2 * math.Sqrt(mean); noise > margin {
+				margin = noise
+			}
+			load := make([]float64, m.k)
+			for i, pipe := range rs.pipeOf {
+				load[pipe] += rs.ewma[i]
+			}
+			for step := 0; step < rs.size; step++ {
+				h, l := 0, 0
+				for p := 1; p < m.k; p++ {
+					if load[p] > load[h] {
+						h = p
+					}
+					if load[p] < load[l] {
+						l = p
+					}
+				}
+				gap := load[h] - load[l]
+				if gap <= margin {
+					break
+				}
+				// Best fit: the movable index on h whose load
+				// is closest to half the gap (and below it, so
+				// the move strictly shrinks the gap).
+				best, bestGain := -1, 0.0
+				for i, pipe := range rs.pipeOf {
+					if pipe != h || rs.inflight[i] != 0 {
+						continue
+					}
+					e := rs.ewma[i]
+					if e <= 0 || e >= gap {
+						continue
+					}
+					gain := e
+					if e > gap/2 {
+						gain = gap - e
+					}
+					if gain > bestGain {
+						best, bestGain = i, gain
+					}
+				}
+				if best < 0 {
+					break
+				}
+				rs.pipeOf[best] = l
+				load[h] -= rs.ewma[best]
+				load[l] += rs.ewma[best]
+				m.moves++
+				moves = append(moves, Move{Reg: reg, Idx: best, From: h, To: l})
+			}
+		}
+		for i := range rs.access {
+			rs.access[i] = 0
+		}
+	}
+	return moves
+}
+
+// AggregateLoad returns the per-pipeline sum of access counters for one
+// register array under the current mapping (for tests and diagnostics).
+func (m *Map) AggregateLoad(reg int) []int64 {
+	rs := &m.regs[reg]
+	agg := make([]int64, m.k)
+	for i, pipe := range rs.pipeOf {
+		agg[pipe] += rs.access[i]
+	}
+	return agg
+}

@@ -1,0 +1,120 @@
+// Package stats provides the small statistical helpers the experiment
+// harness uses to aggregate multi-seed runs.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary describes a sample of float64 values.
+type Summary struct {
+	N      int
+	Mean   float64
+	Std    float64
+	Min    float64
+	Max    float64
+	Median float64
+}
+
+// Summarize computes a Summary; an empty sample yields the zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	if len(xs) > 1 {
+		s.Std = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		s.Median = sorted[mid]
+	} else {
+		s.Median = (sorted[mid-1] + sorted[mid]) / 2
+	}
+	return s
+}
+
+// String renders mean ± std (min–max).
+func (s Summary) String() string {
+	return fmt.Sprintf("%.3f ± %.3f (%.3f–%.3f)", s.Mean, s.Std, s.Min, s.Max)
+}
+
+// Mean returns the arithmetic mean (0 for an empty sample).
+func Mean(xs []float64) float64 { return Summarize(xs).Mean }
+
+// Ratios divides a by b element-wise (for per-seed speedup reporting).
+func Ratios(a, b []float64) []float64 {
+	if len(a) != len(b) {
+		panic("stats: ratio length mismatch")
+	}
+	out := make([]float64, len(a))
+	for i := range a {
+		if b[i] == 0 {
+			out[i] = math.Inf(1)
+			continue
+		}
+		out[i] = a[i] / b[i]
+	}
+	return out
+}
+
+// Histogram counts values into fixed-width buckets spanning [lo, hi).
+type Histogram struct {
+	Lo, Hi  float64
+	Buckets []int
+	Under   int
+	Over    int
+}
+
+// NewHistogram builds a histogram with n buckets over [lo, hi).
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 || hi <= lo {
+		panic("stats: bad histogram bounds")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Buckets: make([]int, n)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	switch {
+	case x < h.Lo:
+		h.Under++
+	case x >= h.Hi:
+		h.Over++
+	default:
+		i := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Buckets)))
+		if i == len(h.Buckets) {
+			i--
+		}
+		h.Buckets[i]++
+	}
+}
+
+// Total returns the number of observations including out-of-range ones.
+func (h *Histogram) Total() int {
+	n := h.Under + h.Over
+	for _, b := range h.Buckets {
+		n += b
+	}
+	return n
+}

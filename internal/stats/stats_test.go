@@ -1,0 +1,91 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 || s.Median != 2.5 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if math.Abs(s.Std-1.2909944) > 1e-6 {
+		t.Errorf("std = %f", s.Std)
+	}
+	odd := Summarize([]float64{5, 1, 3})
+	if odd.Median != 3 {
+		t.Errorf("odd median = %f", odd.Median)
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 || empty.Mean != 0 {
+		t.Errorf("empty summary = %+v", empty)
+	}
+	single := Summarize([]float64{7})
+	if single.Std != 0 || single.Median != 7 {
+		t.Errorf("single summary = %+v", single)
+	}
+	if s.String() == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestSummarizeProperties(t *testing.T) {
+	prop := func(xs []float64) bool {
+		for i, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				xs[i] = 0
+			}
+			// Keep magnitudes sane so the sum cannot overflow.
+			xs[i] = math.Mod(xs[i], 1e12)
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := Summarize(xs)
+		return s.Min <= s.Median && s.Median <= s.Max &&
+			s.Min <= s.Mean+1e-9 && s.Mean <= s.Max+1e-9 && s.Std >= 0
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRatios(t *testing.T) {
+	r := Ratios([]float64{2, 9, 5}, []float64{1, 3, 0})
+	if r[0] != 2 || r[1] != 3 || !math.IsInf(r[2], 1) {
+		t.Fatalf("ratios = %v", r)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch must panic")
+		}
+	}()
+	Ratios([]float64{1}, []float64{1, 2})
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{-1, 0, 1.9, 2, 9.99, 10, 42} {
+		h.Add(x)
+	}
+	if h.Under != 1 || h.Over != 2 {
+		t.Fatalf("under/over = %d/%d", h.Under, h.Over)
+	}
+	if h.Buckets[0] != 2 || h.Buckets[1] != 1 || h.Buckets[4] != 1 {
+		t.Fatalf("buckets = %v", h.Buckets)
+	}
+	if h.Total() != 7 {
+		t.Fatalf("total = %d", h.Total())
+	}
+}
+
+func TestHistogramBadBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad bounds must panic")
+		}
+	}()
+	NewHistogram(5, 5, 3)
+}

@@ -1,0 +1,301 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mp5/internal/ir"
+)
+
+// synthProg builds a fields-only program shaped like apps.SyntheticSource
+// output (the generator only consults prog.Fields).
+func synthProg(t *testing.T, stages, size int) *ir.Program {
+	t.Helper()
+	fields := []string{"stateless"}
+	for i := 0; i < stages; i++ {
+		fields = append(fields, fmt.Sprintf("h%d", i))
+	}
+	return &ir.Program{Name: "synth", Fields: fields}
+}
+
+func TestSyntheticTraceShape(t *testing.T) {
+	prog := synthProg(t, 2, 64)
+	spec := Spec{Packets: 5000, Pipelines: 4, Seed: 1}
+	arr := Synthetic(prog, spec, 2, 64)
+	if len(arr) != 5000 {
+		t.Fatalf("length %d", len(arr))
+	}
+	// Sorted by (cycle, port).
+	for i := 1; i < len(arr); i++ {
+		a, b := arr[i-1], arr[i]
+		if b.Cycle < a.Cycle || (b.Cycle == a.Cycle && b.Port < a.Port) {
+			t.Fatalf("unsorted at %d: %+v %+v", i, a, b)
+		}
+	}
+	// Line rate: 64B packets at k=4 means 4 packets per cycle.
+	span := arr[len(arr)-1].Cycle - arr[0].Cycle + 1
+	rate := float64(len(arr)) / float64(span)
+	if rate < 3.9 || rate > 4.1 {
+		t.Errorf("arrival rate %.2f pkts/cycle, want ~4", rate)
+	}
+	// Index fields within range.
+	h0 := prog.FieldIndex("h0")
+	for _, a := range arr {
+		if idx := a.Fields[h0]; idx < 0 || idx >= 64 {
+			t.Fatalf("index %d out of range", idx)
+		}
+	}
+}
+
+func TestSyntheticDeterminism(t *testing.T) {
+	prog := synthProg(t, 2, 64)
+	spec := Spec{Packets: 1000, Pipelines: 4, Seed: 42, Pattern: Skewed}
+	a := Synthetic(prog, spec, 2, 64)
+	b := Synthetic(prog, spec, 2, 64)
+	for i := range a {
+		if a[i].Cycle != b[i].Cycle || a[i].Port != b[i].Port || a[i].Fields[1] != b[i].Fields[1] {
+			t.Fatalf("trace not deterministic at %d", i)
+		}
+	}
+	spec.Seed = 43
+	c := Synthetic(prog, spec, 2, 64)
+	same := true
+	for i := range a {
+		if a[i].Fields[1] != c[i].Fields[1] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+func TestSkewedPatternConcentration(t *testing.T) {
+	prog := synthProg(t, 1, 100)
+	spec := Spec{Packets: 20000, Pipelines: 4, Seed: 5, Pattern: Skewed}
+	arr := Synthetic(prog, spec, 1, 100)
+	h0 := prog.FieldIndex("h0")
+	counts := map[int64]int{}
+	for _, a := range arr {
+		counts[a.Fields[h0]]++
+	}
+	// The hot set is 30 of 100 indexes; it must receive ~95% of accesses.
+	type kv struct {
+		idx int64
+		n   int
+	}
+	var all []kv
+	for i, n := range counts {
+		all = append(all, kv{i, n})
+	}
+	// Partial selection: count the top 30.
+	top := 0
+	for pass := 0; pass < 30; pass++ {
+		best := -1
+		for i := range all {
+			if all[i].n >= 0 && (best < 0 || all[i].n > all[best].n) {
+				best = i
+			}
+		}
+		top += all[best].n
+		all[best].n = -1
+	}
+	frac := float64(top) / float64(len(arr))
+	if frac < 0.90 || frac > 0.99 {
+		t.Errorf("top-30 fraction = %.3f, want ~0.95", frac)
+	}
+}
+
+func TestUniformPatternSpread(t *testing.T) {
+	prog := synthProg(t, 1, 64)
+	arr := Synthetic(prog, Spec{Packets: 64000, Pipelines: 4, Seed: 9}, 1, 64)
+	h0 := prog.FieldIndex("h0")
+	counts := make([]int, 64)
+	for _, a := range arr {
+		counts[a.Fields[h0]]++
+	}
+	for i, n := range counts {
+		if n < 700 || n > 1300 {
+			t.Errorf("index %d count %d far from uniform mean 1000", i, n)
+		}
+	}
+}
+
+func TestChurnRotatesHotSet(t *testing.T) {
+	prog := synthProg(t, 1, 100)
+	spec := Spec{Packets: 40000, Pipelines: 4, Seed: 5, Pattern: Skewed, ChurnInterval: 1000}
+	arr := Synthetic(prog, spec, 1, 100)
+	h0 := prog.FieldIndex("h0")
+	early := map[int64]int{}
+	late := map[int64]int{}
+	for _, a := range arr {
+		if a.Cycle < 1000 {
+			early[a.Fields[h0]]++
+		}
+		if a.Cycle > 8000 {
+			late[a.Fields[h0]]++
+		}
+	}
+	// The hot sets should differ: count heavy indexes present early but
+	// not late.
+	diff := 0
+	for idx, n := range early {
+		if n > 20 && late[idx] <= 20 {
+			diff++
+		}
+	}
+	if diff < 5 {
+		t.Errorf("hot set barely rotated (%d indexes changed)", diff)
+	}
+}
+
+func TestPacketSizesAffectArrivalRate(t *testing.T) {
+	prog := synthProg(t, 1, 16)
+	small := Synthetic(prog, Spec{Packets: 4000, Pipelines: 4, PacketSize: 64, Seed: 1}, 1, 16)
+	big := Synthetic(prog, Spec{Packets: 4000, Pipelines: 4, PacketSize: 640, Seed: 1}, 1, 16)
+	spanSmall := small[len(small)-1].Cycle - small[0].Cycle
+	spanBig := big[len(big)-1].Cycle - big[0].Cycle
+	ratio := float64(spanBig) / float64(spanSmall)
+	if ratio < 9 || ratio > 11 {
+		t.Errorf("10x packets should span ~10x cycles, got %.1fx", ratio)
+	}
+}
+
+func TestBimodalSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	spec := Spec{Sizes: SizeBimodal}
+	low, high := 0, 0
+	for i := 0; i < 1000; i++ {
+		s := drawSize(spec, rng)
+		switch {
+		case s >= 175 && s <= 225:
+			low++
+		case s >= 1375 && s <= 1425:
+			high++
+		default:
+			t.Fatalf("size %d outside both modes", s)
+		}
+	}
+	if low < 400 || high < 400 {
+		t.Errorf("modes unbalanced: %d/%d", low, high)
+	}
+}
+
+func TestStatelessFraction(t *testing.T) {
+	prog := synthProg(t, 1, 16)
+	arr := Synthetic(prog, Spec{Packets: 10000, Pipelines: 4, Seed: 3, StatelessFraction: 0.5}, 1, 16)
+	sl := prog.FieldIndex("stateless")
+	n := 0
+	for _, a := range arr {
+		if a.Fields[sl] != 0 {
+			n++
+		}
+	}
+	if n < 4500 || n > 5500 {
+		t.Errorf("stateless packets = %d of 10000, want ~5000", n)
+	}
+}
+
+func TestWebSearchFlowSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var small, large int
+	var total float64
+	for i := 0; i < 10000; i++ {
+		s := sampleWebSearchFlowSize(rng)
+		if s < 1000 || s > 30e6 {
+			t.Fatalf("flow size %d outside distribution support", s)
+		}
+		if s <= 10e3 {
+			small++
+		}
+		if s >= 1e6 {
+			large++
+		}
+		total += float64(s)
+	}
+	// ~40% of flows are <=10KB; a heavy tail >=1MB carries most bytes.
+	if small < 3000 || small > 5000 {
+		t.Errorf("small flows = %d/10000, want ~4000", small)
+	}
+	if large < 1500 || large > 2800 {
+		t.Errorf("large flows = %d/10000, want ~2200", large)
+	}
+	if mean := total / 10000; mean < 400e3 {
+		t.Errorf("mean flow %f bytes suspiciously small for a heavy tail", mean)
+	}
+}
+
+func TestFlowsTrace(t *testing.T) {
+	prog := &ir.Program{Name: "flowlet", Fields: []string{"sport", "dport", "arrival"}}
+	bind := func(f *Flow, p *PktCtx, fields []int64) {
+		fields[0] = f.SrcPort
+		fields[1] = f.DstPort
+		fields[2] = p.Cycle
+	}
+	arr := Flows(prog, FlowSpec{Packets: 5000, Pipelines: 4, Seed: 7}, bind)
+	if len(arr) != 5000 {
+		t.Fatalf("length %d", len(arr))
+	}
+	sport := prog.FieldIndex("sport")
+	arrival := prog.FieldIndex("arrival")
+	flows := map[int64]bool{}
+	for i := 1; i < len(arr); i++ {
+		a, b := arr[i-1], arr[i]
+		if b.Cycle < a.Cycle || (b.Cycle == a.Cycle && b.Port < a.Port) {
+			t.Fatalf("unsorted at %d", i)
+		}
+	}
+	for _, a := range arr {
+		flows[a.Fields[sport]] = true
+		if a.Fields[arrival] != a.Cycle {
+			t.Fatalf("binder did not stamp arrival cycle")
+		}
+		if a.Size < MinPacketSize || a.Size > 1500 {
+			t.Fatalf("packet size %d out of range", a.Size)
+		}
+	}
+	if len(flows) < 65 {
+		t.Errorf("only %d distinct flows; expected turnover beyond the initial 64", len(flows))
+	}
+}
+
+// TestArrivalClockProperty: cumulative time advances proportionally to
+// bytes at any load.
+func TestArrivalClockProperty(t *testing.T) {
+	prop := func(sizes []uint16, kRaw uint8) bool {
+		k := int(kRaw%8) + 1
+		c := newArrivalClock(k, 1.0)
+		var bytes int64
+		var last int64
+		for _, s := range sizes {
+			size := int(s%1500) + 64
+			cy := c.next(size)
+			if cy < last {
+				return false
+			}
+			last = cy
+			bytes += int64(size)
+		}
+		want := float64(bytes) / float64(64*k)
+		return float64(last) <= want+1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomFields(t *testing.T) {
+	prog := synthProg(t, 1, 16)
+	arr := RandomFields(prog, Spec{Packets: 100, Pipelines: 2, Seed: 1})
+	if len(arr) != 100 {
+		t.Fatal("length")
+	}
+	for _, a := range arr {
+		if len(a.Fields) != len(prog.Fields) {
+			t.Fatal("field width mismatch")
+		}
+	}
+}

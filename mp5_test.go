@@ -1,0 +1,119 @@
+package mp5_test
+
+import (
+	"testing"
+
+	"mp5"
+)
+
+const facadeSrc = `
+struct Packet { int srcip; int count; };
+int counters [256] = {0};
+void count (struct Packet p) {
+    counters[p.srcip % 256] = counters[p.srcip % 256] + 1;
+    p.count = counters[p.srcip % 256];
+}
+`
+
+// TestPublicAPIEndToEnd walks the documented quickstart path: compile,
+// trace, simulate, verify.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	prog, err := mp5.Compile(facadeSrc, mp5.CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.ResolutionStages == 0 {
+		t.Error("MP5 target should add resolution stages")
+	}
+	single, err := mp5.Compile(facadeSrc, mp5.CompileOptions{SinglePipeline: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.ResolutionStages != 0 || len(single.Accesses) != 0 {
+		t.Error("single-pipeline target should not carry MP5 metadata")
+	}
+
+	trace := mp5.RandomFieldTrace(prog, mp5.TraceSpec{Packets: 5000, Pipelines: 4, Seed: 1})
+	sim := mp5.NewSimulator(prog, mp5.Config{
+		Arch: mp5.ArchMP5, Pipelines: 4, Seed: 1,
+		RecordOutputs: true, RecordAccessOrder: true,
+	})
+	res := sim.Run(trace)
+	if res.Completed != res.Injected {
+		t.Fatalf("loss: %+v", res)
+	}
+	if res.C1Violating != 0 {
+		t.Fatalf("violations on MP5: %d", res.C1Violating)
+	}
+	rep := mp5.Check(prog, sim, trace)
+	if !rep.Equivalent {
+		t.Fatalf("not equivalent: %v", rep.Mismatches)
+	}
+}
+
+// TestPublicAPIApps exercises the application accessors and flow traces.
+func TestPublicAPIApps(t *testing.T) {
+	if got := len(mp5.Apps()); got != 4 {
+		t.Fatalf("Apps() = %d, want 4", got)
+	}
+	app, err := mp5.AppByName("wfq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := app.MP5()
+	trace := mp5.FlowTrace(prog, mp5.FlowTraceSpec{Packets: 3000, Pipelines: 2, Seed: 5}, app.Bind)
+	sim := mp5.NewSimulator(prog, mp5.Config{Arch: mp5.ArchMP5, Pipelines: 2, RecordOutputs: true})
+	res := sim.Run(trace)
+	if res.Throughput < 0.95 {
+		t.Errorf("wfq throughput %.3f", res.Throughput)
+	}
+	if rep := mp5.Check(prog, sim, trace); !rep.Equivalent {
+		t.Fatalf("wfq not equivalent: %v", rep.Mismatches)
+	}
+}
+
+// TestPublicAPIBaselines: the architecture constants select genuinely
+// different behaviours.
+func TestPublicAPIBaselines(t *testing.T) {
+	prog, err := mp5.SyntheticProgram(2, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := mp5.SyntheticTrace(prog, mp5.TraceSpec{
+		Packets: 8000, Pipelines: 4, Pattern: mp5.Skewed, Seed: 2,
+	}, 2, 128)
+	tput := map[mp5.Arch]float64{}
+	for _, arch := range []mp5.Arch{mp5.ArchMP5, mp5.ArchNaive, mp5.ArchRecirc, mp5.ArchIdeal} {
+		sim := mp5.NewSimulator(prog, mp5.Config{Arch: arch, Pipelines: 4, Seed: 2})
+		tput[arch] = sim.Run(trace).Throughput
+	}
+	if tput[mp5.ArchNaive] > 0.3 {
+		t.Errorf("naive throughput %.3f should be pinned near 1/k", tput[mp5.ArchNaive])
+	}
+	if tput[mp5.ArchMP5] <= tput[mp5.ArchRecirc] {
+		t.Errorf("MP5 %.3f should beat recirculation %.3f", tput[mp5.ArchMP5], tput[mp5.ArchRecirc])
+	}
+	if tput[mp5.ArchIdeal] < tput[mp5.ArchMP5]*0.95 {
+		t.Errorf("ideal %.3f far below MP5 %.3f", tput[mp5.ArchIdeal], tput[mp5.ArchMP5])
+	}
+}
+
+// TestPublicAPIReference: the reference executor is exposed and serial.
+func TestPublicAPIReference(t *testing.T) {
+	prog, err := mp5.Compile(facadeSrc, mp5.CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := mp5.RandomFieldTrace(prog, mp5.TraceSpec{Packets: 100, Pipelines: 1, Seed: 9})
+	regs, outs := mp5.Reference(prog, trace)
+	var sum int64
+	for _, v := range regs[0] {
+		sum += v
+	}
+	if sum != 100 {
+		t.Errorf("counter total = %d, want 100", sum)
+	}
+	if len(outs) != 100 {
+		t.Errorf("outputs = %d", len(outs))
+	}
+}
