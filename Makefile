@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: all build vet test race check bench bench-guard clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet: build
+	$(GO) vet ./...
+
+test: vet
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the full local gate: build, vet, the race-enabled test suite,
+# and the telemetry-overhead guard benchmark.
+check: vet race bench-guard
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run ^$$ .
+
+# bench-guard runs the disabled-telemetry guard: BenchmarkTraceDisabled must
+# stay within 2% of the seed's BenchmarkSimulatorPacketRate (compare the
+# pkts/s metrics; BenchmarkTraceTelemetry shows the enabled-path cost).
+bench-guard:
+	$(GO) test -bench 'BenchmarkTrace|BenchmarkSimulatorPacketRate' -benchtime 2x -run ^$$ .
+
+clean:
+	$(GO) clean ./...

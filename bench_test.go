@@ -1,6 +1,7 @@
 package mp5_test
 
 import (
+	"io"
 	"sync"
 	"testing"
 
@@ -9,6 +10,7 @@ import (
 	"mp5/internal/compiler"
 	"mp5/internal/core"
 	"mp5/internal/experiments"
+	"mp5/internal/telemetry"
 	"mp5/internal/workload"
 )
 
@@ -161,6 +163,54 @@ func BenchmarkSimulatorPacketRate(b *testing.B) {
 	b.StopTimer()
 	pktsPerOp := float64(len(trace))
 	b.ReportMetric(pktsPerOp*float64(b.N)/b.Elapsed().Seconds(), "pkts/s")
+}
+
+// BenchmarkTraceDisabled is the telemetry overhead guard: the exact
+// simulator loop of BenchmarkSimulatorPacketRate with Config.Trace unset.
+// Telemetry must be pay-for-use — compare against BenchmarkTraceTelemetry
+// to see the cost of the full consumer stack, and against the seed's
+// BenchmarkSimulatorPacketRate numbers to confirm the disabled path did not
+// regress (acceptance: within 2%).
+func BenchmarkTraceDisabled(b *testing.B) {
+	prog, err := apps.Synthetic(4, 512, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	trace := workload.Synthetic(prog, workload.Spec{Packets: 20000, Pipelines: 4, Seed: 1}, 4, 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim := core.NewSimulator(prog, core.Config{Arch: core.ArchMP5, Pipelines: 4, Seed: 1})
+		sim.Run(trace)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(trace))*float64(b.N)/b.Elapsed().Seconds(), "pkts/s")
+}
+
+// BenchmarkTraceTelemetry runs the same simulation with the full telemetry
+// stack attached (metrics, sampler, span builder, JSONL to io.Discard) to
+// quantify the enabled-path cost.
+func BenchmarkTraceTelemetry(b *testing.B) {
+	prog, err := apps.Synthetic(4, 512, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	trace := workload.Synthetic(prog, workload.Spec{Packets: 20000, Pipelines: 4, Seed: 1}, 4, 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reg := telemetry.NewRegistry()
+		metrics := telemetry.NewSimMetrics(reg)
+		jsonl := telemetry.NewJSONL(io.Discard)
+		sampler := telemetry.NewSampler(1000, 4, jsonl.SampleSink())
+		spans := telemetry.NewSpanBuilder(nil)
+		sim := core.NewSimulator(prog, core.Config{
+			Arch: core.ArchMP5, Pipelines: 4, Seed: 1,
+			Trace: telemetry.Tee(metrics.Hook(), jsonl.EventHook(), sampler.Hook(), spans.Hook()),
+		})
+		sim.Run(trace)
+		sampler.Close()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(trace))*float64(b.N)/b.Elapsed().Seconds(), "pkts/s")
 }
 
 // BenchmarkReferenceExecutor measures the single-pipeline ground-truth

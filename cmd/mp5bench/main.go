@@ -27,6 +27,7 @@ func main() {
 	only := flag.String("only", "", "run a single experiment: table1, sram, d2, d3, d4, fig7a, fig7b, fig7c, fig7d, fig8")
 	packets := flag.Int("packets", 0, "override trace length")
 	seeds := flag.Int("seeds", 0, "override seed count")
+	metricsOut := flag.String("metrics-out", "", "write a Prometheus-text snapshot of the harness metrics to this file when done")
 	flag.Parse()
 
 	sc := experiments.DefaultScale
@@ -69,6 +70,7 @@ func main() {
 			os.Exit(2)
 		}
 		emit(f)
+		writeMetrics(*metricsOut)
 		return
 	}
 	fmt.Printf("MP5 evaluation reproduction — scale: %d packets x %d seeds\n\n", sc.Packets, sc.Seeds)
@@ -78,6 +80,29 @@ func main() {
 	fmt.Println("--- extensions beyond the paper's artifacts ---")
 	for _, name := range ablations {
 		emit(all[name])
+	}
+	writeMetrics(*metricsOut)
+}
+
+// writeMetrics snapshots the harness-wide telemetry registry (simulations
+// run, packets pushed, cycles simulated, per-architecture breakdown) in
+// Prometheus text format.
+func writeMetrics(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mp5bench:", err)
+		os.Exit(1)
+	}
+	if err := experiments.Metrics.WriteProm(f); err != nil {
+		fmt.Fprintln(os.Stderr, "mp5bench:", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "mp5bench:", err)
+		os.Exit(1)
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 	"mp5/internal/core"
 	"mp5/internal/equiv"
 	"mp5/internal/ir"
+	"mp5/internal/telemetry"
 	"mp5/internal/viz"
 	"mp5/internal/workload"
 )
@@ -48,6 +49,10 @@ func main() {
 	traceN := flag.Int("trace", 0, "print the first N simulator events (admissions, executions, steering, queueing, egress)")
 	timelineN := flag.Int("timeline", 0, "render a pipeline-occupancy grid for the first N cycles")
 	crossLat := flag.Int64("crosslat", 0, "inter-pipeline link latency in cycles (chiplet exploration)")
+	traceJSONL := flag.String("trace-jsonl", "", "write the event stream, per-interval samples, and the run summary as JSONL to this file")
+	metricsOut := flag.String("metrics-out", "", "write a Prometheus-text metrics snapshot to this file at the end of the run")
+	sampleInterval := flag.Int64("sample-interval", 0, "time-series sampling interval in cycles (0 disables; defaults to 1000 when -trace-jsonl or -metrics-out is set)")
+	topIndices := flag.Int("top-indices", 0, "print the N hottest register indices (by resolution count) after the run")
 	flag.Parse()
 
 	arch, ok := archNames[*archName]
@@ -116,6 +121,44 @@ func main() {
 		timeline = viz.NewTimeline(prog.NumStages(), *k, 0, *timelineN)
 		hooks = append(hooks, timeline.Hook())
 	}
+
+	// Telemetry: JSONL event/sample/span stream, metrics registry, and
+	// the span builder are all pure Trace consumers.
+	if *sampleInterval < 0 {
+		fatal(fmt.Errorf("-sample-interval must be non-negative, got %d", *sampleInterval))
+	}
+	telemetryOn := *traceJSONL != "" || *metricsOut != "" || *sampleInterval > 0
+	interval := *sampleInterval
+	if telemetryOn && interval == 0 {
+		interval = 1000
+	}
+	var (
+		jsonl   *telemetry.JSONL
+		jsonlF  *os.File
+		reg     *telemetry.Registry
+		metrics *telemetry.SimMetrics
+		sampler *telemetry.Sampler
+		spans   *telemetry.SpanBuilder
+	)
+	if telemetryOn {
+		reg = telemetry.NewRegistry()
+		metrics = telemetry.NewSimMetrics(reg)
+		hooks = append(hooks, metrics.Hook())
+		if *traceJSONL != "" {
+			f, err := os.Create(*traceJSONL)
+			if err != nil {
+				fatal(err)
+			}
+			jsonlF = f
+			jsonl = telemetry.NewJSONL(f)
+			hooks = append(hooks, jsonl.EventHook())
+			sampler = telemetry.NewSampler(interval, *k, jsonl.SampleSink())
+		} else {
+			sampler = telemetry.NewSampler(interval, *k, nil)
+		}
+		spans = telemetry.NewSpanBuilder(nil)
+		hooks = append(hooks, sampler.Hook(), spans.Hook())
+	}
 	if len(hooks) > 0 {
 		cfg.Trace = viz.Tee(hooks...)
 	}
@@ -139,6 +182,72 @@ func main() {
 		float64(res.Recirculations)/float64(max64(res.Injected, 1)))
 	fmt.Printf("C1 violations      %d packets (%.2f%%)\n", res.C1Violating, 100*res.ViolationFraction)
 	fmt.Printf("reordered egress   %d packets\n", res.Reordered)
+
+	if telemetryOn {
+		sampler.Close()
+		summary := spans.Summary()
+		spans.FillHistogram(metrics.Latency)
+		fmt.Printf("latency            mean %.1f, p50 %d, p99 %d, max %d cycles\n",
+			summary.Mean, summary.P50, summary.P99, summary.Max)
+		fmt.Printf("latency breakdown  queue wait %.1f + service %.1f cycles (mean)\n",
+			summary.MeanQueueWait, summary.MeanService)
+		if bad := metrics.Reconcile(res); len(bad) > 0 {
+			fmt.Fprintln(os.Stderr, "mp5sim: telemetry/result reconciliation failed:")
+			for _, m := range bad {
+				fmt.Fprintln(os.Stderr, "  "+m)
+			}
+			os.Exit(1)
+		}
+		if jsonl != nil {
+			jsonl.Object(struct {
+				Type    string                   `json:"type"`
+				Result  *core.Result             `json:"result"`
+				Latency telemetry.LatencySummary `json:"latency"`
+			}{"run", res, summary})
+			if err := jsonl.Flush(); err != nil {
+				fatal(err)
+			}
+			if err := jsonlF.Close(); err != nil {
+				fatal(err)
+			}
+		}
+		if *metricsOut != "" {
+			f, err := os.Create(*metricsOut)
+			if err != nil {
+				fatal(err)
+			}
+			if err := reg.WriteProm(f); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}
+	}
+
+	if *topIndices > 0 {
+		hot := sim.Shard().TopIndices(*topIndices)
+		fmt.Printf("top %d hot indices (by resolutions):\n", len(hot))
+		for rank, h := range hot {
+			idx := fmt.Sprint(h.Idx)
+			if h.Idx < 0 {
+				idx = "*" // unsharded: whole array
+			}
+			fmt.Printf("  %2d. r%d[%s]  %d accesses  (pipe %d)\n",
+				rank+1, h.Reg, idx, h.Count, h.Pipe)
+		}
+	}
+
+	if res.Stalled {
+		// A stalled run exceeded its cycle budget with packets still in
+		// flight; print the loss breakdown so scripts can diagnose it.
+		fmt.Fprintf(os.Stderr, "mp5sim: run stalled after %d cycles (%d of %d packets completed)\n",
+			res.Cycles, res.Completed, res.Injected)
+		fmt.Fprintf(os.Stderr, "  drops: data=%d insert=%d ingress=%d starved=%d phantom=%d (in flight: %d)\n",
+			res.DroppedData, res.DroppedInsert, res.DroppedIngress, res.DroppedStarved,
+			res.DroppedPhantom, res.Injected-res.Completed-res.PacketDrops())
+		os.Exit(3)
+	}
 
 	if *verify {
 		if res.Completed != res.Injected {

@@ -216,10 +216,20 @@ type Result struct {
 	Throughput float64
 }
 
-// String renders the headline numbers.
+// PacketDrops totals the packet-death counters: exactly the packets that
+// were injected but never completed (phantom drops are placeholder losses,
+// not packet deaths — the affected data packet is counted in DroppedInsert
+// when it later misses the directory).
+func (r *Result) PacketDrops() int64 {
+	return r.DroppedData + r.DroppedInsert + r.DroppedIngress + r.DroppedStarved
+}
+
+// String renders the headline numbers. The drops total includes every drop
+// counter — ingress overflows and phantom losses were previously omitted,
+// under-reporting loss for the recirculation and bounded-FIFO configs.
 func (r *Result) String() string {
 	return fmt.Sprintf("%s k=%d: tput=%.3f completed=%d/%d drops=%d maxq=%d viol=%.1f%% recircs=%d",
 		r.Arch, r.Pipelines, r.Throughput, r.Completed, r.Injected,
-		r.DroppedData+r.DroppedInsert+r.DroppedStarved, r.MaxFIFODepth,
+		r.PacketDrops()+r.DroppedPhantom, r.MaxFIFODepth,
 		100*r.ViolationFraction, r.Recirculations)
 }

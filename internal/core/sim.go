@@ -7,6 +7,7 @@ import (
 	"mp5/internal/banzai"
 	"mp5/internal/ir"
 	"mp5/internal/sharding"
+	"mp5/internal/stats"
 )
 
 // accessKey identifies one state for ordering purposes: a sharded register
@@ -291,6 +292,7 @@ func (s *Simulator) deliverPhantoms() {
 				s.emit(EvPhantom, ev.pktID, ev.stage, ev.pipe)
 			} else {
 				s.res.DroppedPhantom++
+				s.emit(EvPhantomDrop, ev.pktID, ev.stage, ev.pipe)
 				s.phantomDropped[pktStage{ev.pktID, ev.stage}] = true
 			}
 			s.noteFIFODepth(ev.stage, st)
@@ -399,7 +401,7 @@ func (s *Simulator) arriveAtVisit(p *Packet, stage int) {
 			s.emit(EvEnqueue, p.ID, stage, p.pipe)
 		} else {
 			s.res.DroppedData++
-			s.abandon(p)
+			s.abandon(p, CauseData)
 		}
 	case ArchIdeal:
 		st.idealQ = append(st.idealQ, p)
@@ -424,7 +426,7 @@ func (s *Simulator) arriveAtVisit(p *Packet, stage int) {
 		default:
 			delete(s.phantomDropped, key)
 			s.res.DroppedInsert++
-			s.abandon(p)
+			s.abandon(p, CauseInsert)
 		}
 	}
 	s.noteFIFODepth(stage, st)
@@ -464,7 +466,7 @@ func (s *Simulator) admitArrivals(arrivals []Arrival, ai int) int {
 				// Ingress buffer overflow: today's switches
 				// drop rather than queue without bound.
 				s.res.DroppedIngress++
-				s.emit(EvDrop, p.ID, -1, pipe)
+				s.emitDrop(p.ID, -1, pipe, CauseIngress)
 			} else {
 				p.pipe = pipe
 				s.pipeIngress[pipe].push(p)
@@ -546,7 +548,7 @@ func (s *Simulator) processSlot(stage, pipe int) {
 	if st.inline != nil && s.cfg.StarveThreshold > 0 && st.fifo != nil && st.inline.stateless() {
 		if h, _, ok := st.fifo.Head(); ok && !h.isPhantom() && s.now-h.enq > s.cfg.StarveThreshold {
 			s.res.DroppedStarved++
-			s.abandon(st.inline)
+			s.abandon(st.inline, CauseStarved)
 			st.inline = nil
 		}
 	}
@@ -788,8 +790,8 @@ func maxIdx(idx int) int {
 // abandon drops packet p mid-flight: releases its in-flight counters,
 // eligibility entries, and marks its id dead so later phantom placeholders
 // get cleared instead of blocking forever.
-func (s *Simulator) abandon(p *Packet) {
-	s.emit(EvDrop, p.ID, -1, p.pipe)
+func (s *Simulator) abandon(p *Packet, cause DropCause) {
+	s.emitDrop(p.ID, -1, p.pipe, cause)
 	for vi := p.nextVisit; vi < len(p.visits); vi++ {
 		for _, a := range p.visits[vi].accs {
 			s.shard.NoteDone(a.reg, a.idx)
@@ -873,6 +875,7 @@ func (s *Simulator) maybeRemap() {
 	}
 	for _, m := range moves {
 		s.regs[m.To].Array(m.Reg)[m.Idx] = s.regs[m.From].Array(m.Reg)[m.Idx]
+		s.emit(EvShardMove, int64(m.Idx), m.Reg, m.To)
 	}
 	s.res.ShardMoves += int64(len(moves))
 }
@@ -888,15 +891,31 @@ func (s *Simulator) finalize() {
 		s.res.Throughput = achievedRate / offeredRate
 	}
 	if len(s.latencies) > 0 {
-		sorted := append([]int64(nil), s.latencies...)
-		sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
-		var sum int64
-		for _, l := range sorted {
+		// One counting pass plus a histogram quantile instead of the
+		// former full sort. Unit-width buckets (max < 64Ki) make the
+		// P99 exact; wider runs are approximate within max/64Ki cycles.
+		var sum, maxL int64
+		for _, l := range s.latencies {
 			sum += l
+			if l > maxL {
+				maxL = l
+			}
 		}
-		s.res.MeanLatency = float64(sum) / float64(len(sorted))
-		s.res.MaxLatency = sorted[len(sorted)-1]
-		s.res.P99Latency = sorted[(len(sorted)-1)*99/100]
+		s.res.MeanLatency = float64(sum) / float64(len(s.latencies))
+		s.res.MaxLatency = maxL
+		n := int(maxL) + 1
+		if n > 1<<16 {
+			n = 1 << 16
+		}
+		h := stats.NewHistogram(0, float64(maxL)+1, n)
+		for _, l := range s.latencies {
+			h.Add(float64(l))
+		}
+		p99 := int64(h.Quantile(0.99))
+		if p99 > maxL {
+			p99 = maxL
+		}
+		s.res.P99Latency = p99
 	}
 	s.res.Reordered = countOvertakers(s.egressOrder)
 	if s.accessLog != nil {

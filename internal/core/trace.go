@@ -23,14 +23,26 @@ const (
 	// EvEgress: a packet left the last stage.
 	EvEgress
 	// EvDrop: a packet was dropped (FIFO overflow, directory miss,
-	// ingress overflow, or starvation-guard policy).
+	// ingress overflow, or starvation-guard policy). The event's Cause
+	// field names the reason; EvDrop fires exactly once per dropped
+	// packet, so EvAdmit-ed ids partition into EvEgress and EvDrop.
 	EvDrop
+	// EvPhantomDrop: a phantom placeholder overflowed its stage FIFO.
+	// The data packet is still in flight (it will later miss the
+	// directory and count an EvDrop with CauseInsert), so this kind is
+	// separate from EvDrop to keep the one-death-per-packet invariant.
+	EvPhantomDrop
+	// EvShardMove: the dynamic-sharding remap migrated one register
+	// entry between pipelines. Field mapping: Stage carries the register
+	// id, PktID the index, Pipe the destination pipeline.
+	EvShardMove
 )
 
 var eventNames = map[EventKind]string{
 	EvAdmit: "admit", EvExec: "exec", EvResolve: "resolve",
 	EvPhantom: "phantom", EvEnqueue: "enqueue", EvSteer: "steer",
 	EvEgress: "egress", EvDrop: "drop",
+	EvPhantomDrop: "phantom-drop", EvShardMove: "shard-move",
 }
 
 // String names the event kind.
@@ -41,21 +53,68 @@ func (k EventKind) String() string {
 	return fmt.Sprintf("event(%d)", int(k))
 }
 
+// DropCause classifies EvDrop events; the names mirror the Result drop
+// counters so an event stream reconciles with the end-of-run summary.
+type DropCause int
+
+const (
+	// CauseNone: the event is not a drop.
+	CauseNone DropCause = iota
+	// CauseData: a stage sub-FIFO overflowed on a data push
+	// (Result.DroppedData; only the no-D4 baseline pushes data).
+	CauseData
+	// CauseInsert: the phantom directory had no placeholder for the
+	// arriving data packet — its phantom was dropped earlier
+	// (Result.DroppedInsert).
+	CauseInsert
+	// CauseIngress: a per-pipeline ingress buffer overflowed in the
+	// recirculation baseline (Result.DroppedIngress).
+	CauseIngress
+	// CauseStarved: the starvation guard sacrificed an incoming
+	// stateless packet for a long-waiting queued one
+	// (Result.DroppedStarved).
+	CauseStarved
+)
+
+var causeNames = map[DropCause]string{
+	CauseData: "data", CauseInsert: "insert",
+	CauseIngress: "ingress", CauseStarved: "starved",
+}
+
+// String names the drop cause ("" for CauseNone).
+func (c DropCause) String() string {
+	if s, ok := causeNames[c]; ok {
+		return s
+	}
+	if c == CauseNone {
+		return ""
+	}
+	return fmt.Sprintf("cause(%d)", int(c))
+}
+
 // Event is one simulator occurrence, delivered synchronously to
 // Config.Trace in deterministic order within a cycle.
 type Event struct {
 	Cycle int64
 	Kind  EventKind
 	// PktID identifies the packet (phantoms carry their data packet's
-	// id).
+	// id; EvShardMove carries the migrated index).
 	PktID int64
 	// Stage and Pipe locate the event; -1 when not applicable.
+	// EvShardMove reuses Stage for the register id and Pipe for the
+	// destination pipeline.
 	Stage int
 	Pipe  int
+	// Cause is set on EvDrop events only.
+	Cause DropCause
 }
 
 // String renders the event.
 func (e Event) String() string {
+	if e.Kind == EvDrop && e.Cause != CauseNone {
+		return fmt.Sprintf("c%d %v pkt=%d stage=%d pipe=%d cause=%v",
+			e.Cycle, e.Kind, e.PktID, e.Stage, e.Pipe, e.Cause)
+	}
 	return fmt.Sprintf("c%d %v pkt=%d stage=%d pipe=%d", e.Cycle, e.Kind, e.PktID, e.Stage, e.Pipe)
 }
 
@@ -65,4 +124,12 @@ func (s *Simulator) emit(kind EventKind, pktID int64, stage, pipe int) {
 		return
 	}
 	s.cfg.Trace(Event{Cycle: s.now, Kind: kind, PktID: pktID, Stage: stage, Pipe: pipe})
+}
+
+// emitDrop delivers an EvDrop event carrying its cause.
+func (s *Simulator) emitDrop(pktID int64, stage, pipe int, cause DropCause) {
+	if s.cfg.Trace == nil {
+		return
+	}
+	s.cfg.Trace(Event{Cycle: s.now, Kind: EvDrop, PktID: pktID, Stage: stage, Pipe: pipe, Cause: cause})
 }

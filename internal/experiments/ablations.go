@@ -37,6 +37,7 @@ func AblationRemapInterval(sc Scale) *Table {
 				Seed: int64(seed), RemapInterval: iv,
 			})
 			r := sim.Run(trace)
+			noteRun(r)
 			tputs = append(tputs, r.Throughput)
 			moves = append(moves, float64(r.ShardMoves))
 		}
@@ -73,6 +74,7 @@ func AblationFIFOCapacity(sc Scale) *Table {
 				Seed: int64(seed), FIFOCap: cap,
 			})
 			fr := fsim.Run(ftrace)
+			noteRun(fr)
 			fd += float64(fr.DroppedInsert + fr.DroppedPhantom)
 			ft += fr.Throughput
 
@@ -85,6 +87,7 @@ func AblationFIFOCapacity(sc Scale) *Table {
 				Seed: int64(seed), FIFOCap: cap,
 			})
 			sr := ssim.Run(strace)
+			noteRun(sr)
 			sd += float64(sr.DroppedInsert)
 			st += sr.Throughput
 		}
@@ -120,7 +123,9 @@ func AblationSkew(sc Scale) *Table {
 				sim := core.NewSimulator(prog, core.Config{
 					Arch: arch, Pipelines: DefaultPipelines, Seed: int64(seed),
 				})
-				return sim.Run(trace).Throughput
+				r := sim.Run(trace)
+				noteRun(r)
+				return r.Throughput
 			}
 			mp = append(mp, run(core.ArchMP5))
 			st = append(st, run(core.ArchStaticShard))
@@ -182,6 +187,7 @@ func AblationMitigations(sc Scale) *Table {
 		cfg.Seed = 1
 		sim := core.NewSimulator(prog, cfg)
 		r := sim.Run(trace)
+		noteRun(r)
 		t.Rows = append(t.Rows, []string{
 			v.name, f3(r.Throughput), fmt.Sprint(r.Reordered),
 			fmt.Sprint(r.DroppedStarved), fmt.Sprint(r.MarkedECN),
@@ -216,6 +222,7 @@ func AblationChiplet(sc Scale) *Table {
 					Seed: int64(seed), CrossLatency: lat,
 				})
 				r := sim.Run(trace)
+				noteRun(r)
 				if pat == workload.Uniform {
 					tu = append(tu, r.Throughput)
 					ml = append(ml, r.MeanLatency)

@@ -18,8 +18,32 @@ import (
 	"mp5/internal/core"
 	"mp5/internal/ir"
 	"mp5/internal/stats"
+	"mp5/internal/telemetry"
 	"mp5/internal/workload"
 )
+
+// Metrics aggregates counters over every simulation the harness runs
+// (concurrently-safe; mp5bench snapshots it as Prometheus text with
+// -metrics-out). noteRun must be called with each finished Result.
+var (
+	Metrics        = telemetry.NewRegistry()
+	mSims          = Metrics.NewCounter("mp5bench_sims_total", "simulations executed by the experiment harness")
+	mPktsInjected  = Metrics.NewCounter("mp5bench_packets_injected_total", "packets offered across all harness simulations")
+	mPktsCompleted = Metrics.NewCounter("mp5bench_packets_completed_total", "packets completed across all harness simulations")
+	mSimCycles     = Metrics.NewCounter("mp5bench_sim_cycles_total", "simulated cycles across all harness simulations")
+	mShardMoves    = Metrics.NewCounter("mp5bench_shard_moves_total", "dynamic-sharding migrations across all harness simulations")
+	mSimsByArch    = Metrics.NewCounterVec("mp5bench_sims_by_arch_total", "simulations by architecture", "arch")
+)
+
+// noteRun records one finished simulation into the harness metrics.
+func noteRun(r *core.Result) {
+	mSims.Inc()
+	mPktsInjected.Add(r.Injected)
+	mPktsCompleted.Add(r.Completed)
+	mSimCycles.Add(r.Cycles)
+	mShardMoves.Add(r.ShardMoves)
+	mSimsByArch.Inc(r.Arch.String())
+}
 
 // Table is a formatted experiment result.
 type Table struct {
@@ -152,7 +176,9 @@ func RunSynth(c SynthConfig) *core.Result {
 		Seed:              c.Seed + 1000,
 		RecordAccessOrder: c.Record,
 	})
-	return sim.Run(trace)
+	r := sim.Run(trace)
+	noteRun(r)
+	return r
 }
 
 func f3(x float64) string  { return fmt.Sprintf("%.3f", x) }
@@ -460,6 +486,7 @@ func Fig8(sc Scale) *Table {
 						Arch: core.ArchMP5, Pipelines: k, Seed: int64(seed),
 					})
 					r := sim.Run(trace)
+					noteRun(r)
 					tputs[ki][i][seed] = r.Throughput
 					maxQs[ki][i][seed] = r.MaxFIFODepth
 				})

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"mp5/internal/ir"
 )
@@ -59,6 +60,9 @@ type regShard struct {
 	pipeOf []int
 	// access[i] counts resolutions since the last remap (§3.4).
 	access []int64
+	// total[i] counts resolutions over the whole run (never reset) —
+	// the source for hot-index telemetry reports.
+	total []int64
 	// ewma[i] smooths access counts across remap windows; the LPT
 	// rebalancer uses it so single-window noise does not cause
 	// pointless mass migrations.
@@ -109,6 +113,7 @@ func New(p *ir.Program, k int, policy Policy, seed int64) *Map {
 		}
 		rs.pipeOf = make([]int, n)
 		rs.access = make([]int64, n)
+		rs.total = make([]int64, n)
 		rs.ewma = make([]float64, n)
 		rs.inflight = make([]int64, n)
 		switch {
@@ -154,6 +159,7 @@ func (m *Map) NoteResolved(reg, idx int) {
 	rs := &m.regs[reg]
 	s := rs.slot(idx)
 	rs.access[s]++
+	rs.total[s]++
 	rs.inflight[s]++
 }
 
@@ -323,6 +329,56 @@ func (m *Map) RemapLPT() []Move {
 		}
 	}
 	return moves
+}
+
+// HotIndex is one entry of the hot-key report: a register index, its
+// current home pipeline, and its cumulative resolution count.
+type HotIndex struct {
+	Reg   int
+	Idx   int
+	Pipe  int
+	Count int64
+}
+
+// TopIndices returns the n most-resolved (register, index) slots across
+// every array, hottest first (ties broken by register then index, so the
+// report is deterministic). Unsharded arrays report as a single slot with
+// Idx -1. Slots never resolved are omitted.
+func (m *Map) TopIndices(n int) []HotIndex {
+	var all []HotIndex
+	for reg := range m.regs {
+		rs := &m.regs[reg]
+		if !rs.sharded {
+			var sum int64
+			for _, c := range rs.total {
+				sum += c
+			}
+			if sum > 0 {
+				all = append(all, HotIndex{Reg: reg, Idx: -1, Pipe: rs.pipeOf[0], Count: sum})
+			}
+			continue
+		}
+		for i, c := range rs.total {
+			if c == 0 {
+				continue
+			}
+			all = append(all, HotIndex{Reg: reg, Idx: i, Pipe: rs.pipeOf[i], Count: c})
+		}
+	}
+	sort.Slice(all, func(a, b int) bool {
+		x, y := all[a], all[b]
+		if x.Count != y.Count {
+			return x.Count > y.Count
+		}
+		if x.Reg != y.Reg {
+			return x.Reg < y.Reg
+		}
+		return x.Idx < y.Idx
+	})
+	if n > 0 && len(all) > n {
+		all = all[:n]
+	}
+	return all
 }
 
 // AggregateLoad returns the per-pipeline sum of access counters for one

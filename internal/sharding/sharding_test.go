@@ -231,3 +231,42 @@ func TestPolicyStrings(t *testing.T) {
 		}
 	}
 }
+
+func TestTopIndices(t *testing.T) {
+	m := New(prog2regs(), 4, PolicyRoundRobin, 1)
+	for i := 0; i < 7; i++ {
+		m.NoteResolved(0, 3)
+	}
+	for i := 0; i < 2; i++ {
+		m.NoteResolved(0, 9)
+	}
+	m.NoteResolved(0, 12)
+	// Unsharded register: accesses aggregate into one Idx=-1 slot.
+	for i := 0; i < 4; i++ {
+		m.NoteResolved(1, i%8)
+	}
+	hot := m.TopIndices(3)
+	if len(hot) != 3 {
+		t.Fatalf("got %d entries, want 3", len(hot))
+	}
+	want := []HotIndex{
+		{Reg: 0, Idx: 3, Pipe: 3, Count: 7},
+		{Reg: 1, Idx: -1, Pipe: 3 % 4, Count: 4},
+		{Reg: 0, Idx: 9, Pipe: 1, Count: 2},
+	}
+	for i, w := range want {
+		if hot[i] != w {
+			t.Errorf("entry %d = %+v, want %+v", i, hot[i], w)
+		}
+	}
+	// Unlimited n returns every touched slot, still sorted.
+	all := m.TopIndices(0)
+	if len(all) != 4 {
+		t.Fatalf("got %d entries, want 4", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i].Count > all[i-1].Count {
+			t.Fatal("not sorted by count")
+		}
+	}
+}

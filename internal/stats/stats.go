@@ -118,3 +118,56 @@ func (h *Histogram) Total() int {
 	}
 	return n
 }
+
+// Merge adds another histogram's counts into h. Both must share bounds and
+// bucket count.
+func (h *Histogram) Merge(o *Histogram) {
+	if o.Lo != h.Lo || o.Hi != h.Hi || len(o.Buckets) != len(h.Buckets) {
+		panic("stats: merging histograms with different bucketing")
+	}
+	h.Under += o.Under
+	h.Over += o.Over
+	for i, b := range o.Buckets {
+		h.Buckets[i] += b
+	}
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1) of the recorded sample,
+// linearly interpolating within the containing bucket: the rank
+// r = q*(Total-1) is located in the cumulative counts, and the returned
+// value is the bucket's lower edge plus a midpoint-spread offset — so a
+// bucket holding c observations maps them to evenly spaced positions inside
+// the bucket rather than all to one edge. Unit-width buckets therefore
+// reproduce exact order statistics (the value floors to the right integer).
+// Under-range observations clamp to Lo, over-range ones to Hi. An empty
+// histogram returns NaN.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.Total()
+	if total == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total-1)
+	cum := float64(h.Under)
+	if rank < cum {
+		return h.Lo
+	}
+	width := (h.Hi - h.Lo) / float64(len(h.Buckets))
+	for i, c := range h.Buckets {
+		if c == 0 {
+			continue
+		}
+		if rank < cum+float64(c) {
+			lo := h.Lo + float64(i)*width
+			frac := (rank - cum + 0.5) / float64(c)
+			return lo + width*frac
+		}
+		cum += float64(c)
+	}
+	return h.Hi
+}

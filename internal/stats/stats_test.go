@@ -89,3 +89,107 @@ func TestHistogramBadBounds(t *testing.T) {
 	}()
 	NewHistogram(5, 5, 3)
 }
+
+func TestHistogramQuantileEmpty(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Error("empty histogram quantile should be NaN")
+	}
+}
+
+// TestHistogramQuantileExact: unit-width buckets reproduce exact order
+// statistics — the value floors to the right integer.
+func TestHistogramQuantileExact(t *testing.T) {
+	h := NewHistogram(0, 101, 101)
+	for v := 1; v <= 100; v++ {
+		h.Add(float64(v))
+	}
+	for _, tc := range []struct {
+		q    float64
+		want int64
+	}{
+		{0, 1}, {0.5, 50}, {0.9, 90}, {0.99, 99}, {1, 100},
+	} {
+		got := int64(h.Quantile(tc.q))
+		// rank q*(n-1) can land exactly on a bucket edge; accept the
+		// neighbouring order statistic there.
+		if got != tc.want && got != tc.want+1 {
+			t.Errorf("q=%.2f: got %d, want %d", tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestHistogramQuantileSingleValue(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	h.Add(5)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		got := h.Quantile(q)
+		if got < 5 || got >= 6 {
+			t.Errorf("q=%.2f: got %g, want within [5,6)", q, got)
+		}
+	}
+}
+
+// TestHistogramQuantileInterpolation: observations inside one bucket spread
+// to evenly spaced positions rather than collapsing onto an edge.
+func TestHistogramQuantileInterpolation(t *testing.T) {
+	h := NewHistogram(0, 10, 1) // one bucket of width 10
+	for i := 0; i < 4; i++ {
+		h.Add(1)
+	}
+	// Ranks 0..3 map to (rank+0.5)/4 * 10 = 1.25, 3.75, 6.25, 8.75.
+	if got := h.Quantile(0); got != 1.25 {
+		t.Errorf("q=0: got %g, want 1.25", got)
+	}
+	if got := h.Quantile(1); got != 8.75 {
+		t.Errorf("q=1: got %g, want 8.75", got)
+	}
+}
+
+func TestHistogramQuantileClamps(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	h.Add(-3) // under
+	h.Add(99) // over
+	if got := h.Quantile(0); got != 0 {
+		t.Errorf("under-range should clamp to Lo, got %g", got)
+	}
+	if got := h.Quantile(1); got != 10 {
+		t.Errorf("over-range should clamp to Hi, got %g", got)
+	}
+}
+
+func TestHistogramQuantileMonotone(t *testing.T) {
+	h := NewHistogram(0, 100, 20)
+	for i := 0; i < 500; i++ {
+		h.Add(float64(i%97) + 0.5)
+	}
+	prev := math.Inf(-1)
+	for q := 0.0; q <= 1.0; q += 0.01 {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantile not monotone at q=%.2f: %g < %g", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewHistogram(0, 10, 10)
+	b := NewHistogram(0, 10, 10)
+	for i := 0; i < 5; i++ {
+		a.Add(float64(i))
+		b.Add(float64(i + 5))
+	}
+	b.Add(-1)
+	b.Add(11)
+	a.Merge(b)
+	if a.Total() != 12 || a.Under != 1 || a.Over != 1 {
+		t.Fatalf("merge totals wrong: total=%d under=%d over=%d", a.Total(), a.Under, a.Over)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("merging mismatched bucketing should panic")
+		}
+	}()
+	a.Merge(NewHistogram(0, 10, 5))
+}

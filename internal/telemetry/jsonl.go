@@ -1,0 +1,77 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+
+	"mp5/internal/core"
+)
+
+// EventRecord is the JSONL rendering of one trace event. Kind and cause
+// use their string names so the stream is self-describing; Stage/Pipe keep
+// the -1 "not applicable" convention of core.Event.
+type EventRecord struct {
+	Type  string `json:"type"` // always "event"
+	Cycle int64  `json:"cycle"`
+	Kind  string `json:"kind"`
+	Pkt   int64  `json:"pkt"`
+	Stage int    `json:"stage"`
+	Pipe  int    `json:"pipe"`
+	Cause string `json:"cause,omitempty"`
+}
+
+// JSONL writes telemetry records — events, samples, spans, and arbitrary
+// tagged summary objects — as one JSON object per line. Not safe for
+// concurrent use; the simulator delivers events from one goroutine.
+type JSONL struct {
+	bw  *bufio.Writer
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONL wraps w in a buffered JSONL encoder. Call Flush when done.
+func NewJSONL(w io.Writer) *JSONL {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	return &JSONL{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+func (j *JSONL) write(v any) {
+	if j.err != nil {
+		return
+	}
+	j.err = j.enc.Encode(v)
+}
+
+// EventHook returns a trace consumer streaming every event as JSONL.
+func (j *JSONL) EventHook() func(core.Event) {
+	return func(e core.Event) {
+		j.write(EventRecord{
+			Type: "event", Cycle: e.Cycle, Kind: e.Kind.String(),
+			Pkt: e.PktID, Stage: e.Stage, Pipe: e.Pipe,
+			Cause: e.Cause.String(),
+		})
+	}
+}
+
+// SampleSink returns a Sampler sink writing each interval as JSONL.
+func (j *JSONL) SampleSink() func(Sample) {
+	return func(s Sample) { j.write(s) }
+}
+
+// SpanSink returns a SpanBuilder sink writing each finished span as JSONL.
+func (j *JSONL) SpanSink() func(Span) {
+	return func(s Span) { j.write(s) }
+}
+
+// Object writes one arbitrary record (e.g. a tagged end-of-run summary).
+func (j *JSONL) Object(v any) { j.write(v) }
+
+// Flush drains the buffer and reports the first error encountered on any
+// write.
+func (j *JSONL) Flush() error {
+	if j.err != nil {
+		return j.err
+	}
+	return j.bw.Flush()
+}

@@ -1,0 +1,124 @@
+package telemetry
+
+import (
+	"fmt"
+
+	"mp5/internal/core"
+)
+
+// SimMetrics is the standard per-run metric set, filled purely from the
+// trace-event stream. After a drained run the counters reconcile exactly
+// with the simulator's Result: Injected, Completed, the per-cause drop
+// counters, phantom drops, and shard moves all match.
+type SimMetrics struct {
+	Injected     *Counter
+	Completed    *Counter
+	Drops        *CounterVec // by cause: data, insert, ingress, starved
+	PhantomDrops *Counter
+	ShardMoves   *Counter
+	Steers       *Counter
+	Events       *CounterVec // by kind
+	Latency      *Histogram  // fed from a SpanBuilder after the run
+	FIFODepthMax *GaugeVec   // per (stage, pipe) high-water mark
+
+	admitted map[int64]bool
+	depthMax map[stagePipe]int
+}
+
+// NewSimMetrics registers the standard metric set on r (nil r → nil
+// metrics; the hook still works but records nothing beyond its own maps).
+func NewSimMetrics(r *Registry) *SimMetrics {
+	return &SimMetrics{
+		Injected:     r.NewCounter("mp5_packets_injected_total", "packets offered to the switch (unique admissions plus ingress drops)"),
+		Completed:    r.NewCounter("mp5_packets_completed_total", "packets that egressed"),
+		Drops:        r.NewCounterVec("mp5_packets_dropped_total", "packet deaths by cause", "cause"),
+		PhantomDrops: r.NewCounter("mp5_phantom_drops_total", "phantom placeholders lost to stage-FIFO overflow"),
+		ShardMoves:   r.NewCounter("mp5_shard_moves_total", "dynamic-sharding register-entry migrations"),
+		Steers:       r.NewCounter("mp5_crossbar_steers_total", "inter-pipeline packet crossings"),
+		Events:       r.NewCounterVec("mp5_events_total", "raw trace events by kind", "kind"),
+		Latency:      r.NewHistogram("mp5_packet_latency_cycles", "completed-packet latency (cycles, admit to egress)", 0, 4096, 1024, 0.5, 0.9, 0.99),
+		FIFODepthMax: r.NewGaugeVec("mp5_fifo_depth_max", "event-reconstructed per-(stage,pipe) queue high-water mark", "stage", "pipe"),
+		admitted:     make(map[int64]bool),
+		depthMax:     make(map[stagePipe]int),
+	}
+}
+
+// Hook returns the trace consumer maintaining the metric set. Like the
+// sampler and span builder it keeps a little per-packet state, so one hook
+// serves one run.
+func (m *SimMetrics) Hook() func(core.Event) {
+	occ := make(map[stagePipe]int)
+	enqLoc := make(map[int64]stagePipe)
+	dec := func(loc stagePipe) {
+		occ[loc]--
+		if occ[loc] == 0 {
+			delete(occ, loc)
+		}
+	}
+	return func(e core.Event) {
+		m.Events.Inc(e.Kind.String())
+		switch e.Kind {
+		case core.EvAdmit:
+			if !m.admitted[e.PktID] {
+				m.admitted[e.PktID] = true
+				m.Injected.Inc()
+			}
+		case core.EvEgress:
+			m.Completed.Inc()
+		case core.EvDrop:
+			m.Drops.Inc(e.Cause.String())
+			// A drop of a never-admitted packet (ingress overflow)
+			// still counts as offered load.
+			if !m.admitted[e.PktID] {
+				m.admitted[e.PktID] = true
+				m.Injected.Inc()
+			}
+			if loc, ok := enqLoc[e.PktID]; ok {
+				dec(loc)
+				delete(enqLoc, e.PktID)
+			}
+		case core.EvPhantomDrop:
+			m.PhantomDrops.Inc()
+		case core.EvShardMove:
+			m.ShardMoves.Inc()
+		case core.EvSteer:
+			m.Steers.Inc()
+		case core.EvEnqueue:
+			loc := stagePipe{e.Stage, e.Pipe}
+			occ[loc]++
+			enqLoc[e.PktID] = loc
+			if occ[loc] > m.depthMax[loc] {
+				m.depthMax[loc] = occ[loc]
+				m.FIFODepthMax.Set(float64(occ[loc]),
+					fmt.Sprint(loc.stage), fmt.Sprint(loc.pipe))
+			}
+		case core.EvExec:
+			if loc, ok := enqLoc[e.PktID]; ok && loc.stage == e.Stage {
+				dec(loc)
+				delete(enqLoc, e.PktID)
+			}
+		}
+	}
+}
+
+// Reconcile compares the event-derived counters against the simulator's
+// Result and returns a list of mismatches (empty = exact agreement). Only
+// meaningful when the metrics' hook saw the whole run.
+func (m *SimMetrics) Reconcile(r *core.Result) []string {
+	var bad []string
+	check := func(name string, got, want int64) {
+		if got != want {
+			bad = append(bad, fmt.Sprintf("%s: events say %d, result says %d", name, got, want))
+		}
+	}
+	check("injected", m.Injected.Value(), r.Injected)
+	check("completed", m.Completed.Value(), r.Completed)
+	check("dropped/data", m.Drops.Value(core.CauseData.String()), r.DroppedData)
+	check("dropped/insert", m.Drops.Value(core.CauseInsert.String()), r.DroppedInsert)
+	check("dropped/ingress", m.Drops.Value(core.CauseIngress.String()), r.DroppedIngress)
+	check("dropped/starved", m.Drops.Value(core.CauseStarved.String()), r.DroppedStarved)
+	check("phantom drops", m.PhantomDrops.Value(), r.DroppedPhantom)
+	check("shard moves", m.ShardMoves.Value(), r.ShardMoves)
+	check("conservation", m.Completed.Value()+m.Drops.Total(), m.Injected.Value())
+	return bad
+}

@@ -1,0 +1,203 @@
+package telemetry
+
+import (
+	"math"
+
+	"mp5/internal/core"
+	"mp5/internal/stats"
+)
+
+// Span is one packet's lifecycle folded out of the event stream: admission
+// into stage 0, preemptive resolution, per-stage FIFO waits, and egress or
+// drop. Latency is end-to-end from the first admission — which, for the
+// recirculation baseline, excludes any wait in the ingress buffer before
+// the packet first enters a pipeline. QueueWait is the total cycles spent
+// queued in stage FIFOs (or the ideal queue) and Service is the rest —
+// stage marching, crossbar transit, and recirculation passes.
+type Span struct {
+	Type      string `json:"type"` // always "span"
+	ID        int64  `json:"pkt"`
+	Admit     int64  `json:"admit"`
+	Resolve   int64  `json:"resolve"`
+	End       int64  `json:"end"`
+	Latency   int64  `json:"latency"`
+	QueueWait int64  `json:"queue_wait"`
+	Service   int64  `json:"service"`
+	Steers    int    `json:"steers,omitempty"`
+	Recircs   int    `json:"recircs,omitempty"`
+	Dropped   bool   `json:"dropped,omitempty"`
+	Cause     string `json:"cause,omitempty"`
+}
+
+// spanState is the in-flight bookkeeping for one live packet.
+type spanState struct {
+	admit    int64
+	resolve  int64
+	enqCycle int64
+	enqStage int
+	queued   bool
+	wait     int64
+	steers   int
+	recircs  int
+}
+
+// LatencySummary aggregates the completed-packet latency distribution. The
+// quantiles come from an integer-bucketed histogram (stats.Histogram with
+// Quantile interpolation) — no latency slice is ever sorted.
+type LatencySummary struct {
+	Completed int64   `json:"completed"`
+	Dropped   int64   `json:"dropped"`
+	Mean      float64 `json:"mean"`
+	P50       int64   `json:"p50"`
+	P90       int64   `json:"p90"`
+	P99       int64   `json:"p99"`
+	Max       int64   `json:"max"`
+	// MeanQueueWait and MeanService split the mean latency into FIFO
+	// waiting and everything else.
+	MeanQueueWait float64 `json:"mean_queue_wait"`
+	MeanService   float64 `json:"mean_service"`
+}
+
+// SpanBuilder folds trace events into per-packet Spans. A non-nil sink
+// receives every finished span (completions and drops alike) as it closes;
+// aggregates are always collected and served by Summary. Pure trace
+// consumer: attach Hook via core.Config.Trace.
+type SpanBuilder struct {
+	sink func(Span)
+
+	live      map[int64]*spanState
+	latencies []int64
+	dropped   int64
+	sumWait   float64
+	sumServe  float64
+}
+
+// NewSpanBuilder builds a span builder; sink may be nil (aggregates only).
+func NewSpanBuilder(sink func(Span)) *SpanBuilder {
+	return &SpanBuilder{sink: sink, live: make(map[int64]*spanState)}
+}
+
+// Hook returns the trace function to pass as core.Config.Trace.
+func (b *SpanBuilder) Hook() func(core.Event) {
+	return func(e core.Event) { b.observe(e) }
+}
+
+func (b *SpanBuilder) observe(e core.Event) {
+	switch e.Kind {
+	case core.EvAdmit:
+		st, ok := b.live[e.PktID]
+		if !ok {
+			b.live[e.PktID] = &spanState{admit: e.Cycle, resolve: -1}
+		} else {
+			// Re-admission: a recirculation pass through the
+			// pipelines.
+			st.recircs++
+		}
+	case core.EvResolve:
+		if st, ok := b.live[e.PktID]; ok && st.resolve < 0 {
+			st.resolve = e.Cycle
+		}
+	case core.EvEnqueue:
+		if st, ok := b.live[e.PktID]; ok {
+			st.queued = true
+			st.enqCycle = e.Cycle
+			st.enqStage = e.Stage
+		}
+	case core.EvExec:
+		if st, ok := b.live[e.PktID]; ok && st.queued && st.enqStage == e.Stage {
+			st.wait += e.Cycle - st.enqCycle
+			st.queued = false
+		}
+	case core.EvSteer:
+		if st, ok := b.live[e.PktID]; ok {
+			st.steers++
+		}
+	case core.EvEgress:
+		b.finish(e, false)
+	case core.EvDrop:
+		b.finish(e, true)
+	}
+}
+
+func (b *SpanBuilder) finish(e core.Event, dropped bool) {
+	st, ok := b.live[e.PktID]
+	if !ok {
+		return
+	}
+	delete(b.live, e.PktID)
+	lat := e.Cycle - st.admit
+	sp := Span{
+		Type: "span", ID: e.PktID,
+		Admit: st.admit, Resolve: st.resolve, End: e.Cycle,
+		Latency: lat, QueueWait: st.wait, Service: lat - st.wait,
+		Steers: st.steers, Recircs: st.recircs,
+		Dropped: dropped,
+	}
+	if dropped {
+		sp.Cause = e.Cause.String()
+		b.dropped++
+	} else {
+		b.latencies = append(b.latencies, lat)
+		b.sumWait += float64(st.wait)
+		b.sumServe += float64(lat - st.wait)
+	}
+	if b.sink != nil {
+		b.sink(sp)
+	}
+}
+
+// Live returns the number of packets still in flight (0 after a drained
+// run).
+func (b *SpanBuilder) Live() int { return len(b.live) }
+
+// Summary computes the latency distribution of completed packets. The
+// histogram uses unit-width buckets when the max latency fits 64Ki buckets
+// (exact quantiles) and scales the width up beyond that.
+func (b *SpanBuilder) Summary() LatencySummary {
+	s := LatencySummary{Completed: int64(len(b.latencies)), Dropped: b.dropped}
+	if len(b.latencies) == 0 {
+		return s
+	}
+	var sum, maxL int64
+	for _, l := range b.latencies {
+		sum += l
+		if l > maxL {
+			maxL = l
+		}
+	}
+	s.Mean = float64(sum) / float64(len(b.latencies))
+	s.Max = maxL
+	s.MeanQueueWait = b.sumWait / float64(len(b.latencies))
+	s.MeanService = b.sumServe / float64(len(b.latencies))
+	n := int(maxL) + 1
+	if n > 1<<16 {
+		n = 1 << 16
+	}
+	h := stats.NewHistogram(0, float64(maxL)+1, n)
+	for _, l := range b.latencies {
+		h.Add(float64(l))
+	}
+	q := func(p float64) int64 {
+		v := h.Quantile(p)
+		if math.IsNaN(v) {
+			return 0
+		}
+		if int64(v) > maxL {
+			return maxL
+		}
+		return int64(v)
+	}
+	s.P50, s.P90, s.P99 = q(0.5), q(0.9), q(0.99)
+	return s
+}
+
+// FillHistogram feeds every completed-packet latency into a registry
+// histogram metric (for the Prometheus snapshot).
+func (b *SpanBuilder) FillHistogram(h *Histogram) {
+	if h == nil {
+		return
+	}
+	for _, l := range b.latencies {
+		h.Observe(float64(l))
+	}
+}

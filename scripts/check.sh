@@ -1,0 +1,14 @@
+#!/bin/sh
+# check.sh — the repository's local CI gate: build, vet, the race-enabled
+# test suite, and the telemetry-overhead guard benchmark. Mirrors
+# `make check` for environments without make.
+set -eux
+
+go build ./...
+go vet ./...
+go test -race ./...
+# Guard: the simulator with tracing disabled (BenchmarkTraceDisabled) must
+# stay within 2% of the seed's BenchmarkSimulatorPacketRate; compare the
+# pkts/s metrics printed below. BenchmarkTraceTelemetry shows the cost of
+# the full consumer stack (metrics + sampler + spans + JSONL).
+go test -bench 'BenchmarkTrace|BenchmarkSimulatorPacketRate' -benchtime 2x -run '^$' .
