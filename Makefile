@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench bench-guard clean
+.PHONY: all build vet test race check bench bench-guard fuzz-smoke fuzz clean
 
 all: check
 
@@ -17,8 +17,21 @@ race:
 	$(GO) test -race ./...
 
 # check is the full local gate: build, vet, the race-enabled test suite,
-# and the telemetry-overhead guard benchmark.
-check: vet race bench-guard
+# the deterministic differential-fuzzing smoke, and the telemetry-overhead
+# guard benchmark.
+check: vet race fuzz-smoke bench-guard
+
+# fuzz-smoke is the deterministic, seeded, time-bounded slice of the
+# differential fuzzing harness: MP5_FUZZ_CASES fixed cases (program +
+# workload) checked against the single-pipeline reference on every
+# order-preserving architecture, plus a run of the committed seed corpus.
+fuzz-smoke:
+	MP5_FUZZ_CASES=40 $(GO) test -run 'TestDifferentialSmoke|FuzzDifferential' ./internal/fuzz
+
+# fuzz runs open-ended coverage-guided differential fuzzing (ctrl-C to stop;
+# see also cmd/mp5fuzz for long offline sweeps with JSONL artifacts).
+fuzz:
+	$(GO) test -run FuzzDifferential -fuzz FuzzDifferential ./internal/fuzz
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run ^$$ .

@@ -109,6 +109,11 @@ type Machine struct {
 	// reference access order for C1 checking.
 	accessLog map[int][]int64
 	recording bool
+	// indexedLog, when enabled with RecordIndexedAccesses, refines the
+	// log to individual register slots — keys "r<reg>[<idx>]" with the
+	// clamped index — matching the granularity of the simulator's
+	// EvAccess trace events (see internal/fuzz's order oracle).
+	indexedLog map[string][]int64
 }
 
 // NewMachine builds a reference machine for program p with freshly
@@ -133,6 +138,24 @@ func (m *Machine) RecordAccesses() {
 // the packet ids that visited the array's stage, in processing order.
 func (m *Machine) AccessLog() map[int][]int64 { return m.accessLog }
 
+// RecordIndexedAccesses turns on per-slot access-order logging: the exact
+// sequence of packet ids touching each individual register index, which on
+// a single pipeline is by construction the arrival order. This is the C1
+// reference order the differential fuzzing oracle compares against.
+func (m *Machine) RecordIndexedAccesses() {
+	m.indexedLog = map[string][]int64{}
+}
+
+// IndexedAccessLog returns the per-slot access order, keyed "r<reg>[<idx>]"
+// with indices clamped the same way the register file clamps them.
+func (m *Machine) IndexedAccessLog() map[string][]int64 { return m.indexedLog }
+
+// AccessKey renders the canonical per-slot state name shared by the
+// reference log and the simulator's EvAccess events.
+func AccessKey(reg, idx int) string {
+	return fmt.Sprintf("r%d[%d]", reg, idx)
+}
+
 // Process runs one packet through all pipeline stages and returns its
 // final environment. id is the packet's arrival sequence number (used only
 // for access logging). The caller owns env; fields are updated in place.
@@ -142,8 +165,30 @@ func (m *Machine) Process(id int64, env *ir.Env) {
 		if m.recording && st.Stateful() {
 			m.logStageVisit(id, env, si)
 		}
+		if m.indexedLog != nil && st.Stateful() {
+			m.processStageIndexed(id, env, st)
+			continue
+		}
 		ir.ExecStage(st, env, m.regs)
 	}
+}
+
+// processStageIndexed executes one stage through the observed interpreter
+// path, appending id to each distinct register slot the packet effectively
+// accesses (predicate held; index clamped).
+func (m *Machine) processStageIndexed(id int64, env *ir.Env, st *ir.Stage) {
+	var seen map[string]bool
+	ir.ExecStageObserved(st, env, m.regs, func(reg int, idx int64, write bool) {
+		key := AccessKey(reg, ClampIndex(int(idx), m.prog.Regs[reg].Size))
+		if seen[key] {
+			return
+		}
+		if seen == nil {
+			seen = map[string]bool{}
+		}
+		seen[key] = true
+		m.indexedLog[key] = append(m.indexedLog[key], id)
+	})
 }
 
 // logStageVisit records which register arrays the packet actually touches

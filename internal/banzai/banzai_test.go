@@ -130,6 +130,53 @@ void f (struct Packet p) {
 	}
 }
 
+// TestIndexedAccessLog: the per-slot log refines the per-array log — keys
+// carry the clamped index, predicated-off ops are skipped, and every slot's
+// sequence is strictly ascending (serial machine = arrival order).
+func TestIndexedAccessLog(t *testing.T) {
+	src := `
+struct Packet { int x; };
+int r [4] = {0};
+void f (struct Packet p) {
+    if (p.x > 10) {
+        r[p.x % 4] = r[p.x % 4] + 1;
+    }
+}
+`
+	prog, err := compiler.Compile(src, compiler.Options{Target: compiler.TargetMP5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMachine(prog)
+	m.RecordIndexedAccesses()
+	// x values: packets 1 (x=21, slot 1), 3 (x=30, slot 2), 4 (x=25,
+	// slot 1); packets 0 and 2 are predicated off.
+	for i, x := range []int64{5, 21, 7, 30, 25} {
+		env := ir.NewEnv(prog)
+		env.Fields[0] = x
+		m.Process(int64(i), env)
+	}
+	log := m.IndexedAccessLog()
+	want := map[string][]int64{
+		AccessKey(0, 1): {1, 4},
+		AccessKey(0, 2): {3},
+	}
+	if len(log) != len(want) {
+		t.Fatalf("log keys %v, want %v", log, want)
+	}
+	for k, seq := range want {
+		got := log[k]
+		if len(got) != len(seq) {
+			t.Fatalf("%s = %v, want %v", k, got, seq)
+		}
+		for i := range seq {
+			if got[i] != seq[i] {
+				t.Fatalf("%s = %v, want %v", k, got, seq)
+			}
+		}
+	}
+}
+
 func TestMachineString(t *testing.T) {
 	prog, _ := compiler.Compile(seqSrc, compiler.Options{Target: compiler.TargetBanzai})
 	m := NewMachine(prog)

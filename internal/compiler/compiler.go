@@ -1,11 +1,18 @@
 package compiler
 
 import (
+	"errors"
 	"fmt"
 
 	"mp5/internal/domino"
 	"mp5/internal/ir"
 )
+
+// ErrStageBudget marks compilation failures caused purely by the pipeline
+// depth budget: the program is valid, it just needs more stages than the
+// target has. Callers that generate programs (internal/fuzz) distinguish
+// this resource exhaustion from genuine compile errors via errors.Is.
+var ErrStageBudget = errors.New("stage budget exceeded")
 
 // Target selects the compilation target.
 type Target int
@@ -84,8 +91,8 @@ func CompileFile(f *domino.File, opts Options) (*ir.Program, error) {
 	switch opts.Target {
 	case TargetBanzai:
 		if pv.numLevels > opts.MaxStages {
-			return nil, fmt.Errorf("compiler: program needs %d stages, target has %d",
-				pv.numLevels, opts.MaxStages)
+			return nil, fmt.Errorf("compiler: program needs %d stages, target has %d: %w",
+				pv.numLevels, opts.MaxStages, ErrStageBudget)
 		}
 		prog.Stages = stagesFromLevels(t, pv.level, pv.numLevels)
 		prog.ResolutionStages = 0

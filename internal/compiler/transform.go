@@ -276,7 +276,7 @@ func transform(t *tac, p *pvsm, maxStages int) (*transformResult, error) {
 		if conflictLevel < 0 {
 			// Done: check the stage budget.
 			if numLevels > maxStages {
-				return nil, fmt.Errorf("compiler: program needs %d stages, target has %d", numLevels, maxStages)
+				return nil, fmt.Errorf("compiler: program needs %d stages, target has %d: %w", numLevels, maxStages, ErrStageBudget)
 			}
 			res := &transformResult{
 				level:            level,

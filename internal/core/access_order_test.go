@@ -1,0 +1,139 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"mp5/internal/banzai"
+	"mp5/internal/core"
+	"mp5/internal/equiv"
+)
+
+// accessOrderSrc contends on two register arrays with data-dependent
+// indices and a branch-guarded read-modify-write, so both the dedupe logic
+// and predicate handling of the EvAccess path are exercised.
+const accessOrderSrc = `
+struct Packet { int a; int b; int seq; };
+int gate [64] = {0};
+int count [4] = {0};
+void f (struct Packet p) {
+    gate[p.a % 64] = gate[p.a % 64] + 1;
+    if (p.b % 2 == 1) {
+        count[p.b % 4] = count[p.b % 4] + 1;
+        p.seq = count[p.b % 4];
+    }
+}
+`
+
+// accessOrderRun simulates accessOrderSrc on arch and returns the per-slot
+// access order reconstructed from EvAccess events, the reference order, and
+// the run result.
+func accessOrderRun(t *testing.T, arch core.Arch) (got, want map[string][]int64, res *core.Result) {
+	t.Helper()
+	prog := compileMP5(t, accessOrderSrc)
+	tr := lineRateTrace(prog, 6000, 4, 11)
+	rng := rand.New(rand.NewSource(7))
+	a, b := prog.FieldIndex("a"), prog.FieldIndex("b")
+	for i := range tr {
+		tr[i].Fields[a] = int64(rng.Intn(1024))
+		tr[i].Fields[b] = int64(rng.Intn(1024))
+	}
+	got = map[string][]int64{}
+	sim := core.NewSimulator(prog, core.Config{
+		Arch: arch, Pipelines: 4, Seed: 1,
+		Trace: func(e core.Event) {
+			if e.Kind == core.EvAccess {
+				key := banzai.AccessKey(e.Reg, e.Idx)
+				got[key] = append(got[key], e.PktID)
+			}
+		},
+	})
+	return got, equiv.ReferenceOrder(prog, tr), sim.Run(tr)
+}
+
+// TestAccessEventsMatchReference: on MP5 (D4 on) the access order
+// reconstructed from EvAccess events must equal the single-pipeline
+// reference order exactly, slot by slot — the event stream is a faithful C1
+// witness.
+func TestAccessEventsMatchReference(t *testing.T) {
+	for _, arch := range []core.Arch{core.ArchMP5, core.ArchIdeal, core.ArchNaive} {
+		got, want, res := accessOrderRun(t, arch)
+		if res.Completed != res.Injected {
+			t.Fatalf("%v: loss (%d of %d)", arch, res.Completed, res.Injected)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%v: %d slots accessed, reference has %d", arch, len(got), len(want))
+		}
+		for key, ref := range want {
+			seq := got[key]
+			if len(seq) != len(ref) {
+				t.Fatalf("%v: %s saw %d accesses, reference %d", arch, key, len(seq), len(ref))
+			}
+			for i := range ref {
+				if seq[i] != ref[i] {
+					t.Fatalf("%v: %s position %d: packet %d, reference %d",
+						arch, key, i, seq[i], ref[i])
+				}
+			}
+		}
+	}
+}
+
+// TestAccessEventsExposeNoD4: with D4 ablated the same workload must show
+// order divergence in the EvAccess stream — otherwise the oracle could
+// never falsify anything.
+func TestAccessEventsExposeNoD4(t *testing.T) {
+	got, want, res := accessOrderRun(t, core.ArchMP5NoD4)
+	if res.Completed != res.Injected {
+		t.Fatalf("loss (%d of %d)", res.Completed, res.Injected)
+	}
+	diverged := false
+	for key, ref := range want {
+		seq := got[key]
+		if len(seq) != len(ref) {
+			diverged = true
+			break
+		}
+		for i := range ref {
+			if seq[i] != ref[i] {
+				diverged = true
+				break
+			}
+		}
+	}
+	if !diverged {
+		t.Fatal("no-D4 run reproduced the reference order; oracle is blind")
+	}
+}
+
+// TestAccessEventsDeduped: a packet touching one slot several times within
+// one stage execution (read + write of a read-modify-write) emits exactly
+// one EvAccess for it.
+func TestAccessEventsDeduped(t *testing.T) {
+	prog := compileMP5(t, accessOrderSrc)
+	tr := lineRateTrace(prog, 100, 2, 3)
+	type visit struct {
+		pkt   int64
+		stage int
+		reg   int
+		idx   int
+	}
+	seen := map[visit]int{}
+	sim := core.NewSimulator(prog, core.Config{
+		Arch: core.ArchMP5, Pipelines: 2,
+		Trace: func(e core.Event) {
+			if e.Kind == core.EvAccess {
+				seen[visit{e.PktID, e.Stage, e.Reg, e.Idx}]++
+			}
+		},
+	})
+	sim.Run(tr)
+	if len(seen) == 0 {
+		t.Fatal("no access events")
+	}
+	for v, n := range seen {
+		if n != 1 {
+			t.Fatalf("packet %d stage %d r%d[%d]: %d events, want 1", v.pkt, v.stage, v.reg, v.idx, n)
+		}
+	}
+}

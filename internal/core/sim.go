@@ -127,6 +127,13 @@ type Simulator struct {
 	egressOrder []int64
 	latencies   []int64
 
+	// statefulStage marks stages carrying register accesses; used to skip
+	// the observed (EvAccess-emitting) execution path on stateless stages.
+	statefulStage []bool
+	// accessSeen dedupes EvAccess emission per (reg, clamped idx) within
+	// one stage execution; reused across executions to avoid allocation.
+	accessSeen map[accessKey]bool
+
 	res Result
 	now int64
 }
@@ -162,13 +169,14 @@ func NewSimulator(prog *ir.Program, cfg Config) *Simulator {
 		s.regs[j] = banzai.NewRegFile(prog)
 	}
 	s.st = make([][]stageState, s.S)
-	stateful := map[int]bool{}
+	s.statefulStage = make([]bool, s.S)
 	for _, a := range prog.Accesses {
-		stateful[a.Stage] = true
+		s.statefulStage[a.Stage] = true
 	}
+	s.accessSeen = make(map[accessKey]bool)
 	for i := range s.st {
 		s.st[i] = make([]stageState, s.k)
-		if stateful[i] && cfg.Arch != ArchIdeal && cfg.Arch != ArchRecirc {
+		if s.statefulStage[i] && cfg.Arch != ArchIdeal && cfg.Arch != ArchRecirc {
 			for j := range s.st[i] {
 				s.st[i][j].fifo = NewStageFIFO(s.k, cfg.FIFOCap)
 			}
@@ -591,7 +599,7 @@ func (s *Simulator) processSlot(stage, pipe int) {
 	if fromQueue {
 		s.accountVisitExecution(serve, stage, pipe)
 	}
-	ir.ExecStage(&s.prog.Stages[stage], serve.Env, s.regs[pipe])
+	s.execStage(serve, stage, pipe)
 	if fromQueue {
 		s.completeVisit(serve, stage)
 	}
@@ -599,6 +607,34 @@ func (s *Simulator) processSlot(stage, pipe int) {
 		s.resolve(serve, pipe)
 	}
 	st.out = serve
+}
+
+// execStage runs one stage's instructions for packet p on pipeline pipe.
+// When a trace hook is attached and the stage is stateful, execution goes
+// through the observed interpreter path so every effective register access
+// (predicate held, index resolved to its concrete clamped value) emits one
+// EvAccess event per distinct (register, index) the packet touches. The
+// event stream therefore reconstructs the exact per-state access order —
+// the ground truth for checking C1 against the single-pipeline reference.
+func (s *Simulator) execStage(p *Packet, stage, pipe int) {
+	st := &s.prog.Stages[stage]
+	if s.cfg.Trace == nil || !s.statefulStage[stage] {
+		ir.ExecStage(st, p.Env, s.regs[pipe])
+		return
+	}
+	seen := s.accessSeen
+	ir.ExecStageObserved(st, p.Env, s.regs[pipe], func(reg int, idx int64, write bool) {
+		key := accessKey{reg, banzai.ClampIndex(int(idx), s.prog.Regs[reg].Size)}
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		s.cfg.Trace(Event{
+			Cycle: s.now, Kind: EvAccess, PktID: p.ID,
+			Stage: stage, Pipe: pipe, Reg: key.reg, Idx: key.idx,
+		})
+	})
+	clear(seen)
 }
 
 // accountVisitExecution counts conservative-phantom visits whose stateful
@@ -823,7 +859,7 @@ func (s *Simulator) processRecircSlot(stage, pipe int, st *stageState) {
 			p.frozen = true
 			p.resumeStage = stage
 		} else {
-			ir.ExecStage(&s.prog.Stages[stage], p.Env, s.regs[pipe])
+			s.execStage(p, stage, pipe)
 			if v != nil {
 				s.completeVisit(p, stage)
 			}

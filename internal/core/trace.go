@@ -36,6 +36,14 @@ const (
 	// entry between pipelines. Field mapping: Stage carries the register
 	// id, PktID the index, Pipe the destination pipeline.
 	EvShardMove
+	// EvAccess: a stateful instruction actually executed (its predicate
+	// held) on a concrete register slot. Reg and Idx carry the register
+	// array id and the clamped index; one event fires per distinct
+	// (register, index) a packet touches during one stage execution.
+	// This is the raw material for reconstructing the per-state access
+	// order and checking correctness condition C1 directly — the
+	// reference order being arrival order (see internal/fuzz).
+	EvAccess
 )
 
 var eventNames = map[EventKind]string{
@@ -43,6 +51,7 @@ var eventNames = map[EventKind]string{
 	EvPhantom: "phantom", EvEnqueue: "enqueue", EvSteer: "steer",
 	EvEgress: "egress", EvDrop: "drop",
 	EvPhantomDrop: "phantom-drop", EvShardMove: "shard-move",
+	EvAccess: "access",
 }
 
 // String names the event kind.
@@ -107,6 +116,10 @@ type Event struct {
 	Pipe  int
 	// Cause is set on EvDrop events only.
 	Cause DropCause
+	// Reg and Idx are set on EvAccess events only: the register array id
+	// and the clamped register index the stateful instruction used.
+	Reg int
+	Idx int
 }
 
 // String renders the event.
@@ -114,6 +127,10 @@ func (e Event) String() string {
 	if e.Kind == EvDrop && e.Cause != CauseNone {
 		return fmt.Sprintf("c%d %v pkt=%d stage=%d pipe=%d cause=%v",
 			e.Cycle, e.Kind, e.PktID, e.Stage, e.Pipe, e.Cause)
+	}
+	if e.Kind == EvAccess {
+		return fmt.Sprintf("c%d %v pkt=%d stage=%d pipe=%d r%d[%d]",
+			e.Cycle, e.Kind, e.PktID, e.Stage, e.Pipe, e.Reg, e.Idx)
 	}
 	return fmt.Sprintf("c%d %v pkt=%d stage=%d pipe=%d", e.Cycle, e.Kind, e.PktID, e.Stage, e.Pipe)
 }

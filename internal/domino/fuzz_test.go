@@ -24,6 +24,41 @@ struct Packet { int x; }; int r[N]; void f (struct Packet p) { r[p.x % N] = p.x;
 		`struct Packet { int x; }; void f (struct Packet p) { p.x = ((1 ? 2 : 3) << 4) | -5; }`,
 		"struct Packet { int x; }; \x00\x01\x02",
 		strings.Repeat("(", 50),
+		// Shapes the differential-fuzzing generator (internal/fuzz) emits,
+		// so parser fuzzing and differential fuzzing share seed coverage:
+		// multi-register skeleton with guarded read-modify-write and else.
+		`struct Packet { int f0; int f1; int f2; };
+int r0 [64] = {3};
+int r1 [4] = {0, 1};
+table t0 (2) = 1;
+void f (struct Packet p) {
+    r0[p.f0 % 64] = r0[p.f0 % 64] + 1;
+    p.f2 = r0[p.f0 % 64];
+    if ((p.f1 < 9) || (p.f2 != 0)) {
+        r1[p.f1 % 4] = max(r1[p.f1 % 4], p.f2);
+        p.f0 = r1[p.f1 % 4];
+    } else {
+        r1[p.f1 % 4] = (p.f0 + 3);
+    }
+}`,
+		// Every expression kind the generator draws from: ternary, hash2,
+		// max/min, table call, the full binop set with clamped % and >>.
+		`struct Packet { int f0; int f1; };
+int r0 [16] = {0};
+table t0 (2) = 1;
+void f (struct Packet p) {
+    p.f0 = (p.f1 > 5 ? hash2(p.f0, 7) : min(p.f1, 63));
+    p.f1 = ((p.f0 * 3) & (p.f1 | 12)) ^ ((p.f0 >> 4) % 13);
+    p.f0 = t0(p.f0, p.f1) - max(p.f0, 2);
+    r0[(p.f0 + p.f1) % 16] = (r0[(p.f0 + p.f1) % 16] > 40 ? 0 : r0[(p.f0 + p.f1) % 16] + 1);
+}`,
+		// Blind write, constant index, saturating compare-and-reset.
+		`struct Packet { int f0; };
+int r0 [2] = {5, 5};
+void f (struct Packet p) {
+    r0[1] = (p.f0 + 60);
+    r0[p.f0 % 2] = (r0[p.f0 % 2] > p.f0 ? 0 : r0[p.f0 % 2] + 1);
+}`,
 	}
 	for _, s := range seeds {
 		f.Add(s)

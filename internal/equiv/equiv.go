@@ -7,6 +7,8 @@ package equiv
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 
 	"mp5/internal/banzai"
 	"mp5/internal/core"
@@ -38,10 +40,35 @@ func (m Mismatch) String() string {
 // Report is the outcome of an equivalence check.
 type Report struct {
 	Equivalent bool
-	// Mismatches lists up to Limit differences (register state first).
+	// Mismatches lists up to Limit differences (register state first,
+	// then packet state in ascending packet-id order — the listing is
+	// deterministic for a given run).
 	Mismatches []Mismatch
+	// Total counts every mismatch found, including those beyond the
+	// Limit cap on the recorded list.
+	Total int
 	// PacketsCompared counts packets whose outputs were checked.
 	PacketsCompared int
+}
+
+// String renders the report in a stable, diff-friendly form: a verdict
+// line, then one line per recorded mismatch, then an elision line when
+// mismatches were dropped at the cap.
+func (r *Report) String() string {
+	var b strings.Builder
+	if r.Equivalent {
+		fmt.Fprintf(&b, "equivalent (%d packets compared)", r.PacketsCompared)
+		return b.String()
+	}
+	fmt.Fprintf(&b, "NOT equivalent: %d mismatches (%d packets compared)", r.Total, r.PacketsCompared)
+	for _, m := range r.Mismatches {
+		b.WriteString("\n  ")
+		b.WriteString(m.String())
+	}
+	if r.Total > len(r.Mismatches) {
+		fmt.Fprintf(&b, "\n  ... and %d more", r.Total-len(r.Mismatches))
+	}
+	return b.String()
 }
 
 // Limit caps the number of recorded mismatches.
@@ -70,8 +97,11 @@ func Reference(prog *ir.Program, arrivals []core.Arrival) (regs [][]int64, outpu
 func Check(prog *ir.Program, sim *core.Simulator, arrivals []core.Arrival) *Report {
 	refRegs, refOut := Reference(prog, arrivals)
 	rep := &Report{Equivalent: true}
+	// Every mismatch counts toward Total; only the first Limit are kept,
+	// so one systematic divergence cannot hide the scale of the damage.
 	add := func(m Mismatch) {
 		rep.Equivalent = false
+		rep.Total++
 		if len(rep.Mismatches) < Limit {
 			rep.Mismatches = append(rep.Mismatches, m)
 		}
@@ -89,7 +119,15 @@ func Check(prog *ir.Program, sim *core.Simulator, arrivals []core.Arrival) *Repo
 	if simOut == nil {
 		panic("equiv: simulator was not run with RecordOutputs")
 	}
-	for id, got := range simOut {
+	// Iterate packets in ascending id order so the recorded mismatch list
+	// (and therefore Report.String) is deterministic across runs.
+	ids := make([]int64, 0, len(simOut))
+	for id := range simOut {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		got := simOut[id]
 		want := refOut[id]
 		rep.PacketsCompared++
 		for f := range want {
@@ -100,6 +138,24 @@ func Check(prog *ir.Program, sim *core.Simulator, arrivals []core.Arrival) *Repo
 		}
 	}
 	return rep
+}
+
+// ReferenceOrder runs the single-pipeline reference over the arrival trace
+// and returns the per-slot access order — for every individual register
+// index, the sequence of packet ids that effectively accessed it (predicate
+// held), keyed "r<reg>[<idx>]". On a single pipeline packets execute to
+// completion in arrival order, so each sequence is strictly ascending; this
+// is the order correctness condition C1 requires every implementation to
+// reproduce.
+func ReferenceOrder(prog *ir.Program, arrivals []core.Arrival) map[string][]int64 {
+	m := banzai.NewMachine(prog)
+	m.RecordIndexedAccesses()
+	for i := range arrivals {
+		env := ir.NewEnv(prog)
+		copy(env.Fields, arrivals[i].Fields)
+		m.Process(int64(i), env)
+	}
+	return m.IndexedAccessLog()
 }
 
 // ViolationStats summarizes C1 bookkeeping for a run: the number of state

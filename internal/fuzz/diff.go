@@ -1,0 +1,246 @@
+package fuzz
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mp5/internal/banzai"
+	"mp5/internal/compiler"
+	"mp5/internal/core"
+	"mp5/internal/equiv"
+	"mp5/internal/ir"
+	"mp5/internal/workload"
+)
+
+// OrderPreserving lists the architectures that must reproduce the
+// single-pipeline access order exactly (C1): MP5 itself and the baselines
+// that serialize per state. The D4 ablation and the recirculation baseline
+// are excluded — violating C1 is their documented behaviour.
+var OrderPreserving = []core.Arch{
+	core.ArchMP5, core.ArchIdeal, core.ArchNaive, core.ArchStaticShard,
+}
+
+// Case is one differential-fuzzing input: a generated program plus the
+// knobs that deterministically expand into a workload. Everything needed
+// to reproduce a run is in the case (and serializes to JSON).
+type Case struct {
+	// ProgSeed/Size regenerate the program when Source is empty; after
+	// shrinking, Source carries the minimized program verbatim.
+	ProgSeed int64  `json:"prog_seed"`
+	Size     int    `json:"size"`
+	Source   string `json:"source,omitempty"`
+	// Workload knobs.
+	WorkSeed  int64 `json:"work_seed"`
+	Packets   int   `json:"packets"`
+	Pipelines int   `json:"pipelines"`
+}
+
+// SourceText returns the case's program source, generating it from
+// (ProgSeed, Size) when no explicit source is pinned.
+func (c *Case) SourceText() string {
+	if c.Source != "" {
+		return c.Source
+	}
+	return Generate(c.ProgSeed, c.Size)
+}
+
+// workSpec expands the workload knobs into a FuzzSpec: the seed draws the
+// skew, burst and flow parameters so one int64 covers the whole workload
+// shape space.
+func (c *Case) workSpec() workload.FuzzSpec {
+	s := c.WorkSeed
+	pick := func(n int64) int64 { // successive deterministic draws
+		s = int64(ir.Mix64(uint64(s)))
+		v := s % n
+		if v < 0 {
+			v += n
+		}
+		return v
+	}
+	fs := workload.FuzzSpec{
+		Spec: workload.Spec{
+			Packets:   c.Packets,
+			Pipelines: c.Pipelines,
+			Seed:      c.WorkSeed,
+		},
+		Domain: []int{8, 64, 1024}[pick(3)],
+	}
+	if pick(2) == 0 {
+		fs.Pattern = workload.Skewed
+	}
+	if pick(2) == 0 {
+		fs.Flows = int(pick(7)) + 2
+	}
+	if pick(2) == 0 {
+		fs.BurstProb = 0.1
+		fs.BurstLen = int(pick(6)) + 2
+	}
+	return fs
+}
+
+// Arrivals expands the case into its deterministic arrival trace.
+func (c *Case) Arrivals(prog *ir.Program) []core.Arrival {
+	return workload.FuzzTrace(prog, c.workSpec())
+}
+
+// OrderDiv names one point where a state's observed access order diverged
+// from the single-pipeline reference. Want/Got are packet ids; -1 marks a
+// missing entry (sequences of different length).
+type OrderDiv struct {
+	State string `json:"state"`
+	Pos   int    `json:"pos"`
+	Want  int64  `json:"want"`
+	Got   int64  `json:"got"`
+}
+
+func (d OrderDiv) String() string {
+	return fmt.Sprintf("%s position %d: reference packet %d, observed %d",
+		d.State, d.Pos, d.Want, d.Got)
+}
+
+// Failure is one architecture's divergence from the reference on one case.
+type Failure struct {
+	Arch core.Arch `json:"arch"`
+	// Reason is "compile", "stall", "loss", "state" (equiv mismatch in
+	// registers or packet outputs), or "order" (C1 violation).
+	Reason string        `json:"reason"`
+	Detail string        `json:"detail,omitempty"`
+	Report *equiv.Report `json:"report,omitempty"`
+	Order  []OrderDiv    `json:"order,omitempty"`
+}
+
+func (f *Failure) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%v: %s", f.Arch, f.Reason)
+	if f.Detail != "" {
+		fmt.Fprintf(&b, " (%s)", f.Detail)
+	}
+	for _, d := range f.Order {
+		b.WriteString("\n  order: " + d.String())
+	}
+	if f.Report != nil && !f.Report.Equivalent {
+		b.WriteString("\n  " + f.Report.String())
+	}
+	return b.String()
+}
+
+// maxOrderDivs caps the reported per-state divergences.
+const maxOrderDivs = 8
+
+// reference bundles the single-pipeline ground truth for one case so it is
+// computed once and shared across all architecture runs.
+type reference struct {
+	prog     *ir.Program
+	arrivals []core.Arrival
+	order    map[string][]int64
+	k        int
+}
+
+func newReference(prog *ir.Program, arrivals []core.Arrival, k int) *reference {
+	return &reference{
+		prog:     prog,
+		arrivals: arrivals,
+		order:    equiv.ReferenceOrder(prog, arrivals),
+		k:        k,
+	}
+}
+
+// runArch simulates the case on one architecture and compares against the
+// reference. nil means the architecture matched on every oracle.
+func (r *reference) runArch(arch core.Arch, seed int64) *Failure {
+	got := map[string][]int64{}
+	sim := core.NewSimulator(r.prog, core.Config{
+		Arch: arch, Pipelines: r.k, Seed: seed,
+		RecordOutputs: true,
+		Trace: func(e core.Event) {
+			if e.Kind == core.EvAccess {
+				key := banzai.AccessKey(e.Reg, e.Idx)
+				got[key] = append(got[key], e.PktID)
+			}
+		},
+	})
+	res := sim.Run(r.arrivals)
+	if res.Stalled {
+		return &Failure{Arch: arch, Reason: "stall",
+			Detail: fmt.Sprintf("%d of %d completed after %d cycles", res.Completed, res.Injected, res.Cycles)}
+	}
+	if res.Completed != res.Injected {
+		return &Failure{Arch: arch, Reason: "loss",
+			Detail: fmt.Sprintf("%d of %d completed", res.Completed, res.Injected)}
+	}
+	if divs := diffOrders(r.order, got); len(divs) > 0 {
+		return &Failure{Arch: arch, Reason: "order", Order: divs}
+	}
+	if rep := equiv.Check(r.prog, sim, r.arrivals); !rep.Equivalent {
+		return &Failure{Arch: arch, Reason: "state", Report: rep}
+	}
+	return nil
+}
+
+// diffOrders compares every state's observed access sequence against the
+// reference, returning the first divergence per state (capped). Keys are
+// compared in both directions so spurious and missing states both surface.
+func diffOrders(want, got map[string][]int64) []OrderDiv {
+	keys := make([]string, 0, len(want))
+	for k := range want {
+		keys = append(keys, k)
+	}
+	for k := range got {
+		if _, ok := want[k]; !ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var divs []OrderDiv
+	for _, k := range keys {
+		if len(divs) >= maxOrderDivs {
+			break
+		}
+		w, g := want[k], got[k]
+		n := len(w)
+		if len(g) > n {
+			n = len(g)
+		}
+		for i := 0; i < n; i++ {
+			wv, gv := int64(-1), int64(-1)
+			if i < len(w) {
+				wv = w[i]
+			}
+			if i < len(g) {
+				gv = g[i]
+			}
+			if wv != gv {
+				divs = append(divs, OrderDiv{State: k, Pos: i, Want: wv, Got: gv})
+				break // first divergence per state
+			}
+		}
+	}
+	return divs
+}
+
+// Run compiles the case and checks every architecture in archs against the
+// single-pipeline reference, returning one Failure per diverging
+// architecture. A compile error returns a single "compile" failure (the
+// generator aims for 100% compilable output, so this is itself a finding).
+func Run(c *Case, archs []core.Arch) []*Failure {
+	if c.Pipelines <= 0 {
+		c.Pipelines = core.DefaultPipelines
+	}
+	prog, err := compiler.Compile(c.SourceText(), compiler.Options{Target: compiler.TargetMP5})
+	if err != nil {
+		return []*Failure{{Reason: "compile", Detail: err.Error()}}
+	}
+	arrivals := c.Arrivals(prog)
+	if len(arrivals) == 0 {
+		return nil
+	}
+	ref := newReference(prog, arrivals, c.Pipelines)
+	var fails []*Failure
+	for _, a := range archs {
+		if f := ref.runArch(a, c.WorkSeed); f != nil {
+			fails = append(fails, f)
+		}
+	}
+	return fails
+}

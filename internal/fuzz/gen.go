@@ -1,0 +1,337 @@
+// Package fuzz is the differential fuzzing harness: it generates random
+// Domino programs and random workloads, runs them through every switch
+// architecture, and compares each run against the single-pipeline reference
+// — final state, per-packet outputs, and the per-register access order that
+// correctness condition C1 demands. Failing cases are minimized before
+// being reported.
+package fuzz
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"mp5/internal/compiler"
+)
+
+// Assign is one assignment statement of a generated program, pre-rendered
+// as expression text ("lhs = rhs").
+type Assign struct {
+	LHS, RHS string
+}
+
+// Stmt is one top-level statement: a bare assignment, or a guarded block
+// (if (Cond) { Assigns } else { Else }) when Cond is non-empty.
+type Stmt struct {
+	Cond    string
+	Assigns []Assign
+	Else    []Assign
+}
+
+// RegDecl declares one register array of a generated program.
+type RegDecl struct {
+	Name string
+	Size int
+	Init []int64
+}
+
+// Program is the generator's structured form of a Domino program. The
+// shrinker edits it (dropping statements, flattening guards) and re-renders
+// between attempts; Render produces parseable Domino source.
+type Program struct {
+	Fields []string
+	Regs   []RegDecl
+	Tables int // tables t0..tN-1, each 2 keys with a constant default
+	Stmts  []Stmt
+}
+
+// Render produces Domino source for the program.
+func (p *Program) Render() string {
+	var b strings.Builder
+	b.WriteString("struct Packet { ")
+	for _, f := range p.Fields {
+		fmt.Fprintf(&b, "int %s; ", f)
+	}
+	b.WriteString("};\n")
+	for _, r := range p.Regs {
+		fmt.Fprintf(&b, "int %s [%d] = {", r.Name, r.Size)
+		for i, v := range r.Init {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%d", v)
+		}
+		b.WriteString("};\n")
+	}
+	for i := 0; i < p.Tables; i++ {
+		fmt.Fprintf(&b, "table t%d (2) = %d;\n", i, i+1)
+	}
+	b.WriteString("void f (struct Packet p) {\n")
+	for _, s := range p.Stmts {
+		if s.Cond == "" {
+			for _, a := range s.Assigns {
+				fmt.Fprintf(&b, "    %s = %s;\n", a.LHS, a.RHS)
+			}
+			continue
+		}
+		fmt.Fprintf(&b, "    if (%s) {\n", s.Cond)
+		for _, a := range s.Assigns {
+			fmt.Fprintf(&b, "        %s = %s;\n", a.LHS, a.RHS)
+		}
+		b.WriteString("    }")
+		if len(s.Else) > 0 {
+			b.WriteString(" else {\n")
+			for _, a := range s.Else {
+				fmt.Fprintf(&b, "        %s = %s;\n", a.LHS, a.RHS)
+			}
+			b.WriteString("    }")
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// regSizes are the array sizes the generator draws from: tiny arrays force
+// index collisions (ordering pressure), larger ones exercise sharding.
+var regSizes = []int{1, 2, 4, 8, 16, 64}
+
+// generator carries the random state and declared names while building one
+// program.
+type generator struct {
+	rng    *rand.Rand
+	prog   *Program
+	regRMW []bool // register already used in a read-modify-write
+}
+
+// Generate builds a random well-typed Domino program. size (≥ 1) scales
+// the number of registers, statements and expression depth; the result is
+// deterministic in (seed, size). Programs exercise the compiler's corners:
+// multiple register arrays, data-dependent indices, branch-guarded
+// read-modify-writes, stateless/stateful mixes, builtins and tables.
+func Generate(seed int64, size int) string {
+	return GenerateProgram(seed, size).Render()
+}
+
+// GenerateProgram is Generate returning the structured form (for the
+// shrinker).
+func GenerateProgram(seed int64, size int) *Program {
+	if size < 1 {
+		size = 1
+	}
+	if size > 8 {
+		size = 8
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := &generator{rng: rng, prog: &Program{}}
+
+	nf := 2 + rng.Intn(2+size/2) // 2..5 fields
+	for i := 0; i < nf; i++ {
+		g.prog.Fields = append(g.prog.Fields, fmt.Sprintf("f%d", i))
+	}
+	nr := 1 + rng.Intn(min(4, 1+size)) // 1..4 registers
+	for i := 0; i < nr; i++ {
+		// The first register is wide (spreads packets across pipelines
+		// with uneven queueing) and the second narrow (converges them on
+		// hot slots) — the shape that makes ordering mistakes observable;
+		// further registers are arbitrary.
+		var sz int
+		switch i {
+		case 0:
+			sz = []int{16, 64}[rng.Intn(2)]
+		case 1:
+			sz = []int{2, 4, 8}[rng.Intn(3)]
+		default:
+			sz = regSizes[rng.Intn(len(regSizes))]
+		}
+		r := RegDecl{Name: fmt.Sprintf("r%d", i), Size: sz}
+		for j := 0; j < min(sz, 1+rng.Intn(3)); j++ {
+			r.Init = append(r.Init, int64(rng.Intn(8)))
+		}
+		g.prog.Regs = append(g.prog.Regs, r)
+	}
+	g.regRMW = make([]bool, nr)
+	if rng.Intn(5) == 0 {
+		g.prog.Tables = 1
+	}
+
+	// Seed the body with one data-dependent read-modify-write per register
+	// (up to three): the "gate then sequencer" shape where packets delay
+	// differently at one array and converge on another is what makes
+	// ordering mistakes observable, so every program gets that skeleton
+	// before the random statements are layered on.
+	for i := 0; i < nr && i < 3; i++ {
+		reg := g.prog.Regs[i]
+		// Index each skeleton register by its own field so the arrays'
+		// access paths are independent: a packet delayed at r0's slot
+		// still races others into r1's slot.
+		idx := "0"
+		if reg.Size > 1 {
+			idx = fmt.Sprintf("p.%s %% %d", g.prog.Fields[i%nf], reg.Size)
+		}
+		slot := fmt.Sprintf("%s[%s]", reg.Name, idx)
+		st := Stmt{Assigns: []Assign{{LHS: slot, RHS: g.rmwRHS(slot)}}}
+		if rng.Intn(2) == 0 {
+			// Stamp the value into the packet: misordered updates then
+			// corrupt packet outputs, not just final state.
+			st.Assigns = append(st.Assigns, Assign{LHS: g.field(), RHS: slot})
+		}
+		g.prog.Stmts = append(g.prog.Stmts, st)
+	}
+
+	ns := 2 + rng.Intn(2+size) // 2..9 further statements
+	for i := 0; i < ns; i++ {
+		g.prog.Stmts = append(g.prog.Stmts, g.stmt())
+	}
+
+	// Long dependency chains can pipeline into more stages than the target
+	// has. That is resource exhaustion, not a generator bug, so trim
+	// trailing statements until the program fits — any other compile error
+	// must survive to the caller as a finding.
+	for len(g.prog.Stmts) > 1 {
+		_, err := compiler.Compile(g.prog.Render(), compiler.Options{Target: compiler.TargetMP5})
+		if !errors.Is(err, compiler.ErrStageBudget) {
+			break
+		}
+		g.prog.Stmts = g.prog.Stmts[:len(g.prog.Stmts)-1]
+	}
+	return g.prog
+}
+
+// field returns a random packet-field expression.
+func (g *generator) field() string {
+	return "p." + g.prog.Fields[g.rng.Intn(len(g.prog.Fields))]
+}
+
+// index returns a register-index expression for an array of the given
+// size: constant, one field, or a small combination — all reduced mod the
+// array size so the program is collision-prone but well-behaved.
+func (g *generator) index(size int) string {
+	if size == 1 {
+		return "0"
+	}
+	switch g.rng.Intn(6) {
+	case 0:
+		// Constant indices make the slot a serialization barrier (every
+		// packet funnels through one FIFO in order), which *hides*
+		// downstream misordering — keep them rare.
+		return fmt.Sprint(g.rng.Intn(size))
+	case 1, 2, 3:
+		return fmt.Sprintf("%s %% %d", g.field(), size)
+	default:
+		return fmt.Sprintf("(%s + %s) %% %d", g.field(), g.field(), size)
+	}
+}
+
+// binOps are the binary operators the expression generator draws from;
+// arithmetic dominates so register values keep evolving.
+var binOps = []string{"+", "+", "-", "*", "&", "|", "^", ">>", "%"}
+
+// expr returns a random packet-local expression of bounded depth (no
+// register reads — those are placed deliberately by stmt so stateful
+// clusters stay compilable).
+func (g *generator) expr(depth int) string {
+	if depth <= 0 || g.rng.Intn(3) == 0 {
+		if g.rng.Intn(2) == 0 {
+			return g.field()
+		}
+		return fmt.Sprint(g.rng.Intn(64))
+	}
+	switch g.rng.Intn(8) {
+	case 0:
+		return fmt.Sprintf("(%s ? %s : %s)", g.cond(depth-1), g.expr(depth-1), g.expr(depth-1))
+	case 1:
+		switch g.rng.Intn(3) {
+		case 0:
+			return fmt.Sprintf("hash2(%s, %s)", g.expr(depth-1), g.expr(depth-1))
+		case 1:
+			return fmt.Sprintf("max(%s, %s)", g.expr(depth-1), g.expr(depth-1))
+		default:
+			return fmt.Sprintf("min(%s, %s)", g.expr(depth-1), g.expr(depth-1))
+		}
+	case 2:
+		if g.prog.Tables > 0 {
+			return fmt.Sprintf("t%d(%s, %s)", g.rng.Intn(g.prog.Tables), g.expr(depth-1), g.expr(depth-1))
+		}
+		fallthrough
+	default:
+		op := binOps[g.rng.Intn(len(binOps))]
+		rhs := g.expr(depth - 1)
+		if op == "%" || op == ">>" {
+			// Keep divisors positive and shifts small.
+			rhs = fmt.Sprint(1 + g.rng.Intn(16))
+		}
+		return fmt.Sprintf("(%s %s %s)", g.expr(depth-1), op, rhs)
+	}
+}
+
+// cond returns a random boolean-ish expression for guards and ternaries.
+func (g *generator) cond(depth int) string {
+	ops := []string{"<", "<=", ">", ">=", "==", "!="}
+	c := fmt.Sprintf("%s %s %s", g.expr(depth), ops[g.rng.Intn(len(ops))], g.expr(depth))
+	if depth > 0 && g.rng.Intn(4) == 0 {
+		join := "&&"
+		if g.rng.Intn(2) == 0 {
+			join = "||"
+		}
+		c = fmt.Sprintf("(%s) %s (%s)", c, join, g.cond(depth-1))
+	}
+	return c
+}
+
+// stmt returns one random statement layered on the stateful skeleton. The
+// mix leans stateless/read-heavy: every extra unconditional write adds a
+// serialization point that masks ordering bugs, so stateful writes stay a
+// minority here (the skeleton already guarantees the interesting ones).
+func (g *generator) stmt() Stmt {
+	r := g.rng.Intn(10)
+	switch {
+	case r < 4: // stateless assignment
+		return Stmt{Assigns: []Assign{{LHS: g.field(), RHS: g.expr(2)}}}
+	case r < 7: // register read into a field
+		reg := g.pickReg()
+		rd := fmt.Sprintf("%s[%s]", reg.Name, g.index(reg.Size))
+		return Stmt{Assigns: []Assign{{LHS: g.field(), RHS: rd}}}
+	case r < 9: // read-modify-write, possibly guarded
+		reg := g.pickReg()
+		idx := g.index(reg.Size)
+		slot := fmt.Sprintf("%s[%s]", reg.Name, idx)
+		rhs := g.rmwRHS(slot)
+		st := Stmt{Assigns: []Assign{{LHS: slot, RHS: rhs}}}
+		if g.rng.Intn(3) == 0 {
+			st.Cond = g.cond(1)
+			if g.rng.Intn(3) == 0 {
+				st.Else = []Assign{{LHS: slot, RHS: g.expr(1)}}
+			}
+		}
+		if g.rng.Intn(3) == 0 {
+			// Stamp the updated value into the packet so ordering
+			// mistakes become visible in packet outputs too.
+			st.Assigns = append(st.Assigns, Assign{LHS: g.field(), RHS: slot})
+		}
+		return st
+	default: // blind register write
+		reg := g.pickReg()
+		slot := fmt.Sprintf("%s[%s]", reg.Name, g.index(reg.Size))
+		return Stmt{Assigns: []Assign{{LHS: slot, RHS: g.expr(2)}}}
+	}
+}
+
+// rmwRHS builds the right-hand side of a read-modify-write on slot.
+func (g *generator) rmwRHS(slot string) string {
+	switch g.rng.Intn(4) {
+	case 0:
+		return fmt.Sprintf("%s + 1", slot)
+	case 1:
+		return fmt.Sprintf("%s + %s", slot, g.expr(1))
+	case 2:
+		return fmt.Sprintf("max(%s, %s)", slot, g.expr(1))
+	default:
+		return fmt.Sprintf("(%s > %s ? 0 : %s + 1)", slot, g.expr(1), slot)
+	}
+}
+
+func (g *generator) pickReg() RegDecl {
+	return g.prog.Regs[g.rng.Intn(len(g.prog.Regs))]
+}

@@ -222,6 +222,28 @@ func ExecStage(s *Stage, e *Env, regs RegStore) {
 	}
 }
 
+// AccessObserver receives every stateful instruction that actually executes
+// (its predicate already evaluated against the live environment), with the
+// raw register index it is about to use. write distinguishes OpWrReg from
+// OpRdReg. Observers see the access immediately before it happens, so the
+// sequence of observations across packets IS the state's access order.
+type AccessObserver func(reg int, idx int64, write bool)
+
+// ExecStageObserved executes the stage like ExecStage but reports each
+// executed OpRdReg/OpWrReg to obs first. Because the predicate and index are
+// evaluated at the same instant the interpreter evaluates them, the report
+// is exact even when the index or predicate is computed earlier in the same
+// stage (fused read-modify-write clusters).
+func ExecStageObserved(s *Stage, e *Env, regs RegStore, obs AccessObserver) {
+	for i := range s.Instrs {
+		in := &s.Instrs[i]
+		if obs != nil && in.Op.IsStateful() && predHolds(in, e) {
+			obs(in.Reg, e.Load(in.Idx), in.Op == OpWrReg)
+		}
+		ExecInstr(in, e, regs)
+	}
+}
+
 func clampShift(b int64) uint {
 	if b < 0 {
 		return 0

@@ -2,6 +2,8 @@ package stats
 
 import (
 	"math"
+	"math/rand"
+	"sort"
 	"testing"
 	"testing/quick"
 )
@@ -170,6 +172,115 @@ func TestHistogramQuantileMonotone(t *testing.T) {
 			t.Fatalf("quantile not monotone at q=%.2f: %g < %g", q, v, prev)
 		}
 		prev = v
+	}
+}
+
+// TestHistogramQuantileMatchesSortProperty: on random samples with
+// unit-width buckets, Quantile must land within one bucket width of the
+// exact order statistic, stay inside [Lo, Hi], and be monotone in q.
+func TestHistogramQuantileMatchesSortProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(400)
+		h := NewHistogram(0, 64, 64)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = float64(rng.Intn(64)) + rng.Float64()
+			h.Add(xs[i])
+		}
+		sort.Float64s(xs)
+		prev := math.Inf(-1)
+		for _, q := range []float64{0, 0.01, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+			got := h.Quantile(q)
+			if got < 0 || got > 64 {
+				t.Fatalf("trial %d q=%.2f: %g outside [0,64]", trial, q, got)
+			}
+			if got < prev {
+				t.Fatalf("trial %d: quantile not monotone at q=%.2f", trial, q)
+			}
+			prev = got
+			// The rank q*(n-1) is fractional: the estimate may land
+			// anywhere between the neighbouring order statistics, plus one
+			// bucket width of quantization error on either side.
+			rank := q * float64(n-1)
+			flo, fhi := xs[int(rank)], xs[int(math.Ceil(rank))]
+			if got < flo-1-1e-9 || got > fhi+1+1e-9 {
+				t.Fatalf("trial %d q=%.2f n=%d: got %g outside order-statistic bracket [%g, %g]",
+					trial, q, n, got, flo, fhi)
+			}
+		}
+	}
+}
+
+// TestHistogramSingleBucket: the degenerate one-bucket histogram must still
+// satisfy every quantile invariant (everything interpolates inside [Lo, Hi)).
+func TestHistogramSingleBucket(t *testing.T) {
+	h := NewHistogram(3, 7, 1)
+	h.Add(3)
+	if got := h.Quantile(0.5); got < 3 || got >= 7 {
+		t.Fatalf("single observation in single bucket: %g outside [3,7)", got)
+	}
+	for i := 0; i < 99; i++ {
+		h.Add(5)
+	}
+	if lo, hi := h.Quantile(0), h.Quantile(1); lo >= hi+1e-9 || lo < 3 || hi >= 7 {
+		t.Fatalf("single-bucket quantile range [%g, %g] escapes [3,7)", lo, hi)
+	}
+}
+
+// TestHistogramMergeDisjointProperty: merging histograms whose samples
+// occupy disjoint value ranges must be indistinguishable from one histogram
+// fed the pooled observations — bucket by bucket and quantile by quantile.
+func TestHistogramMergeDisjointProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 30; trial++ {
+		lo, hi := NewHistogram(0, 100, 25), NewHistogram(0, 100, 25)
+		pooled := NewHistogram(0, 100, 25)
+		for i := 0; i < 200; i++ {
+			x := rng.Float64() * 50 // disjoint: lo takes [0,50)...
+			lo.Add(x)
+			pooled.Add(x)
+			y := 50 + rng.Float64()*50 // ...hi takes [50,100)
+			hi.Add(y)
+			pooled.Add(y)
+		}
+		lo.Merge(hi)
+		if lo.Total() != pooled.Total() || lo.Under != pooled.Under || lo.Over != pooled.Over {
+			t.Fatalf("trial %d: merged totals diverge from pooled", trial)
+		}
+		for i := range lo.Buckets {
+			if lo.Buckets[i] != pooled.Buckets[i] {
+				t.Fatalf("trial %d bucket %d: merged %d, pooled %d",
+					trial, i, lo.Buckets[i], pooled.Buckets[i])
+			}
+		}
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			if a, b := lo.Quantile(q), pooled.Quantile(q); a != b {
+				t.Fatalf("trial %d q=%.2f: merged %g, pooled %g", trial, q, a, b)
+			}
+		}
+	}
+}
+
+// TestHistogramMergeEmpty: merging an empty histogram is the identity, and
+// merging into an empty one copies the counts; neither disturbs quantiles.
+func TestHistogramMergeEmpty(t *testing.T) {
+	a := NewHistogram(0, 10, 10)
+	for i := 0; i < 7; i++ {
+		a.Add(float64(i))
+	}
+	before := a.Quantile(0.5)
+	a.Merge(NewHistogram(0, 10, 10))
+	if a.Total() != 7 || a.Quantile(0.5) != before {
+		t.Fatal("merging an empty histogram changed the sample")
+	}
+	empty := NewHistogram(0, 10, 10)
+	empty.Merge(a)
+	if empty.Total() != 7 || empty.Quantile(0.5) != before {
+		t.Fatal("merging into an empty histogram lost observations")
+	}
+	if !math.IsNaN(NewHistogram(0, 10, 10).Quantile(0.5)) {
+		t.Fatal("empty histogram quantile must stay NaN")
 	}
 }
 

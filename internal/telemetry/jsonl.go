@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"io"
 
+	"mp5/internal/banzai"
 	"mp5/internal/core"
 )
 
@@ -19,6 +20,10 @@ type EventRecord struct {
 	Stage int    `json:"stage"`
 	Pipe  int    `json:"pipe"`
 	Cause string `json:"cause,omitempty"`
+	// State names the register slot of an "access" event as "rN[i]"
+	// (matching the differential harness's order-oracle keys); absent for
+	// every other kind.
+	State string `json:"state,omitempty"`
 }
 
 // JSONL writes telemetry records — events, samples, spans, and arbitrary
@@ -46,11 +51,15 @@ func (j *JSONL) write(v any) {
 // EventHook returns a trace consumer streaming every event as JSONL.
 func (j *JSONL) EventHook() func(core.Event) {
 	return func(e core.Event) {
-		j.write(EventRecord{
+		rec := EventRecord{
 			Type: "event", Cycle: e.Cycle, Kind: e.Kind.String(),
 			Pkt: e.PktID, Stage: e.Stage, Pipe: e.Pipe,
 			Cause: e.Cause.String(),
-		})
+		}
+		if e.Kind == core.EvAccess {
+			rec.State = banzai.AccessKey(e.Reg, e.Idx)
+		}
+		j.write(rec)
 	}
 }
 

@@ -381,7 +381,7 @@ func TestJSONLStream(t *testing.T) {
 	// Every line is a valid, type-tagged JSON object; the per-type
 	// tallies are consistent with the run.
 	counts := map[string]int64{}
-	var egressEvents, sampleEgress, spanCount int64
+	var egressEvents, accessEvents, sampleEgress, spanCount int64
 	sc := bufio.NewScanner(&buf)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -395,6 +395,14 @@ func TestJSONLStream(t *testing.T) {
 		case "event":
 			if rec["kind"] == "egress" {
 				egressEvents++
+			}
+			if rec["kind"] == "access" {
+				accessEvents++
+				if s, _ := rec["state"].(string); !strings.HasPrefix(s, "r") || !strings.Contains(s, "[") {
+					t.Fatalf("access event without a state key: %v", rec)
+				}
+			} else if _, ok := rec["state"]; ok {
+				t.Fatalf("non-access event carries a state key: %v", rec)
 			}
 		case "sample":
 			sampleEgress += int64(rec["egressed"].(float64))
@@ -419,5 +427,8 @@ func TestJSONLStream(t *testing.T) {
 	}
 	if spanCount != res.Injected {
 		t.Errorf("spans %d != injected %d", spanCount, res.Injected)
+	}
+	if accessEvents == 0 {
+		t.Error("stateful program produced no access events in the stream")
 	}
 }

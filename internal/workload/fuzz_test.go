@@ -1,0 +1,142 @@
+package workload
+
+import (
+	"testing"
+)
+
+// fuzzSpec builds a FuzzSpec with every hazard enabled.
+func fuzzSpec(seed int64) FuzzSpec {
+	return FuzzSpec{
+		Spec: Spec{
+			Packets: 2000, Pipelines: 4, Pattern: Skewed, Seed: seed,
+		},
+		Domain: 32, Flows: 4, BurstProb: 0.2, BurstLen: 5,
+	}
+}
+
+func TestFuzzTraceDeterministic(t *testing.T) {
+	prog := synthProg(t, 2, 64)
+	a := FuzzTrace(prog, fuzzSpec(9))
+	b := FuzzTrace(prog, fuzzSpec(9))
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Cycle != b[i].Cycle || a[i].Port != b[i].Port {
+			t.Fatalf("arrival %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+		for j := range a[i].Fields {
+			if a[i].Fields[j] != b[i].Fields[j] {
+				t.Fatalf("arrival %d field %d differs", i, j)
+			}
+		}
+	}
+	c := FuzzTrace(prog, fuzzSpec(10))
+	same := true
+	for i := range a {
+		if a[i].Cycle != c[i].Cycle || a[i].Port != c[i].Port {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestFuzzTraceSortedAndBounded(t *testing.T) {
+	prog := synthProg(t, 2, 64)
+	fs := fuzzSpec(3)
+	arr := FuzzTrace(prog, fs)
+	if len(arr) != fs.Packets {
+		t.Fatalf("got %d arrivals, want %d", len(arr), fs.Packets)
+	}
+	for i := 1; i < len(arr); i++ {
+		if arr[i].Cycle < arr[i-1].Cycle {
+			t.Fatalf("arrival %d out of cycle order", i)
+		}
+		if arr[i].Cycle == arr[i-1].Cycle && arr[i].Port < arr[i-1].Port {
+			t.Fatalf("arrival %d out of port order within cycle %d", i, arr[i].Cycle)
+		}
+	}
+	for i, a := range arr {
+		for j, v := range a.Fields {
+			if v < 0 || v >= int64(fs.Domain) {
+				t.Fatalf("arrival %d field %d = %d outside [0, %d)", i, j, v, fs.Domain)
+			}
+		}
+	}
+}
+
+// TestFuzzTraceSkew: with the skewed pattern, the hot fraction of the value
+// domain must dominate draws (§4.3.1's two-level pattern, repurposed for
+// field values).
+func TestFuzzTraceSkew(t *testing.T) {
+	prog := synthProg(t, 1, 64)
+	fs := FuzzSpec{
+		Spec:   Spec{Packets: 5000, Pipelines: 4, Pattern: Skewed, Seed: 5},
+		Domain: 100,
+	}
+	arr := FuzzTrace(prog, fs)
+	counts := map[int64]int{}
+	total := 0
+	for _, a := range arr {
+		for _, v := range a.Fields {
+			counts[v]++
+			total++
+		}
+	}
+	// Hot set is 30% of the domain and draws 95% of values: the top 30
+	// values must hold clearly more than a uniform share.
+	type kv struct {
+		v int64
+		n int
+	}
+	var top []kv
+	for v, n := range counts {
+		top = append(top, kv{v, n})
+	}
+	for i := 0; i < len(top); i++ {
+		for j := i + 1; j < len(top); j++ {
+			if top[j].n > top[i].n {
+				top[i], top[j] = top[j], top[i]
+			}
+		}
+	}
+	hot := 0
+	for i := 0; i < 30 && i < len(top); i++ {
+		hot += top[i].n
+	}
+	if frac := float64(hot) / float64(total); frac < 0.8 {
+		t.Fatalf("hot-30 fraction %.2f, want skew near 0.95", frac)
+	}
+}
+
+// TestFuzzTraceBursts: bursts replay field vectors back to back.
+func TestFuzzTraceBursts(t *testing.T) {
+	prog := synthProg(t, 2, 64)
+	fs := FuzzSpec{
+		Spec:      Spec{Packets: 2000, Pipelines: 4, Seed: 8},
+		Domain:    1024,
+		BurstProb: 0.3, BurstLen: 4,
+	}
+	arr := FuzzTrace(prog, fs)
+	repeats := 0
+	for i := 1; i < len(arr); i++ {
+		same := true
+		for j := range arr[i].Fields {
+			if arr[i].Fields[j] != arr[i-1].Fields[j] {
+				same = false
+				break
+			}
+		}
+		if same {
+			repeats++
+		}
+	}
+	// With a large domain, adjacent identical field vectors are
+	// overwhelmingly burst clones; expect a healthy count.
+	if repeats < 100 {
+		t.Fatalf("only %d adjacent clones; bursts not happening", repeats)
+	}
+}

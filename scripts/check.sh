@@ -1,12 +1,17 @@
 #!/bin/sh
 # check.sh — the repository's local CI gate: build, vet, the race-enabled
-# test suite, and the telemetry-overhead guard benchmark. Mirrors
-# `make check` for environments without make.
+# test suite, the differential-fuzzing smoke, and the telemetry-overhead
+# guard benchmark. Mirrors `make check` for environments without make.
 set -eux
 
 go build ./...
 go vet ./...
 go test -race ./...
+# Differential-fuzzing smoke: a deterministic, seeded, time-bounded slice of
+# the harness — fixed random programs and workloads checked against the
+# single-pipeline reference (state, outputs, C1 access order) on every
+# order-preserving architecture, plus the committed seed corpus.
+MP5_FUZZ_CASES=40 go test -run 'TestDifferentialSmoke|FuzzDifferential' ./internal/fuzz
 # Guard: the simulator with tracing disabled (BenchmarkTraceDisabled) must
 # stay within 2% of the seed's BenchmarkSimulatorPacketRate; compare the
 # pkts/s metrics printed below. BenchmarkTraceTelemetry shows the cost of
