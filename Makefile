@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench bench-guard fuzz-smoke fuzz clean
+.PHONY: all build vet test race race-core check bench bench-guard bench-smoke fuzz-smoke fuzz clean
 
 all: check
 
@@ -15,6 +15,12 @@ test: vet
 
 race:
 	$(GO) test -race ./...
+
+# race-core focuses the race detector on the simulator hot loop (the part
+# the event-driven scheduler rewrote); check.sh runs it explicitly so a
+# future narrowing of `race` cannot silently drop core coverage.
+race-core:
+	$(GO) test -race -count 1 ./internal/core
 
 # check is the full local gate: build, vet, the race-enabled test suite,
 # the deterministic differential-fuzzing smoke, and the telemetry-overhead
@@ -41,6 +47,13 @@ bench:
 # pkts/s metrics; BenchmarkTraceTelemetry shows the enabled-path cost).
 bench-guard:
 	$(GO) test -bench 'BenchmarkTrace|BenchmarkSimulatorPacketRate' -benchtime 2x -run ^$$ .
+
+# bench-smoke times the event-driven scheduler against the legacy full
+# sweep on sparse and dense traces and records the machine-readable perf
+# trajectory in BENCH_core.json (acceptance: sparse speedup ≥ 2x, dense
+# within 5% of the sweep).
+bench-smoke:
+	$(GO) run ./cmd/mp5bench -core-bench -bench-out BENCH_core.json
 
 clean:
 	$(GO) clean ./...

@@ -213,6 +213,51 @@ func BenchmarkTraceTelemetry(b *testing.B) {
 	b.ReportMetric(float64(len(trace))*float64(b.N)/b.Elapsed().Seconds(), "pkts/s")
 }
 
+// sparsifyTrace spreads a dense trace into bursts of `burst` packets
+// separated by `gap` idle cycles — the bursty arrival shape of the paper's
+// skewed experiments, and the case the event-driven scheduler exists for:
+// the legacy core walks every idle cycle, the event-driven core jumps them.
+func sparsifyTrace(trace []core.Arrival, burst int, gap int64) []core.Arrival {
+	out := make([]core.Arrival, len(trace))
+	for i, a := range trace {
+		a.Cycle += int64(i/burst) * gap
+		out[i] = a
+	}
+	return out
+}
+
+func benchCore(b *testing.B, sparse, fullSweep bool) {
+	prog, err := apps.Synthetic(4, 512, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	trace := workload.Synthetic(prog, workload.Spec{Packets: 20000, Pipelines: 4, Seed: 1}, 4, 512)
+	if sparse {
+		trace = sparsifyTrace(trace, 256, 20000)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim := core.NewSimulator(prog, core.Config{Arch: core.ArchMP5, Pipelines: 4, Seed: 1})
+		sim.SetFullSweep(fullSweep)
+		sim.Run(trace)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(trace))*float64(b.N)/b.Elapsed().Seconds(), "pkts/s")
+}
+
+// BenchmarkCoreSparseBursty / BenchmarkCoreSparseBurstyFullSweep: the
+// sparse-trace pair behind BENCH_core.json's speedup number (make
+// bench-smoke, cmd/mp5bench -core-bench). The event-driven scheduler must
+// beat the per-cycle sweep by ≥ 2x here.
+func BenchmarkCoreSparseBursty(b *testing.B)          { benchCore(b, true, false) }
+func BenchmarkCoreSparseBurstyFullSweep(b *testing.B) { benchCore(b, true, true) }
+
+// BenchmarkCoreDense / BenchmarkCoreDenseFullSweep: the full-load pair —
+// with every cycle busy the occupancy skip lists must cost ≤ 5% over the
+// plain sweeps.
+func BenchmarkCoreDense(b *testing.B)          { benchCore(b, false, false) }
+func BenchmarkCoreDenseFullSweep(b *testing.B) { benchCore(b, false, true) }
+
 // BenchmarkReferenceExecutor measures the single-pipeline ground-truth
 // executor.
 func BenchmarkReferenceExecutor(b *testing.B) {

@@ -10,16 +10,25 @@
 //	mp5bench -only fig7a     # one experiment
 //	                         # (table1, sram, d2, d3, d4,
 //	                         #  fig7a..fig7d, fig8)
+//	mp5bench -core-bench -bench-out BENCH_core.json
+//	                         # event-driven vs full-sweep scheduler timing
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"reflect"
+	"runtime"
 	"strings"
 	"time"
 
+	"mp5/internal/apps"
+	"mp5/internal/core"
 	"mp5/internal/experiments"
+	"mp5/internal/ir"
+	"mp5/internal/workload"
 )
 
 func main() {
@@ -28,7 +37,14 @@ func main() {
 	packets := flag.Int("packets", 0, "override trace length")
 	seeds := flag.Int("seeds", 0, "override seed count")
 	metricsOut := flag.String("metrics-out", "", "write a Prometheus-text snapshot of the harness metrics to this file when done")
+	coreBench := flag.Bool("core-bench", false, "time the event-driven scheduler against the legacy full sweep (sparse and dense traces) and exit")
+	benchOut := flag.String("bench-out", "", "with -core-bench: write the machine-readable results to this JSON file")
 	flag.Parse()
+
+	if *coreBench {
+		runCoreBench(*benchOut)
+		return
+	}
 
 	sc := experiments.DefaultScale
 	if *full {
@@ -103,6 +119,104 @@ func writeMetrics(path string) {
 	if err := f.Close(); err != nil {
 		fmt.Fprintln(os.Stderr, "mp5bench:", err)
 		os.Exit(1)
+	}
+}
+
+// coreScenario is one row of BENCH_core.json: the same trace timed under
+// both schedulers.
+type coreScenario struct {
+	Name           string  `json:"name"`
+	Packets        int     `json:"packets"`
+	TraceCycles    int64   `json:"trace_cycles"`
+	EventNs        int64   `json:"event_ns_per_run"`
+	SweepNs        int64   `json:"sweep_ns_per_run"`
+	EventPktsPerS  float64 `json:"event_pkts_per_sec"`
+	SweepPktsPerS  float64 `json:"sweep_pkts_per_sec"`
+	Speedup        float64 `json:"speedup"`
+	ResultsMatched bool    `json:"results_matched"`
+}
+
+// coreBenchReport is the BENCH_core.json schema; the perf trajectory is
+// tracked from this file onward (sparse speedup must stay ≥ 2x, the dense
+// trace within 5% of the sweep).
+type coreBenchReport struct {
+	Benchmark string         `json:"benchmark"`
+	Date      string         `json:"date"`
+	GoVersion string         `json:"go_version"`
+	Scenarios []coreScenario `json:"scenarios"`
+}
+
+// runCoreBench times the event-driven scheduler against the legacy
+// full-sweep scheduler on a sparse bursty trace (idle gaps dominate — the
+// event-driven design target) and a dense line-rate trace (every cycle
+// busy — the no-regression guard), and cross-checks that both produce the
+// same Result.
+func runCoreBench(outPath string) {
+	prog, err := apps.Synthetic(4, 512, 16)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mp5bench:", err)
+		os.Exit(1)
+	}
+	dense := workload.Synthetic(prog, workload.Spec{Packets: 20000, Pipelines: 4, Seed: 1}, 4, 512)
+	sparse := make([]core.Arrival, len(dense))
+	for i, a := range dense {
+		a.Cycle += int64(i/256) * 20000 // bursts of 256 split by 20k idle cycles
+		sparse[i] = a
+	}
+	report := coreBenchReport{
+		Benchmark: "core-scheduler",
+		Date:      time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		Scenarios: []coreScenario{
+			timeScenario(prog, "sparse-bursty", sparse),
+			timeScenario(prog, "dense-line-rate", dense),
+		},
+	}
+	out, _ := json.MarshalIndent(report, "", "  ")
+	out = append(out, '\n')
+	if outPath == "" {
+		os.Stdout.Write(out)
+		return
+	}
+	if err := os.WriteFile(outPath, out, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "mp5bench:", err)
+		os.Exit(1)
+	}
+	for _, sc := range report.Scenarios {
+		fmt.Printf("%-16s event %8.2fms  sweep %8.2fms  speedup %.2fx\n",
+			sc.Name, float64(sc.EventNs)/1e6, float64(sc.SweepNs)/1e6, sc.Speedup)
+	}
+	fmt.Println("wrote", outPath)
+}
+
+func timeScenario(prog *ir.Program, name string, trace []core.Arrival) coreScenario {
+	run := func(fullSweep bool) (time.Duration, *core.Result) {
+		best := time.Duration(1<<63 - 1)
+		var res *core.Result
+		for rep := 0; rep < 8; rep++ { // rep 0 is warmup
+			sim := core.NewSimulator(prog, core.Config{Arch: core.ArchMP5, Pipelines: 4, Seed: 1})
+			sim.SetFullSweep(fullSweep)
+			start := time.Now()
+			res = sim.Run(trace)
+			if d := time.Since(start); rep > 0 && d < best {
+				best = d
+			}
+		}
+		return best, res
+	}
+	eventD, eventR := run(false)
+	sweepD, sweepR := run(true)
+	n := float64(len(trace))
+	return coreScenario{
+		Name:           name,
+		Packets:        len(trace),
+		TraceCycles:    eventR.Cycles,
+		EventNs:        eventD.Nanoseconds(),
+		SweepNs:        sweepD.Nanoseconds(),
+		EventPktsPerS:  n / eventD.Seconds(),
+		SweepPktsPerS:  n / sweepD.Seconds(),
+		Speedup:        sweepD.Seconds() / eventD.Seconds(),
+		ResultsMatched: reflect.DeepEqual(eventR, sweepR),
 	}
 }
 

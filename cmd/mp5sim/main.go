@@ -53,6 +53,7 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "write a Prometheus-text metrics snapshot to this file at the end of the run")
 	sampleInterval := flag.Int64("sample-interval", 0, "time-series sampling interval in cycles (0 disables; defaults to 1000 when -trace-jsonl or -metrics-out is set)")
 	topIndices := flag.Int("top-indices", 0, "print the N hottest register indices (by resolution count) after the run")
+	fullSweep := flag.Bool("full-sweep", false, "use the legacy per-cycle scheduler instead of the event-driven one (debugging aid; observable behaviour is identical, sparse traces run slower)")
 	flag.Parse()
 
 	arch, ok := archNames[*archName]
@@ -163,6 +164,7 @@ func main() {
 		cfg.Trace = viz.Tee(hooks...)
 	}
 	sim := core.NewSimulator(prog, cfg)
+	sim.SetFullSweep(*fullSweep)
 	res := sim.Run(trace)
 	if timeline != nil {
 		fmt.Print(timeline.Render())

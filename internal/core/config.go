@@ -187,6 +187,7 @@ type Result struct {
 	WastedVisits    int64 // conservative-phantom visits whose predicate was false
 	DeadPhantomPops int64
 	MarkedECN       int64 // packets congestion-marked at FIFO entry
+	ParkedEarly     int64 // data packets that beat their phantom and parked (CrossLatency > 0)
 
 	// Timing (cycles).
 	FirstArrival int64

@@ -1,0 +1,160 @@
+package core_test
+
+import (
+	"testing"
+
+	"mp5/internal/core"
+	"mp5/internal/workload"
+)
+
+// TestEarlyDataArrival covers the CrossLatency > 0 paths where a data
+// packet outruns its phantom placeholder: every phantom takes the full
+// worst-case channel latency, while same-pipeline data skips the crossbar
+// entirely, so with a slow crossbar the data side can reach its visit stage
+// first. Three things can then happen: the packet parks in the crossbar
+// buffer until its phantom lands (then inserts normally), the phantom turns
+// out to have been dropped (the data packet must die with CauseInsert, not
+// hang), or the packet dies upstream and its already-queued phantom must be
+// popped as dead so it stops blocking the FIFO head.
+func TestEarlyDataArrival(t *testing.T) {
+	type tcase struct {
+		name   string
+		stages int
+		regs   int
+		k      int
+		cfg    core.Config
+		check  func(t *testing.T, res *core.Result, events []core.Event)
+	}
+	cases := []tcase{
+		{
+			// All visits are same-pipe with k=1, so every stateful packet
+			// beats its phantom by exactly CrossLatency cycles and must
+			// park, then insert once the placeholder lands — no drops.
+			name: "park-then-insert", stages: 2, regs: 8, k: 1,
+			cfg: core.Config{Arch: core.ArchMP5, Pipelines: 1, Seed: 3, CrossLatency: 4},
+			check: func(t *testing.T, res *core.Result, events []core.Event) {
+				if res.ParkedEarly == 0 {
+					t.Fatal("no packet parked despite CrossLatency > 0 on same-pipe visits")
+				}
+				if res.Completed != res.Injected {
+					t.Fatalf("parked packets lost: completed %d of %d", res.Completed, res.Injected)
+				}
+				if res.DroppedInsert != 0 || res.DroppedPhantom != 0 {
+					t.Fatalf("unexpected drops: insert=%d phantom=%d", res.DroppedInsert, res.DroppedPhantom)
+				}
+				// Every parked packet still enqueues: phantoms precede
+				// their data packet's enqueue at the same (stage, pipe).
+				enq := map[int64]bool{}
+				for _, e := range events {
+					if e.Kind == core.EvEnqueue {
+						enq[e.PktID] = true
+					}
+				}
+				if int64(len(enq)) != res.Injected {
+					t.Fatalf("%d of %d packets enqueued", len(enq), res.Injected)
+				}
+			},
+		},
+		{
+			// Overloaded single hot state with tiny FIFOs: phantoms
+			// overflow, and each affected data packet must later miss the
+			// directory and die with CauseInsert — exactly once, and the
+			// two id sets must coincide (single-visit program).
+			name: "phantom-drop-kills-data", stages: 1, regs: 1, k: 4,
+			cfg: core.Config{Arch: core.ArchMP5, Pipelines: 4, Seed: 3, CrossLatency: 2, FIFOCap: 2},
+			check: func(t *testing.T, res *core.Result, events []core.Event) {
+				if res.DroppedPhantom == 0 {
+					t.Fatal("scenario drops no phantoms — tighten it")
+				}
+				phantomDropped := map[int64]bool{}
+				insertDropped := map[int64]bool{}
+				for _, e := range events {
+					switch {
+					case e.Kind == core.EvPhantomDrop:
+						phantomDropped[e.PktID] = true
+					case e.Kind == core.EvDrop && e.Cause == core.CauseInsert:
+						if insertDropped[e.PktID] {
+							t.Fatalf("packet %d insert-dropped twice", e.PktID)
+						}
+						insertDropped[e.PktID] = true
+					}
+				}
+				for id := range phantomDropped {
+					if !insertDropped[id] {
+						t.Fatalf("packet %d lost its phantom but never died", id)
+					}
+				}
+				for id := range insertDropped {
+					if !phantomDropped[id] {
+						t.Fatalf("packet %d insert-dropped without a phantom drop", id)
+					}
+				}
+				if res.DroppedInsert != int64(len(insertDropped)) {
+					t.Fatalf("DroppedInsert=%d, %d drop events", res.DroppedInsert, len(insertDropped))
+				}
+			},
+		},
+		{
+			// Two stateful stages with contention: packets die at their
+			// first visit while their second-stage phantoms are already
+			// queued (often at the head, blocking D4). Dead-phantom pops
+			// must clear them so later packets keep flowing — the run must
+			// neither stall nor violate C1.
+			name: "dead-phantom-unblocks-head", stages: 2, regs: 16, k: 4,
+			cfg: core.Config{Arch: core.ArchMP5, Pipelines: 4, Seed: 3, CrossLatency: 2, FIFOCap: 2},
+			check: func(t *testing.T, res *core.Result, events []core.Event) {
+				if res.DeadPhantomPops == 0 {
+					t.Fatal("scenario pops no dead phantoms — tighten it")
+				}
+				if res.Stalled {
+					t.Fatal("dead phantoms blocked the pipeline")
+				}
+				if res.Completed == 0 || res.Completed == res.Injected {
+					t.Fatalf("want a lossy-but-flowing run, got %d of %d", res.Completed, res.Injected)
+				}
+				if res.C1Violating != 0 {
+					t.Fatalf("%d C1 violations", res.C1Violating)
+				}
+				// Dead pops are not traced directly; the structural
+				// witness is that queued service resumed after drops
+				// happened (a blocked head would freeze its FIFO while
+				// the dropped packet's phantom sat at the front): some
+				// later-id packet must enqueue and egress after the
+				// first drop.
+				var firstDropID int64 = -1
+				witness := false
+				for _, e := range events {
+					if firstDropID < 0 && e.Kind == core.EvDrop {
+						firstDropID = e.PktID
+					}
+					if firstDropID >= 0 && e.Kind == core.EvEgress && e.PktID > firstDropID {
+						witness = true
+						break
+					}
+				}
+				if !witness {
+					t.Fatal("no later packet egressed after the first drop — heads stayed blocked")
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			prog, trace := synthSetup(t, tc.stages, tc.regs, tc.k, 2000, workload.Skewed, 13)
+			var events []core.Event
+			tc.cfg.RecordAccessOrder = true
+			tc.cfg.RecordOutputs = true
+			tc.cfg.Trace = func(e core.Event) { events = append(events, e) }
+			sim := core.NewSimulator(prog, tc.cfg)
+			res := sim.Run(trace)
+			tc.check(t, res, events)
+			// Whatever the path, the switch must fully drain its
+			// transient bookkeeping afterwards.
+			dead, left, pending, inserts, live := sim.BookkeepingLive()
+			if dead != 0 || left != 0 || pending != 0 || inserts != 0 || live != 0 {
+				t.Fatalf("bookkeeping not drained: deadIDs=%d phantomsLeft=%d phantomPending=%d pendingInserts=%d live=%d",
+					dead, left, pending, inserts, live)
+			}
+		})
+	}
+}

@@ -69,6 +69,11 @@ type Packet struct {
 	// (Config.ECNThreshold).
 	ecnMarked bool
 
+	// parked records that the packet outran its phantom to its visit
+	// stage and waited in the crossbar buffer (counted once per packet in
+	// Result.ParkedEarly, however many retry cycles it parks for).
+	parked bool
+
 	// Recirculation-baseline state: frozen marks that execution stopped
 	// at resumeStage because the state lives in another pipeline; the
 	// packet physically drains and re-enters the target pipeline.

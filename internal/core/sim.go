@@ -105,11 +105,10 @@ type Simulator struct {
 	// it is reused (and its backing array is recycled).
 	phantoms  [][]phantomEv
 	crossings [][]crossEv
-	// phantomPending/-Dropped track phantom state per (packet, stage)
-	// so early data arrivals can wait for their placeholder instead of
-	// being miscounted as drops.
+	// phantomPending tracks, per (packet, stage), a phantom still on the
+	// (slower) phantom channel, so early data arrivals can wait for
+	// their placeholder instead of being miscounted as drops.
 	phantomPending map[pktStage]bool
-	phantomDropped map[pktStage]bool
 	// pendingInserts holds data packets that arrived at their visit
 	// stage before their phantom (possible only with CrossLatency > 0).
 	pendingInserts map[pktStage]*Packet
@@ -121,6 +120,34 @@ type Simulator struct {
 
 	pendingOrder map[accessKey][]int64 // ideal-mode eligibility fronts
 	deadIDs      map[int64]bool        // dropped packets with live phantoms
+	// phantomsLeft counts, per packet, phantom placeholders not yet
+	// consumed (by a successful insert, a push overflow, or a dead pop);
+	// when a dead packet's count hits zero its deadIDs entry is pruned,
+	// so neither map grows with run length.
+	phantomsLeft map[int64]int
+
+	// live counts every entity still inside the switch: data packets
+	// from ingress admission to egress or abandonment, plus phantom
+	// placeholders from scheduling to consumption. It replaces the
+	// former per-cycle idle() sweep over all queues and slots with an
+	// O(1) check.
+	live int64
+	// occ[i] is the number of entries (inline packets, FIFO entries
+	// including phantom placeholders, ideal-queue packets) currently in
+	// stage i across all pipelines; processStages skips stages at zero.
+	occ []int
+	// outCnt[i] is the number of pipelines of stage i holding an emitted
+	// packet; deliverOutputs skips stages at zero.
+	outCnt []int
+	// work records whether the current cycle mutated simulator state; a
+	// workless cycle proves every cycle until the next scheduled event
+	// is workless too, so Run fast-forwards s.now instead of stepping.
+	work bool
+	// fullSweep disables the occupancy skip lists and the idle
+	// fast-forward, restoring the pre-event-driven per-cycle sweeps.
+	// Testing aid: the equivalence gate runs both schedulers and
+	// compares event streams, results, and outputs bit for bit.
+	fullSweep bool
 
 	accessLog   map[accessKey][]int64
 	outputs     map[int64][]int64
@@ -159,16 +186,18 @@ func NewSimulator(prog *ir.Program, cfg Config) *Simulator {
 		phantoms:       make([][]phantomEv, prog.NumStages()+int(cfg.CrossLatency)+2),
 		crossings:      make([][]crossEv, cfg.CrossLatency+2),
 		phantomPending: make(map[pktStage]bool),
-		phantomDropped: make(map[pktStage]bool),
 		pendingInserts: make(map[pktStage]*Packet),
 		pendingOrder:   make(map[accessKey][]int64),
 		deadIDs:        make(map[int64]bool),
+		phantomsLeft:   make(map[int64]int),
 	}
 	s.regs = make([]*banzai.RegFile, s.k)
 	for j := 0; j < s.k; j++ {
 		s.regs[j] = banzai.NewRegFile(prog)
 	}
 	s.st = make([][]stageState, s.S)
+	s.occ = make([]int, s.S)
+	s.outCnt = make([]int, s.S)
 	s.statefulStage = make([]bool, s.S)
 	for _, a := range prog.Accesses {
 		s.statefulStage[a.Stage] = true
@@ -229,59 +258,93 @@ func (s *Simulator) Run(arrivals []Arrival) *Result {
 
 	ai := 0
 	for {
-		if ai == len(arrivals) && s.idle() {
+		// live == 0 is the former idle() sweep over every queue, slot,
+		// and schedule, maintained incrementally at admit, schedule,
+		// consume, egress, and abandon sites.
+		if ai == len(arrivals) && s.live == 0 {
 			break
 		}
 		if s.now > maxCycles {
 			s.res.Stalled = true
 			break
 		}
+		s.work = false
 		s.deliverPhantoms()
 		s.deliverCrossings()
 		s.deliverOutputs()
 		ai = s.admitArrivals(arrivals, ai)
 		s.processStages()
 		s.maybeRemap()
-		s.now++
+		if s.work || s.fullSweep {
+			s.now++
+		} else {
+			// Nothing changed this cycle, so nothing can change until
+			// the next scheduled event: every per-cycle behaviour is a
+			// function of simulator state (unchanged) and of s.now only
+			// through the event schedules accounted for below.
+			s.now = s.nextEventCycle(arrivals, ai, maxCycles)
+		}
 	}
 	s.finalize()
 	return &s.res
 }
 
-// idle reports whether no packet is anywhere in the switch.
-func (s *Simulator) idle() bool {
-	if s.ingress.len() > 0 || len(s.recircWait) > 0 {
-		return false
-	}
-	for i := range s.pipeIngress {
-		if s.pipeIngress[i].len() > 0 || s.pipeRecirc[i].len() > 0 {
-			return false
+// SetFullSweep forces the legacy scheduler: visit every (stage, pipeline)
+// slot every cycle and never fast-forward across workless cycles. The
+// observable behaviour (events, results, outputs, state) is identical to
+// the event-driven scheduler by construction; tests compare the two, and
+// mp5sim -full-sweep exposes it for debugging. Must be called before Run.
+func (s *Simulator) SetFullSweep(on bool) { s.fullSweep = on }
+
+// nextEventCycle returns the earliest future cycle at which anything can
+// happen: the next due arrival, the next scheduled phantom or crossing
+// delivery, the next recirculation re-entry, or the next dynamic-sharding
+// boundary (Remap mutates its counters even when the switch is quiet).
+// With no event pending it jumps to maxCycles+1, which the loop head turns
+// into the same stalled result the per-cycle scheduler would reach.
+func (s *Simulator) nextEventCycle(arrivals []Arrival, ai int, maxCycles int64) int64 {
+	next := maxCycles + 1
+	consider := func(c int64) {
+		if c > s.now && c < next {
+			next = c
 		}
 	}
-	for i := range s.st {
-		for j := range s.st[i] {
-			st := &s.st[i][j]
-			if st.inline != nil || st.out != nil || len(st.idealQ) > 0 {
-				return false
+	if ai < len(arrivals) {
+		consider(arrivals[ai].Cycle)
+	}
+	// The cyclic schedules hold at most one delivery per slot and drain
+	// before slot reuse, so a non-empty slot maps to exactly one future
+	// cycle within one wrap of the schedule.
+	n := int64(len(s.phantoms))
+	for slot := range s.phantoms {
+		if len(s.phantoms[slot]) > 0 {
+			d := (int64(slot) - s.now%n + n) % n
+			if d == 0 {
+				d = n
 			}
-			if st.fifo != nil && st.fifo.Len() > 0 {
-				// Dead phantoms drain via processSlot; anything
-				// queued means the run is not over yet.
-				return false
+			consider(s.now + d)
+		}
+	}
+	n = int64(len(s.crossings))
+	for slot := range s.crossings {
+		if len(s.crossings[slot]) > 0 {
+			d := (int64(slot) - s.now%n + n) % n
+			if d == 0 {
+				d = n
 			}
+			consider(s.now + d)
 		}
 	}
-	for _, evs := range s.phantoms {
-		if len(evs) > 0 {
-			return false
-		}
+	for i := range s.recircWait {
+		consider(s.recircWait[i].ready)
 	}
-	for _, evs := range s.crossings {
-		if len(evs) > 0 {
-			return false
-		}
+	if s.cfg.dynamicSharding() {
+		consider(s.now - s.now%s.cfg.RemapInterval + s.cfg.RemapInterval)
 	}
-	return len(s.pendingInserts) == 0
+	if next <= s.now {
+		next = s.now + 1 // defensive: never stall the clock
+	}
+	return next
 }
 
 // deliverPhantoms lands phantom-channel deliveries scheduled for this cycle
@@ -291,33 +354,60 @@ func (s *Simulator) deliverPhantoms() {
 	slot := int(s.now % int64(len(s.phantoms)))
 	if evs := s.phantoms[slot]; len(evs) > 0 {
 		s.phantoms[slot] = evs[:0]
+		s.work = true
 		for _, ev := range evs {
 			if s.cfg.CrossLatency > 0 {
 				delete(s.phantomPending, pktStage{ev.pktID, ev.stage})
 			}
 			st := &s.st[ev.stage][ev.pipe]
 			if st.fifo.PushPhantom(ev.srcPipe, ev.ts, ev.pktID, s.now) {
+				s.occ[ev.stage]++
 				s.emit(EvPhantom, ev.pktID, ev.stage, ev.pipe)
 			} else {
 				s.res.DroppedPhantom++
 				s.emit(EvPhantomDrop, ev.pktID, ev.stage, ev.pipe)
-				s.phantomDropped[pktStage{ev.pktID, ev.stage}] = true
+				s.phantomConsumed(ev.pktID)
 			}
 			s.noteFIFODepth(ev.stage, st)
 		}
 	}
 	if len(s.pendingInserts) > 0 {
 		// Snapshot first: a retry that is still early re-parks itself.
+		// The snapshot is sorted by (packet id, stage) — ranging over
+		// the map directly made the retry order, and with it the order
+		// of same-cycle insert/drop events, nondeterministic across
+		// runs of the same seed.
 		retry := make([]pktStage, 0, len(s.pendingInserts))
 		for key := range s.pendingInserts {
 			retry = append(retry, key)
 		}
+		sort.Slice(retry, func(a, b int) bool {
+			if retry[a].id != retry[b].id {
+				return retry[a].id < retry[b].id
+			}
+			return retry[a].stage < retry[b].stage
+		})
 		for _, key := range retry {
 			p := s.pendingInserts[key]
 			delete(s.pendingInserts, key)
 			s.arriveAtVisit(p, key.stage)
 		}
 	}
+}
+
+// phantomConsumed retires one of a packet's outstanding phantom
+// placeholders (successful insert, push overflow, or dead pop). When the
+// last one goes, the packet's bookkeeping — including a deadIDs entry if
+// it was dropped mid-flight — is pruned.
+func (s *Simulator) phantomConsumed(pktID int64) {
+	s.live--
+	n := s.phantomsLeft[pktID] - 1
+	if n > 0 {
+		s.phantomsLeft[pktID] = n
+		return
+	}
+	delete(s.phantomsLeft, pktID)
+	delete(s.deadIDs, pktID)
 }
 
 // deliverCrossings lands data packets whose inter-pipeline link traversal
@@ -329,6 +419,7 @@ func (s *Simulator) deliverCrossings() {
 		return
 	}
 	s.crossings[slot] = evs[:0]
+	s.work = true
 	for _, ev := range evs {
 		s.arriveAtVisit(ev.pkt, ev.stage)
 	}
@@ -338,6 +429,9 @@ func (s *Simulator) deliverCrossings() {
 // (crossbar steering happens here) or to egress.
 func (s *Simulator) deliverOutputs() {
 	for i := s.S - 1; i >= 0; i-- {
+		if s.outCnt[i] == 0 && !s.fullSweep {
+			continue
+		}
 		for j := 0; j < s.k; j++ {
 			st := &s.st[i][j]
 			if st.out == nil {
@@ -345,6 +439,8 @@ func (s *Simulator) deliverOutputs() {
 			}
 			p := st.out
 			st.out = nil
+			s.outCnt[i]--
+			s.work = true
 			s.route(p, i+1)
 		}
 	}
@@ -363,6 +459,7 @@ func (s *Simulator) route(p *Packet, stage int) {
 			panic("core: inline slot collision (recirc)")
 		}
 		st.inline = p
+		s.occ[stage]++
 		return
 	}
 	if v := p.visitAt(stage); v != nil {
@@ -385,6 +482,7 @@ func (s *Simulator) route(p *Packet, stage int) {
 		panic("core: inline slot collision")
 	}
 	st.inline = p
+	s.occ[stage]++
 }
 
 // arriveAtVisit lands a data packet at its stateful visit stage: ECN
@@ -401,11 +499,14 @@ func (s *Simulator) arriveAtVisit(p *Packet, stage int) {
 		if depth > th && !p.ecnMarked {
 			s.res.MarkedECN++
 			p.ecnMarked = true
+			s.work = true
 		}
 	}
 	switch s.cfg.Arch {
 	case ArchMP5NoD4:
+		s.work = true
 		if st.fifo.PushData(p.srcPipe, p, s.now) {
+			s.occ[stage]++
 			s.emit(EvEnqueue, p.ID, stage, p.pipe)
 		} else {
 			s.res.DroppedData++
@@ -413,6 +514,8 @@ func (s *Simulator) arriveAtVisit(p *Packet, stage int) {
 		}
 	case ArchIdeal:
 		st.idealQ = append(st.idealQ, p)
+		s.occ[stage]++
+		s.work = true
 		s.emit(EvEnqueue, p.ID, stage, p.pipe)
 		if d := len(st.idealQ); d > s.res.MaxFIFOPerStage[stage] {
 			s.res.MaxFIFOPerStage[stage] = d
@@ -422,6 +525,10 @@ func (s *Simulator) arriveAtVisit(p *Packet, stage int) {
 		}
 	default:
 		if st.fifo.Insert(p, s.now) {
+			// The data packet replaces its placeholder in place:
+			// stage occupancy is unchanged, the phantom is consumed.
+			s.work = true
+			s.phantomConsumed(p.ID)
 			s.emit(EvEnqueue, p.ID, stage, p.pipe)
 			break
 		}
@@ -429,10 +536,16 @@ func (s *Simulator) arriveAtVisit(p *Packet, stage int) {
 		switch {
 		case s.phantomPending[key]:
 			// The phantom is still on the (slower) phantom
-			// channel: wait in the crossbar buffer.
+			// channel: wait in the crossbar buffer. Re-parking a
+			// retried packet is not work — nothing can change
+			// until its phantom's scheduled delivery.
+			if !p.parked {
+				p.parked = true
+				s.res.ParkedEarly++
+			}
 			s.pendingInserts[key] = p
 		default:
-			delete(s.phantomDropped, key)
+			s.work = true
 			s.res.DroppedInsert++
 			s.abandon(p, CauseInsert)
 		}
@@ -465,6 +578,7 @@ func (s *Simulator) admitArrivals(arrivals []Arrival, ai int) int {
 			Env:          ir.NewEnv(s.prog),
 		}
 		copy(p.Env.Fields, a.Fields)
+		s.work = true
 		if s.cfg.Arch == ArchRecirc {
 			pipe := a.Port * s.k / s.cfg.Ports
 			if pipe >= s.k {
@@ -478,9 +592,11 @@ func (s *Simulator) admitArrivals(arrivals []Arrival, ai int) int {
 			} else {
 				p.pipe = pipe
 				s.pipeIngress[pipe].push(p)
+				s.live++
 			}
 		} else {
 			s.ingress.push(p)
+			s.live++
 		}
 		ai++
 	}
@@ -493,6 +609,7 @@ func (s *Simulator) admitArrivals(arrivals []Arrival, ai int) int {
 		for _, e := range s.recircWait {
 			if e.ready <= s.now {
 				s.pipeRecirc[e.p.pipe].push(e.p)
+				s.work = true
 			} else {
 				kept = append(kept, e)
 			}
@@ -509,9 +626,13 @@ func (s *Simulator) admitArrivals(arrivals []Arrival, ai int) int {
 			switch {
 			case s.pipeRecirc[j].len() > 0:
 				s.st[0][j].inline = s.pipeRecirc[j].pop()
+				s.occ[0]++
+				s.work = true
 				s.emit(EvAdmit, s.st[0][j].inline.ID, 0, j)
 			case q.len() > 0:
 				s.st[0][j].inline = q.pop()
+				s.occ[0]++
+				s.work = true
 				s.emit(EvAdmit, s.st[0][j].inline.ID, 0, j)
 			}
 		}
@@ -526,6 +647,8 @@ func (s *Simulator) admitArrivals(arrivals []Arrival, ai int) int {
 			p := s.ingress.pop()
 			p.pipe = j
 			s.st[0][j].inline = p
+			s.occ[0]++
+			s.work = true
 			s.emit(EvAdmit, p.ID, 0, j)
 		}
 	}
@@ -538,6 +661,9 @@ func (s *Simulator) admitArrivals(arrivals []Arrival, ai int) int {
 // queued stateful packet.
 func (s *Simulator) processStages() {
 	for i := 0; i < s.S; i++ {
+		if s.occ[i] == 0 && !s.fullSweep {
+			continue // no inline packet, FIFO entry, or ideal-queue entry
+		}
 		for j := 0; j < s.k; j++ {
 			s.processSlot(i, j)
 		}
@@ -558,6 +684,8 @@ func (s *Simulator) processSlot(stage, pipe int) {
 			s.res.DroppedStarved++
 			s.abandon(st.inline, CauseStarved)
 			st.inline = nil
+			s.occ[stage]--
+			s.work = true
 		}
 	}
 
@@ -567,9 +695,13 @@ func (s *Simulator) processSlot(stage, pipe int) {
 	case st.inline != nil:
 		serve = st.inline
 		st.inline = nil
+		s.occ[stage]--
 	case s.cfg.Arch == ArchIdeal && len(st.idealQ) > 0:
 		serve = s.popIdeal(st)
 		fromQueue = serve != nil
+		if fromQueue {
+			s.occ[stage]--
+		}
 	case st.fifo != nil:
 		for {
 			h, fi, ok := st.fifo.Head()
@@ -580,13 +712,19 @@ func (s *Simulator) processSlot(stage, pipe int) {
 				if len(s.deadIDs) > 0 && s.deadIDs[h.pktID] {
 					// The awaited packet was dropped
 					// upstream: clear the placeholder.
-					st.fifo.PopHead(fi)
+					// (PopHead zeroes the slot h points at,
+					// so retire the popped copy's id.)
+					dead := st.fifo.PopHead(fi)
+					s.occ[stage]--
+					s.work = true
 					s.res.DeadPhantomPops++
+					s.phantomConsumed(dead.pktID)
 					continue
 				}
 				break // D4: block until the data packet arrives
 			}
 			e := st.fifo.PopHead(fi)
+			s.occ[stage]--
 			serve = e.data
 			fromQueue = true
 			break
@@ -595,6 +733,7 @@ func (s *Simulator) processSlot(stage, pipe int) {
 	if serve == nil {
 		return
 	}
+	s.work = true
 	s.emit(EvExec, serve.ID, stage, pipe)
 	if fromQueue {
 		s.accountVisitExecution(serve, stage, pipe)
@@ -607,6 +746,7 @@ func (s *Simulator) processSlot(stage, pipe int) {
 		s.resolve(serve, pipe)
 	}
 	st.out = serve
+	s.outCnt[stage]++
 }
 
 // execStage runs one stage's instructions for packet p on pipeline pipe.
@@ -792,6 +932,8 @@ func (s *Simulator) resolve(p *Packet, pipe int) {
 				stage: v.stage, pipe: v.pipe, srcPipe: pipe,
 				ts: p.ID, pktID: p.ID,
 			})
+			s.live++
+			s.phantomsLeft[p.ID]++
 			if s.cfg.CrossLatency > 0 {
 				// Pending-phantom bookkeeping only matters when
 				// data can outrun its phantom (slow crossbar).
@@ -837,7 +979,10 @@ func (s *Simulator) abandon(p *Packet, cause DropCause) {
 		}
 	}
 	p.nextVisit = len(p.visits)
-	if s.usePhantoms() {
+	s.live--
+	if s.usePhantoms() && s.phantomsLeft[p.ID] > 0 {
+		// Only packets with outstanding placeholders need a dead-id
+		// marker; phantomConsumed prunes it when the last one is popped.
 		s.deadIDs[p.ID] = true
 	}
 }
@@ -851,6 +996,8 @@ func (s *Simulator) processRecircSlot(stage, pipe int, st *stageState) {
 		return
 	}
 	st.inline = nil
+	s.occ[stage]--
+	s.work = true
 	s.emit(EvExec, p.ID, stage, pipe)
 	if !p.frozen && stage >= p.resumeStage {
 		if v := p.visitAt(stage); v != nil && v.pipe != pipe {
@@ -869,6 +1016,7 @@ func (s *Simulator) processRecircSlot(stage, pipe int, st *stageState) {
 		}
 	}
 	st.out = p
+	s.outCnt[stage]++
 }
 
 // egress handles a packet leaving the last stage: completion, or (for the
@@ -885,6 +1033,7 @@ func (s *Simulator) egress(p *Packet) {
 		return
 	}
 	s.res.Completed++
+	s.live--
 	s.emit(EvEgress, p.ID, s.S-1, p.pipe)
 	if s.res.Completed == 1 {
 		s.res.FirstDone = s.now
@@ -1040,6 +1189,14 @@ func (s *Simulator) FinalRegs() [][]int64 {
 
 // Shard exposes the sharding map (tests and diagnostics).
 func (s *Simulator) Shard() *sharding.Map { return s.shard }
+
+// BookkeepingLive reports the sizes of the transient bookkeeping maps and
+// the live-entity counter after a run. All must be zero once the switch has
+// drained — the regression guard for the former deadIDs/phantomDropped
+// leaks.
+func (s *Simulator) BookkeepingLive() (deadIDs, phantomsLeft, phantomPending, pendingInserts int, live int64) {
+	return len(s.deadIDs), len(s.phantomsLeft), len(s.phantomPending), len(s.pendingInserts), s.live
+}
 
 // SortedAccessKeys lists the access-log keys in deterministic order.
 func (s *Simulator) SortedAccessKeys() []string {

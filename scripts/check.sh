@@ -7,6 +7,10 @@ set -eux
 go build ./...
 go vet ./...
 go test -race ./...
+# The simulator hot loop was rewritten event-driven; keep an explicit
+# race-enabled pass over internal/core so narrowing the suite-wide -race run
+# above can never silently drop it.
+go test -race -count 1 ./internal/core
 # Differential-fuzzing smoke: a deterministic, seeded, time-bounded slice of
 # the harness — fixed random programs and workloads checked against the
 # single-pipeline reference (state, outputs, C1 access order) on every
