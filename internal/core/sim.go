@@ -143,6 +143,11 @@ type Simulator struct {
 	// workless cycle proves every cycle until the next scheduled event
 	// is workless too, so Run fast-forwards s.now instead of stepping.
 	work bool
+	// sprayNext is the pipeline the uniform spray (D1) considers first on
+	// the next admission cycle. Starting every cycle at pipe 0 would bias
+	// sub-line-rate traffic toward the low pipelines; rotating the start
+	// keeps per-pipe admissions near-uniform as §3.1 assumes.
+	sprayNext int
 	// fullSweep disables the occupancy skip lists and the idle
 	// fast-forward, restoring the pre-event-driven per-cycle sweeps.
 	// Testing aid: the equivalence gate runs both schedulers and
@@ -641,8 +646,11 @@ func (s *Simulator) admitArrivals(arrivals []Arrival, ai int) int {
 	if d := s.ingress.len(); d > s.res.MaxIngressDepth {
 		s.res.MaxIngressDepth = d
 	}
-	// Uniform spray (D1): free pipelines pick up arrivals in order.
-	for j := 0; j < s.k && s.ingress.len() > 0; j++ {
+	// Uniform spray (D1): free pipelines pick up arrivals in order,
+	// round-robin from where the previous admission cycle left off.
+	start := s.sprayNext
+	for t := 0; t < s.k && s.ingress.len() > 0; t++ {
+		j := (start + t) % s.k
 		if s.st[0][j].inline == nil {
 			p := s.ingress.pop()
 			p.pipe = j
@@ -650,6 +658,7 @@ func (s *Simulator) admitArrivals(arrivals []Arrival, ai int) int {
 			s.occ[0]++
 			s.work = true
 			s.emit(EvAdmit, p.ID, 0, j)
+			s.sprayNext = (j + 1) % s.k
 		}
 	}
 	return ai
