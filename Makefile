@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race race-core check bench bench-guard bench-smoke fuzz-smoke fuzz clean
+.PHONY: all build vet test race race-core race-dataplane check bench bench-guard bench-smoke bench-dataplane fuzz-smoke fuzz clean
 
 all: check
 
@@ -21,6 +21,13 @@ race:
 # future narrowing of `race` cannot silently drop core coverage.
 race-core:
 	$(GO) test -race -count 1 ./internal/core
+
+# race-dataplane focuses the race detector on the concurrent execution
+# engine — the one package whose correctness claims are about goroutine
+# interleavings; like race-core, pinned here so `race` can never silently
+# drop it.
+race-dataplane:
+	$(GO) test -race -count 1 ./internal/dataplane
 
 # check is the full local gate: build, vet, the race-enabled test suite,
 # the deterministic differential-fuzzing smoke, and the telemetry-overhead
@@ -51,9 +58,17 @@ bench-guard:
 # bench-smoke times the event-driven scheduler against the legacy full
 # sweep on sparse and dense traces and records the machine-readable perf
 # trajectory in BENCH_core.json (acceptance: sparse speedup ≥ 2x, dense
-# within 5% of the sweep).
-bench-smoke:
+# within 5% of the sweep), then refreshes the dataplane scaling curve.
+bench-smoke: bench-dataplane
 	$(GO) run ./cmd/mp5bench -core-bench -bench-out BENCH_core.json
+
+# bench-dataplane times the concurrent dataplane at worker counts
+# {1, 2, GOMAXPROCS} on a dense line-rate trace against the event-driven
+# simulator baseline, cross-checking every worker count against the
+# reference first, and records the curve (plus num_cpu/gomaxprocs context)
+# in BENCH_dataplane.json.
+bench-dataplane:
+	$(GO) run ./cmd/mp5bench -dataplane-bench -bench-out BENCH_dataplane.json
 
 clean:
 	$(GO) clean ./...

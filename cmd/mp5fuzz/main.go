@@ -1,8 +1,9 @@
 // Command mp5fuzz runs long offline differential-fuzzing sweeps: random
 // Domino programs under random workloads, each checked against the
-// single-pipeline reference on every order-preserving architecture (final
-// state, packet outputs, and C1 access order). Failures are minimized and
-// written as JSONL artifacts that -repro replays.
+// single-pipeline reference on every order-preserving architecture, on the
+// simulator's full-sweep scheduler, and on the concurrent goroutine
+// dataplane (final state, packet outputs, and C1 access order). Failures
+// are minimized and written as JSONL artifacts that -repro replays.
 //
 // Examples:
 //
@@ -37,6 +38,7 @@ var archNames = map[string]core.Arch{
 // failing run (the case pins the minimized program source verbatim).
 type artifact struct {
 	Type      string        `json:"type"`
+	Engine    string        `json:"engine,omitempty"`
 	Arch      string        `json:"arch"`
 	Case      *fuzz.Case    `json:"case"`
 	Failure   *fuzz.Failure `json:"failure"`
@@ -96,9 +98,9 @@ func main() {
 		}
 		for _, f := range fails {
 			failures++
-			rec := artifact{Type: "failure", Arch: f.Arch.String(), Case: c, Failure: f}
+			rec := artifact{Type: "failure", Engine: f.Engine, Arch: f.Arch.String(), Case: c, Failure: f}
 			if f.Reason != "compile" && *shrinkBudget > 0 {
-				if min, mf := fuzz.Shrink(c, f.Arch, *shrinkBudget); mf != nil {
+				if min, mf := fuzz.ShrinkFailure(c, f, *shrinkBudget); mf != nil {
 					rec.Case, rec.Failure, rec.Minimized = min, mf, true
 				}
 			}

@@ -7,16 +7,20 @@
 //	mp5sim -app sequencer -arch mp5 -k 4 -packets 50000
 //	mp5sim -synthetic 4 -regsize 512 -pattern skewed -arch recirculation
 //	mp5sim -program prog.domino -arch mp5 -k 8 -verify
+//	mp5sim -app sequencer -engine dataplane -workers 4
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"reflect"
+	"runtime"
 
 	"mp5/internal/apps"
 	"mp5/internal/compiler"
 	"mp5/internal/core"
+	"mp5/internal/dataplane"
 	"mp5/internal/equiv"
 	"mp5/internal/ir"
 	"mp5/internal/telemetry"
@@ -54,8 +58,13 @@ func main() {
 	sampleInterval := flag.Int64("sample-interval", 0, "time-series sampling interval in cycles (0 disables; defaults to 1000 when -trace-jsonl or -metrics-out is set)")
 	topIndices := flag.Int("top-indices", 0, "print the N hottest register indices (by resolution count) after the run")
 	fullSweep := flag.Bool("full-sweep", false, "use the legacy per-cycle scheduler instead of the event-driven one (debugging aid; observable behaviour is identical, sparse traces run slower)")
+	engineName := flag.String("engine", "sim", "execution engine: sim (cycle-accurate simulator) or dataplane (concurrent goroutine engine; ignores -arch and the event-stream flags)")
+	workers := flag.Int("workers", 0, "dataplane worker count for -engine=dataplane (0 = GOMAXPROCS)")
 	flag.Parse()
 
+	if *engineName != "sim" && *engineName != "dataplane" {
+		fatal(fmt.Errorf("unknown engine %q (want sim or dataplane)", *engineName))
+	}
 	arch, ok := archNames[*archName]
 	if !ok {
 		fatal(fmt.Errorf("unknown architecture %q", *archName))
@@ -100,6 +109,10 @@ func main() {
 	default:
 		fmt.Fprintln(os.Stderr, "usage: mp5sim (-app NAME | -synthetic N | -program FILE) [flags]")
 		os.Exit(2)
+	}
+
+	if *engineName == "dataplane" {
+		os.Exit(runDataplane(prog, trace, *workers, *verify, *metricsOut))
 	}
 
 	cfg := core.Config{
@@ -265,6 +278,77 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// runDataplane executes the trace on the concurrent goroutine engine instead
+// of the cycle-accurate simulator and prints the analogous summary. Verify
+// checks both state/output equivalence and the per-slot C1 access order
+// against the single-pipeline reference. Returns the process exit code.
+func runDataplane(prog *ir.Program, trace []core.Arrival, workers int, verify bool, metricsOut string) int {
+	cfg := dataplane.Config{
+		Workers:           workers,
+		RecordOutputs:     verify,
+		RecordAccessOrder: verify,
+		RecordEgressOrder: true,
+	}
+	var reg *telemetry.Registry
+	if metricsOut != "" {
+		reg = telemetry.NewRegistry()
+		cfg.Metrics = dataplane.NewMetrics(reg)
+	}
+	eng := dataplane.New(prog, cfg)
+	res := eng.Run(trace)
+
+	fmt.Printf("program            %s (%d stages, %d resolution, %d registers)\n",
+		prog.Name, prog.NumStages(), prog.ResolutionStages, len(prog.Regs))
+	fmt.Printf("engine             dataplane, %d workers (GOMAXPROCS %d)\n",
+		res.Workers, runtime.GOMAXPROCS(0))
+	fmt.Printf("packets            %d injected, %d completed\n", res.Injected, res.Completed)
+	fmt.Printf("throughput         %.0f packets/sec (%.2f ms elapsed)\n",
+		res.PktsPerSec, float64(res.Elapsed.Microseconds())/1000)
+	fmt.Printf("crossbar           %d steers, %d parks, %d wasted visits\n",
+		res.Steers, res.Parks, res.Wasted)
+	fmt.Printf("shard moves        %d\n", res.ShardMoves)
+	fmt.Printf("reordered egress   %d packets\n", res.Reordered)
+	if res.Latency != nil && res.Latency.Total() > 0 {
+		fmt.Printf("latency            p50 %.0f µs, p99 %.0f µs\n",
+			res.Latency.Quantile(0.5), res.Latency.Quantile(0.99))
+	}
+	if metricsOut != "" {
+		f, err := os.Create(metricsOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := reg.WriteProm(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	if res.Stalled {
+		fmt.Fprintf(os.Stderr, "mp5sim: dataplane stalled (%d of %d packets completed)\n",
+			res.Completed, res.Injected)
+		return 3
+	}
+	if verify {
+		if res.Completed != res.Injected {
+			fmt.Println("equivalence        skipped (packet loss)")
+			return 0
+		}
+		rep := equiv.CheckState(prog, eng.FinalRegs(), eng.Outputs(), trace)
+		if !rep.Equivalent {
+			fmt.Printf("equivalence        FAILED: %d mismatches, e.g. %v\n",
+				len(rep.Mismatches), rep.Mismatches[0])
+			return 1
+		}
+		if !reflect.DeepEqual(equiv.ReferenceOrder(prog, trace), eng.AccessOrders()) {
+			fmt.Println("equivalence        FAILED: C1 access order diverges from the reference")
+			return 1
+		}
+		fmt.Printf("equivalence        OK (%d packets, all registers, C1 order)\n", rep.PacketsCompared)
+	}
+	return 0
 }
 
 // randomFieldTrace drives an arbitrary user program with uniformly random

@@ -1111,7 +1111,7 @@ func (s *Simulator) finalize() {
 		}
 		s.res.P99Latency = p99
 	}
-	s.res.Reordered = countOvertakers(s.egressOrder)
+	s.res.Reordered = CountOvertakers(s.egressOrder)
 	if s.accessLog != nil {
 		violators := map[int64]bool{}
 		for _, seq := range s.accessLog {
@@ -1124,9 +1124,11 @@ func (s *Simulator) finalize() {
 	}
 }
 
-// countOvertakers counts ids that appear before some smaller id in the
-// sequence (packets that egressed ahead of an earlier arrival).
-func countOvertakers(seq []int64) int64 {
+// CountOvertakers counts ids that appear before some smaller id in the
+// sequence (packets that egressed ahead of an earlier arrival). Exported so
+// other execution engines (the concurrent dataplane) can report egress
+// reordering with the same definition as the simulator.
+func CountOvertakers(seq []int64) int64 {
 	var n int64
 	minSuffix := int64(1<<63 - 1)
 	for i := len(seq) - 1; i >= 0; i-- {

@@ -1,0 +1,149 @@
+// Package dataplane executes compiled MP5 programs on a real goroutine
+// topology instead of simulating one: one worker goroutine per pipeline,
+// channel crossbars between pipelines, and actual shared-nothing register
+// shards. Where internal/core models the architecture cycle by cycle, this
+// package *is* the architecture, mapped onto cores:
+//
+//   - D1 (processing homogeneity): every worker runs the full program;
+//     stateless packets are sprayed round-robin across workers.
+//   - D2 (dynamically sharded state): each register index is owned by
+//     exactly one worker, which holds the only live copy in its private
+//     register file; a Figure-6-style remap migrates hot indices between
+//     workers while their ticket queues are empty.
+//   - D3 (crossbar steering): a packet whose next stateful stage resolved
+//     to another pipeline is forwarded over that worker's mailbox channel.
+//   - D4 (phantom order enforcement): at admission, a serial admitter
+//     enqueues one ticket per resolved state slot in arrival order — the
+//     execution-engine equivalent of the phantom placeholder. A worker may
+//     only perform an access while the packet's ticket is at the head of
+//     every slot queue of the visit; otherwise the packet parks on the
+//     owning worker until the blocking ticket is retired.
+//
+// Correctness (condition C1) follows by construction: per-slot ticket
+// queues are admission-ordered, accesses retire tickets in queue order, and
+// the earliest in-flight packet always holds the head ticket of every slot
+// it still needs — so the engine is deadlock-free and every slot observes
+// accesses in arrival order, which implies functional equivalence with the
+// single-pipeline reference (checked differentially in internal/fuzz).
+package dataplane
+
+import (
+	"runtime"
+	"time"
+
+	"mp5/internal/stats"
+	"mp5/internal/telemetry"
+)
+
+// Latency histogram shape shared by the per-worker histograms and the
+// merged drain-time result: microseconds in [0, 65536) at 8 µs resolution.
+const (
+	latLo      = 0
+	latHi      = 1 << 16
+	latBuckets = 1 << 13
+)
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Workers is the number of pipeline workers k (one goroutine each);
+	// 0 defaults to runtime.GOMAXPROCS(0).
+	Workers int
+	// Window bounds the number of in-flight packets (admitted but not yet
+	// egressed). It is the admission-control semaphore that keeps every
+	// mailbox overflow-free by construction; 0 defaults to 256.
+	Window int
+	// RemapInterval is the number of admissions between dynamic-sharding
+	// remap passes (D2); 0 defaults to 256, negative disables remapping.
+	RemapInterval int
+	// Seed is reserved for randomized placement policies (the initial
+	// assignment is round-robin, matching the simulator's MP5 default).
+	Seed int64
+	// RecordOutputs retains each packet's final header fields (required
+	// for equivalence checking via equiv.CheckState).
+	RecordOutputs bool
+	// RecordAccessOrder logs the per-slot effective access order, keyed
+	// like the simulator's EvAccess stream (required for C1 checking).
+	RecordAccessOrder bool
+	// RecordEgressOrder retains the wall-clock egress sequence so Result
+	// can report Reordered (adds one mutex acquisition per egress).
+	RecordEgressOrder bool
+	// StallTimeout aborts the run when no packet egresses for this long
+	// while packets are in flight (a liveness watchdog so differential
+	// tests fail with Stalled instead of hanging); 0 defaults to 10s.
+	StallTimeout time.Duration
+	// Metrics, when non-nil, receives concurrent counter updates from the
+	// admitter and every worker (nil disables with zero overhead).
+	Metrics *Metrics
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Window <= 0 {
+		c.Window = 256
+	}
+	if c.RemapInterval == 0 {
+		c.RemapInterval = 256
+	}
+	if c.StallTimeout <= 0 {
+		c.StallTimeout = 10 * time.Second
+	}
+	return c
+}
+
+// Metrics is the telemetry surface of the engine: plain registry counters,
+// updated concurrently by the admitter and all workers (telemetry.Counter
+// is atomic, so a shared Metrics is safe across engines and goroutines).
+type Metrics struct {
+	Admitted   *telemetry.Counter
+	Egressed   *telemetry.Counter
+	Steers     *telemetry.Counter
+	Parks      *telemetry.Counter
+	Wasted     *telemetry.Counter
+	ShardMoves *telemetry.Counter
+	Stalls     *telemetry.Counter
+}
+
+// NewMetrics registers the engine's counters on r (nil r yields all-nil
+// counters, the disabled state).
+func NewMetrics(r *telemetry.Registry) *Metrics {
+	return &Metrics{
+		Admitted:   r.NewCounter("dataplane_admitted_total", "packets admitted into the dataplane"),
+		Egressed:   r.NewCounter("dataplane_egressed_total", "packets that completed all stages"),
+		Steers:     r.NewCounter("dataplane_steers_total", "inter-worker crossbar forwards"),
+		Parks:      r.NewCounter("dataplane_parks_total", "packets parked waiting for a head ticket"),
+		Wasted:     r.NewCounter("dataplane_wasted_visits_total", "conservative tickets whose predicate was false at execution"),
+		ShardMoves: r.NewCounter("dataplane_shard_moves_total", "register indices migrated between workers"),
+		Stalls:     r.NewCounter("dataplane_stalls_total", "runs aborted by the liveness watchdog"),
+	}
+}
+
+// Result summarizes one Engine.Run.
+type Result struct {
+	Workers   int
+	Injected  int64
+	Completed int64
+	// Steers counts crossbar forwards; Parks counts ticket waits; Wasted
+	// counts conservative tickets whose access predicate evaluated false;
+	// ShardMoves counts D2 migrations.
+	Steers     int64
+	Parks      int64
+	Wasted     int64
+	ShardMoves int64
+	// Reordered counts packets that egressed after a later-arriving packet
+	// (wall-clock reordering the concurrent engine introduces; only
+	// populated with Config.RecordEgressOrder).
+	Reordered int64
+	// Stalled reports a watchdog abort: no egress progress for
+	// StallTimeout with packets still in flight.
+	Stalled bool
+	// Elapsed is the wall-clock run time; PktsPerSec = Completed/Elapsed.
+	Elapsed    time.Duration
+	PktsPerSec float64
+	// Latency is the merged per-worker admission-to-egress latency
+	// histogram in microseconds. Each worker records into a private
+	// histogram during the run and the engine merges them at drain time —
+	// the intended share-nothing concurrency pattern for stats.Histogram.
+	Latency *stats.Histogram
+}

@@ -1,0 +1,218 @@
+package dataplane
+
+import (
+	"reflect"
+	"testing"
+
+	"mp5/internal/apps"
+	"mp5/internal/core"
+	"mp5/internal/equiv"
+	"mp5/internal/ir"
+	"mp5/internal/telemetry"
+	"mp5/internal/workload"
+)
+
+// workerCounts are the topologies every equivalence test sweeps — the
+// acceptance criterion requires at least three.
+var workerCounts = []int{1, 2, 4}
+
+// runChecked drives the engine over the trace and fails the test unless the
+// run is loss-free and matches the single-pipeline reference on outputs,
+// final registers, and per-slot access order (C1).
+func runChecked(t *testing.T, prog *ir.Program, arrivals []core.Arrival, cfg Config) *Result {
+	t.Helper()
+	cfg.RecordOutputs = true
+	cfg.RecordAccessOrder = true
+	cfg.RecordEgressOrder = true
+	e := New(prog, cfg)
+	res := e.Run(arrivals)
+	if res.Stalled {
+		t.Fatalf("workers=%d: engine stalled (%d of %d completed)", cfg.Workers, res.Completed, res.Injected)
+	}
+	if res.Completed != res.Injected || res.Injected != int64(len(arrivals)) {
+		t.Fatalf("workers=%d: %d of %d completed (trace %d)", cfg.Workers, res.Completed, res.Injected, len(arrivals))
+	}
+	if rep := equiv.CheckState(prog, e.FinalRegs(), e.Outputs(), arrivals); !rep.Equivalent {
+		t.Fatalf("workers=%d: not equivalent to reference:\n%s", cfg.Workers, rep)
+	}
+	want := equiv.ReferenceOrder(prog, arrivals)
+	got := e.AccessOrders()
+	if !reflect.DeepEqual(want, got) {
+		for k, w := range want {
+			if !reflect.DeepEqual(w, got[k]) {
+				t.Fatalf("workers=%d: access order of %s diverged:\nwant %v\ngot  %v", cfg.Workers, k, w, got[k])
+			}
+		}
+		for k := range got {
+			if _, ok := want[k]; !ok {
+				t.Fatalf("workers=%d: spurious access sequence for %s: %v", cfg.Workers, k, got[k])
+			}
+		}
+		t.Fatalf("workers=%d: access orders diverged", cfg.Workers)
+	}
+	return res
+}
+
+func TestSyntheticEquivalence(t *testing.T) {
+	prog, err := apps.Synthetic(4, 64, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pattern := range []workload.Pattern{workload.Uniform, workload.Skewed} {
+		for _, k := range workerCounts {
+			t.Run(pattern.String()+"/"+string(rune('0'+k)), func(t *testing.T) {
+				arrivals := workload.Synthetic(prog, workload.Spec{
+					Packets: 3000, Pipelines: 4, Seed: 7, Pattern: pattern,
+				}, 4, 64)
+				runChecked(t, prog, arrivals, Config{Workers: k})
+			})
+		}
+	}
+}
+
+// TestAppEquivalence checks every bundled application — including the ones
+// with stateful (non-resolvable) predicates, which exercise conservative
+// tickets and wasted visits.
+func TestAppEquivalence(t *testing.T) {
+	for _, app := range apps.All() {
+		prog := app.MP5()
+		arrivals := workload.RandomFields(prog, workload.Spec{
+			Packets: 2000, Pipelines: 4, Seed: 11,
+		})
+		for _, k := range workerCounts {
+			t.Run(app.Name+"/"+string(rune('0'+k)), func(t *testing.T) {
+				res := runChecked(t, prog, arrivals, Config{Workers: k})
+				if prog.StatefulPredicates && res.Wasted == 0 && k > 0 {
+					// Conservative tickets exist; at least some should be
+					// wasted under random fields. Informational only —
+					// not all predicate shapes go false on this trace.
+					t.Logf("%s: no wasted visits despite stateful predicates", app.Name)
+				}
+			})
+		}
+	}
+}
+
+// TestStatelessSpray runs a register-free program: every packet is sprayed
+// (D1) and no packet should ever steer or park.
+func TestStatelessSpray(t *testing.T) {
+	prog, err := apps.Synthetic(0, 8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Accesses) != 0 {
+		t.Fatalf("expected a stateless program, got %d accesses", len(prog.Accesses))
+	}
+	arrivals := workload.RandomFields(prog, workload.Spec{Packets: 1000, Pipelines: 4, Seed: 3})
+	res := runChecked(t, prog, arrivals, Config{Workers: 4})
+	if res.Steers != 0 || res.Parks != 0 {
+		t.Fatalf("stateless run steered %d / parked %d packets", res.Steers, res.Parks)
+	}
+}
+
+// TestRemapMigratesState forces frequent remaps on a skewed trace and checks
+// that migrations actually happen — and that equivalence survives them.
+func TestRemapMigratesState(t *testing.T) {
+	prog, err := apps.Synthetic(2, 64, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arrivals := workload.Synthetic(prog, workload.Spec{
+		Packets: 4000, Pipelines: 4, Seed: 5,
+		Pattern: workload.Skewed, ChurnInterval: 64,
+	}, 2, 64)
+	res := runChecked(t, prog, arrivals, Config{Workers: 4, RemapInterval: 32})
+	if res.ShardMoves == 0 {
+		t.Fatal("no shard migrations on a churning skewed trace with RemapInterval=32")
+	}
+}
+
+// TestRemapDisabled makes sure a negative interval really pins the initial
+// placement.
+func TestRemapDisabled(t *testing.T) {
+	prog, err := apps.Synthetic(2, 64, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arrivals := workload.Synthetic(prog, workload.Spec{
+		Packets: 2000, Pipelines: 4, Seed: 5, Pattern: workload.Skewed,
+	}, 2, 64)
+	res := runChecked(t, prog, arrivals, Config{Workers: 4, RemapInterval: -1})
+	if res.ShardMoves != 0 {
+		t.Fatalf("remap disabled but %d migrations happened", res.ShardMoves)
+	}
+}
+
+// TestWindowOne serializes the whole engine through a single in-flight
+// packet — the degenerate topology that shakes out window accounting.
+func TestWindowOne(t *testing.T) {
+	prog, err := apps.Synthetic(2, 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arrivals := workload.Synthetic(prog, workload.Spec{Packets: 500, Pipelines: 2, Seed: 9}, 2, 16)
+	runChecked(t, prog, arrivals, Config{Workers: 2, Window: 1})
+}
+
+func TestEmptyTrace(t *testing.T) {
+	prog, err := apps.Synthetic(2, 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(prog, Config{Workers: 2, RecordOutputs: true})
+	res := e.Run(nil)
+	if res.Injected != 0 || res.Completed != 0 || res.Stalled {
+		t.Fatalf("empty trace: %+v", res)
+	}
+	if len(e.Outputs()) != 0 {
+		t.Fatalf("empty trace produced outputs")
+	}
+}
+
+// TestMetrics reconciles the engine's telemetry counters with its Result.
+func TestMetrics(t *testing.T) {
+	prog, err := apps.Synthetic(2, 32, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arrivals := workload.Synthetic(prog, workload.Spec{Packets: 1500, Pipelines: 4, Seed: 13}, 2, 32)
+	reg := telemetry.NewRegistry()
+	m := NewMetrics(reg)
+	res := runChecked(t, prog, arrivals, Config{Workers: 4, Metrics: m})
+	if m.Admitted.Value() != res.Injected {
+		t.Fatalf("admitted counter %d != injected %d", m.Admitted.Value(), res.Injected)
+	}
+	if m.Egressed.Value() != res.Completed {
+		t.Fatalf("egressed counter %d != completed %d", m.Egressed.Value(), res.Completed)
+	}
+	if m.Steers.Value() != res.Steers || m.Parks.Value() != res.Parks ||
+		m.Wasted.Value() != res.Wasted || m.ShardMoves.Value() != res.ShardMoves {
+		t.Fatalf("counters diverge from result: %+v vs %+v", m, res)
+	}
+	if res.Latency.Total() != int(res.Completed) {
+		t.Fatalf("latency histogram holds %d samples for %d completions", res.Latency.Total(), res.Completed)
+	}
+}
+
+// TestLatencyMergeAcrossWorkers checks the per-worker histogram drain: the
+// merged histogram must account for every packet exactly once even when all
+// workers egress packets.
+func TestLatencyMergeAcrossWorkers(t *testing.T) {
+	prog, err := apps.Synthetic(0, 8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arrivals := workload.RandomFields(prog, workload.Spec{Packets: 800, Pipelines: 4, Seed: 21})
+	e := New(prog, Config{Workers: 4, RecordOutputs: true})
+	res := e.Run(arrivals)
+	if res.Latency.Total() != len(arrivals) {
+		t.Fatalf("merged latency total %d, want %d", res.Latency.Total(), len(arrivals))
+	}
+	perWorker := 0
+	for _, w := range e.workers {
+		perWorker += w.lat.Total()
+	}
+	if perWorker != len(arrivals) {
+		t.Fatalf("per-worker totals sum to %d, want %d", perWorker, len(arrivals))
+	}
+}

@@ -1,0 +1,447 @@
+package dataplane
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mp5/internal/banzai"
+	"mp5/internal/core"
+	"mp5/internal/ir"
+	"mp5/internal/stats"
+)
+
+// regShard is the admitter's view of one register array's placement: which
+// worker owns each index (the live copy) and how often each index was
+// resolved in the current remap window. Owned exclusively by the admitter
+// goroutine; workers learn placements only through resolved visits.
+type regShard struct {
+	sharded bool
+	size    int
+	// owner[i] is the worker holding the live copy of index i; unsharded
+	// arrays use owner[0] as the whole-array home (stage mod k, so arrays
+	// sharing a stage share a worker, as sharding.New does).
+	owner []int
+	// count[i] counts resolutions since the last remap (§3.4).
+	count []int64
+}
+
+// Engine runs one compiled MP5 program over one arrival trace on a real
+// goroutine topology (see the package comment for the architecture map).
+// An Engine is single-use: construct with New, call Run exactly once, then
+// read Outputs/FinalRegs/AccessOrders/EgressOrder.
+type Engine struct {
+	prog       *ir.Program
+	cfg        Config
+	k          int
+	accByStage [][]int
+	workers    []*worker
+	// slots maps every placeable state unit to its ticket queue. Built in
+	// New and never mutated afterwards, so workers may read it freely
+	// (they reach slots through resolved visit references anyway).
+	slots map[slotKey]*slotState
+	shard []regShard
+	// admRegs backs resolution-stage execution in the admitter: those
+	// stages are stateless by construction (ir.Program.Validate), so only
+	// its read-only match tables are ever consulted.
+	admRegs *banzai.RegFile
+
+	// window is the admission-control semaphore: one token per in-flight
+	// packet. Because every in-flight packet occupies at most one mailbox
+	// slot and mailboxes are sized to Window, crossbar sends can never
+	// block — the window bound is what makes the topology deadlock-free.
+	window chan struct{}
+	quit   chan struct{} // closed by Run after the trace drains
+	abort  chan struct{} // closed by the watchdog on a stall
+	done   chan struct{} // closed when completed == injected
+
+	doneOnce  sync.Once
+	abortOnce sync.Once
+	wg        sync.WaitGroup
+
+	// total holds the final injected count, -1 while admission is still
+	// running (workers poll it to detect the last egress).
+	total     atomic.Int64
+	completed atomic.Int64
+	steers    atomic.Int64
+	wasted    atomic.Int64
+	parks     atomic.Int64
+	stalled   atomic.Bool
+	// shardMoves and spray are admitter-local (serial).
+	shardMoves int64
+	spray      int64
+
+	// outs[id] is the packet's final header state, written once by the
+	// egressing worker and read after all workers joined.
+	outs        [][]int64
+	egMu        sync.Mutex
+	egressOrder []int64
+
+	met *Metrics
+
+	// testBeforeExec, when set, runs on the owning worker right before a
+	// visit executes — the white-box hook the stall test uses to wedge a
+	// packet and exercise the watchdog.
+	testBeforeExec func(*packet)
+}
+
+// New builds an engine for prog. The program must carry MP5 resolution
+// metadata (compile with TargetMP5): state accesses without resolution
+// stages cannot be ticketed preemptively.
+func New(prog *ir.Program, cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	if len(prog.Accesses) > 0 && prog.ResolutionStages == 0 {
+		panic("dataplane: program has state accesses but no resolution stages (compile for TargetMP5)")
+	}
+	e := &Engine{
+		prog:       prog,
+		cfg:        cfg,
+		k:          cfg.Workers,
+		accByStage: prog.AccessesByStage(),
+		slots:      make(map[slotKey]*slotState),
+		admRegs:    banzai.NewRegFile(prog),
+		window:     make(chan struct{}, cfg.Window),
+		quit:       make(chan struct{}),
+		abort:      make(chan struct{}),
+		done:       make(chan struct{}),
+		met:        cfg.Metrics,
+	}
+	e.total.Store(-1)
+	if e.met == nil {
+		e.met = &Metrics{} // all-nil counters: every update is a no-op
+	}
+	e.shard = make([]regShard, len(prog.Regs))
+	for r := range prog.Regs {
+		info := &prog.Regs[r]
+		sh := &e.shard[r]
+		sh.sharded = info.Sharded
+		sh.size = info.Size
+		if sh.sharded {
+			sh.owner = make([]int, info.Size)
+			sh.count = make([]int64, info.Size)
+			for i := range sh.owner {
+				sh.owner[i] = i % e.k // round-robin, like sharding.PolicyRoundRobin
+			}
+			for i := 0; i < info.Size; i++ {
+				e.slots[slotKey{r, i}] = &slotState{}
+			}
+		} else {
+			home := 0
+			if info.Stage >= 0 {
+				home = info.Stage % e.k
+			}
+			sh.owner = []int{home}
+			sh.count = make([]int64, 1)
+			e.slots[slotKey{r, -1}] = &slotState{}
+		}
+	}
+	for i := 0; i < e.k; i++ {
+		e.workers = append(e.workers, newWorker(e, i))
+	}
+	return e
+}
+
+// Run drives the whole trace through the topology and blocks until every
+// packet egressed (or the watchdog aborted a stall). The admitter runs on
+// the calling goroutine: execute the resolution stages, resolve visits,
+// issue tickets in arrival order, dispatch, and periodically remap.
+func (e *Engine) Run(arrivals []core.Arrival) *Result {
+	start := time.Now()
+	if e.cfg.RecordOutputs {
+		e.outs = make([][]int64, len(arrivals))
+	}
+	if len(arrivals) == 0 {
+		return e.result(0, time.Since(start))
+	}
+	e.wg.Add(e.k)
+	for _, w := range e.workers {
+		go w.run()
+	}
+	wdStop := make(chan struct{})
+	var wdWg sync.WaitGroup
+	wdWg.Add(1)
+	go e.watchdog(wdStop, &wdWg)
+
+	var admitted int64
+admitLoop:
+	for i := range arrivals {
+		select {
+		case e.window <- struct{}{}:
+		case <-e.abort:
+			break admitLoop
+		}
+		p := e.admit(int64(i), &arrivals[i])
+		admitted++
+		dest := 0
+		if len(p.visits) > 0 {
+			dest = p.visits[0].pipe
+		} else {
+			dest = int(e.spray % int64(e.k)) // D1: spray stateless packets
+			e.spray++
+		}
+		select {
+		case e.workers[dest].mailbox <- p:
+		case <-e.abort:
+			break admitLoop
+		}
+		if e.cfg.RemapInterval > 0 && admitted%int64(e.cfg.RemapInterval) == 0 {
+			e.remap()
+		}
+	}
+	e.total.Store(admitted)
+	if e.completed.Load() == admitted {
+		e.closeDone()
+	}
+	select {
+	case <-e.done:
+	case <-e.abort:
+	}
+	close(wdStop)
+	wdWg.Wait()
+	close(e.quit)
+	e.wg.Wait()
+	return e.result(admitted, time.Since(start))
+}
+
+// admit prepares one packet on the admitter: copy the header, execute the
+// stateless resolution stages, resolve every state access to a (stage,
+// worker, slots) visit list, and issue one ticket per visit slot — the D4
+// phantom, enqueued in arrival order because the admitter is serial.
+func (e *Engine) admit(id int64, a *core.Arrival) *packet {
+	env := ir.NewEnv(e.prog)
+	copy(env.Fields, a.Fields)
+	p := &packet{id: id, env: env, start: time.Now()}
+	for si := 0; si < e.prog.ResolutionStages; si++ {
+		ir.ExecStage(&e.prog.Stages[si], env, e.admRegs)
+	}
+	p.nextStage = e.prog.ResolutionStages
+	e.resolve(p)
+	for vi := range p.visits {
+		for _, ref := range p.visits[vi].slots {
+			ref.st.enqueue(id)
+		}
+	}
+	e.met.Admitted.Inc()
+	return p
+}
+
+// resolve performs preemptive address resolution (§3.3): evaluate resolvable
+// predicates, clamp indices, look up slot owners, and build the visit list.
+// Same-stage accesses form one visit and must co-locate (the code generator
+// guarantees multi-array stages hold only unsharded, same-home arrays).
+// Duplicate same-stage references to one slot collapse to a single ticket.
+func (e *Engine) resolve(p *packet) {
+	for stage, bucket := range e.accByStage {
+		var v *visit
+		for _, ai := range bucket {
+			a := &e.prog.Accesses[ai]
+			if a.PredResolvable && !a.Pred.IsNone() {
+				truth := p.env.Load(a.Pred) != 0
+				if truth == a.PredNeg {
+					continue // resolved: this access will not happen
+				}
+			}
+			sh := &e.shard[a.Reg]
+			key := slotKey{a.Reg, -1}
+			pos := 0
+			if sh.sharded {
+				key.idx = banzai.ClampIndex(int(p.env.Load(a.Idx)), sh.size)
+				pos = key.idx
+			}
+			sh.count[pos]++
+			dest := sh.owner[pos]
+			if v == nil {
+				p.visits = append(p.visits, visit{stage: stage, pipe: dest})
+				v = &p.visits[len(p.visits)-1]
+			} else if v.pipe != dest {
+				panic("dataplane: co-located accesses resolved to different pipelines")
+			}
+			dup := false
+			for _, ref := range v.slots {
+				if ref.key == key {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				v.slots = append(v.slots, slotRef{key: key, st: e.slots[key]})
+			}
+		}
+	}
+}
+
+// remap runs one Figure-6 iteration per sharded array (admitter-only): find
+// the heaviest (H) and lightest (L) workers by windowed access count, pick
+// the hottest index on H counting less than half the gap, and migrate it to
+// L — but only if its ticket queue is empty, checked and copied under the
+// slot mutex so no in-flight or future access can observe a torn value.
+// Window counters reset afterwards.
+func (e *Engine) remap() {
+	for reg := range e.shard {
+		sh := &e.shard[reg]
+		if !sh.sharded {
+			continue
+		}
+		agg := make([]int64, e.k)
+		for i, o := range sh.owner {
+			agg[o] += sh.count[i]
+		}
+		h, l := 0, 0
+		for w := 1; w < e.k; w++ {
+			if agg[w] > agg[h] {
+				h = w
+			}
+			if agg[w] < agg[l] {
+				l = w
+			}
+		}
+		if h != l && agg[h] != agg[l] {
+			c := (agg[h] - agg[l]) / 2
+			best := -1
+			for i, o := range sh.owner {
+				if o != h || sh.count[i] >= c || sh.count[i] == 0 {
+					continue
+				}
+				if best < 0 || sh.count[i] > sh.count[best] {
+					best = i
+				}
+			}
+			if best >= 0 {
+				st := e.slots[slotKey{reg, best}]
+				st.mu.Lock()
+				if st.head >= len(st.queue) {
+					// No pending tickets: nobody is touching (or will
+					// touch) the old copy, and the next ticket will be
+					// issued after owner[] is updated below — the slot
+					// mutex carries the value to the new owner.
+					e.workers[l].regs.Array(reg)[best] = e.workers[h].regs.Array(reg)[best]
+					sh.owner[best] = l
+					e.shardMoves++
+					e.met.ShardMoves.Inc()
+				}
+				st.mu.Unlock()
+			}
+		}
+		for i := range sh.count {
+			sh.count[i] = 0
+		}
+	}
+}
+
+// watchdog aborts the run when no packet egresses for StallTimeout while
+// packets are in flight, so a liveness bug fails tests loudly (Stalled)
+// instead of hanging them.
+func (e *Engine) watchdog(stop <-chan struct{}, wg *sync.WaitGroup) {
+	defer wg.Done()
+	period := e.cfg.StallTimeout / 4
+	if period < time.Millisecond {
+		period = time.Millisecond
+	}
+	tick := time.NewTicker(period)
+	defer tick.Stop()
+	last := e.completed.Load()
+	lastChange := time.Now()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-e.done:
+			return
+		case <-tick.C:
+			cur := e.completed.Load()
+			if cur != last {
+				last, lastChange = cur, time.Now()
+				continue
+			}
+			if time.Since(lastChange) >= e.cfg.StallTimeout {
+				e.stalled.Store(true)
+				e.met.Stalls.Inc()
+				e.abortOnce.Do(func() { close(e.abort) })
+				return
+			}
+		}
+	}
+}
+
+func (e *Engine) closeDone() {
+	e.doneOnce.Do(func() { close(e.done) })
+}
+
+// result assembles the run summary after every worker joined.
+func (e *Engine) result(injected int64, elapsed time.Duration) *Result {
+	lat := stats.NewHistogram(latLo, latHi, latBuckets)
+	for _, w := range e.workers {
+		lat.Merge(w.lat)
+	}
+	res := &Result{
+		Workers:    e.k,
+		Injected:   injected,
+		Completed:  e.completed.Load(),
+		Steers:     e.steers.Load(),
+		Parks:      e.parks.Load(),
+		Wasted:     e.wasted.Load(),
+		ShardMoves: e.shardMoves,
+		Stalled:    e.stalled.Load(),
+		Elapsed:    elapsed,
+		Latency:    lat,
+	}
+	if e.cfg.RecordEgressOrder {
+		res.Reordered = core.CountOvertakers(e.egressOrder)
+	}
+	if elapsed > 0 {
+		res.PktsPerSec = float64(res.Completed) / elapsed.Seconds()
+	}
+	return res
+}
+
+// Outputs returns each completed packet's final header fields, keyed by
+// packet id — the shape equiv.CheckState consumes. Only valid after Run,
+// and only when Config.RecordOutputs was set.
+func (e *Engine) Outputs() map[int64][]int64 {
+	if e.outs == nil {
+		return nil
+	}
+	out := make(map[int64][]int64, len(e.outs))
+	for id, f := range e.outs {
+		if f != nil {
+			out[int64(id)] = f
+		}
+	}
+	return out
+}
+
+// FinalRegs returns the final register state, assembling each index from
+// the worker owning its live copy. Only valid after Run.
+func (e *Engine) FinalRegs() [][]int64 {
+	out := make([][]int64, len(e.shard))
+	for r := range e.shard {
+		sh := &e.shard[r]
+		a := make([]int64, sh.size)
+		if sh.sharded {
+			for i := range a {
+				a[i] = e.workers[sh.owner[i]].regs.Array(r)[i]
+			}
+		} else {
+			copy(a, e.workers[sh.owner[0]].regs.Array(r))
+		}
+		out[r] = a
+	}
+	return out
+}
+
+// AccessOrders returns the per-slot effective access order, keyed like the
+// simulator's EvAccess stream and banzai's indexed log ("r<reg>[<idx>]").
+// Only valid after Run, with Config.RecordAccessOrder set.
+func (e *Engine) AccessOrders() map[string][]int64 {
+	out := make(map[string][]int64)
+	for key, st := range e.slots {
+		for ci, seq := range st.log {
+			out[banzai.AccessKey(key.reg, ci)] = seq
+		}
+	}
+	return out
+}
+
+// EgressOrder returns the wall-clock egress sequence of packet ids (only
+// recorded with Config.RecordEgressOrder).
+func (e *Engine) EgressOrder() []int64 { return e.egressOrder }

@@ -1,0 +1,96 @@
+package dataplane
+
+import "sync"
+
+// slotKey names one unit of state placement: a single index of a sharded
+// register array, or a whole unsharded array (idx == -1), mirroring the
+// array-level placement the sharding map uses for unsharded state.
+type slotKey struct {
+	reg int
+	idx int
+}
+
+// slotState is the runtime ticket queue of one slot — the execution-engine
+// form of the paper's phantom placeholders (D4). The serial admitter appends
+// one ticket (the packet id) per resolved access in admission order; the
+// owning worker retires tickets head-first when it performs the access.
+//
+// The mutex orders three parties: the admitter enqueueing tickets and
+// checking emptiness during remap, and the owning worker testing/advancing
+// the head. Worker-side park/promote decisions need no extra locking beyond
+// this because every head test and every pop of a given slot happens on the
+// one goroutine that owns the slot's pipeline (see worker.go).
+type slotState struct {
+	mu    sync.Mutex
+	queue []int64
+	head  int
+	// log records the effective access order per concrete register index
+	// (clamped), lazily allocated when the engine records access order.
+	// For sharded slots it has a single key; an unsharded array-level slot
+	// accumulates every index of the array here.
+	log map[int][]int64
+}
+
+// enqueue appends a ticket for packet id (admitter only).
+func (s *slotState) enqueue(id int64) {
+	s.mu.Lock()
+	// Compact the retired prefix once it dominates the backing array so a
+	// long run cannot grow the queue without bound.
+	if s.head > 32 && s.head*2 >= len(s.queue) {
+		s.queue = append(s.queue[:0], s.queue[s.head:]...)
+		s.head = 0
+	}
+	s.queue = append(s.queue, id)
+	s.mu.Unlock()
+}
+
+// headIs reports whether packet id holds the slot's head ticket.
+func (s *slotState) headIs(id int64) bool {
+	s.mu.Lock()
+	ok := s.head < len(s.queue) && s.queue[s.head] == id
+	s.mu.Unlock()
+	return ok
+}
+
+// pop retires packet id's head ticket after its access executed, logging the
+// concrete indices it touched (when record is set), and returns the id now
+// holding the head ticket, or -1 when the queue drained. The caller must own
+// the head (it just executed the visit).
+func (s *slotState) pop(touched []int, id int64, record bool) int64 {
+	s.mu.Lock()
+	if s.head >= len(s.queue) || s.queue[s.head] != id {
+		s.mu.Unlock()
+		panic("dataplane: pop without holding the head ticket")
+	}
+	if record && len(touched) > 0 {
+		if s.log == nil {
+			s.log = make(map[int][]int64)
+		}
+		for _, ci := range touched {
+			s.log[ci] = append(s.log[ci], id)
+		}
+	}
+	s.head++
+	next := int64(-1)
+	if s.head < len(s.queue) {
+		next = s.queue[s.head]
+	} else {
+		// Drained: reset so the backing array is reusable and remap's
+		// emptiness test stays O(1).
+		s.queue = s.queue[:0]
+		s.head = 0
+	}
+	s.mu.Unlock()
+	return next
+}
+
+// empty reports whether no tickets are pending — the remap safety gate: an
+// empty queue means no resolved-but-unperformed access targets this slot, so
+// its value may migrate. Callers that migrate must do so under mu themselves
+// (see Engine.remap, which uses lock/check/copy/unlock directly).
+func (s *slotState) empty() bool {
+	s.mu.Lock()
+	ok := s.head >= len(s.queue)
+	s.mu.Unlock()
+	return ok
+}

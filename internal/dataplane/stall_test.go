@@ -1,0 +1,39 @@
+package dataplane
+
+import (
+	"testing"
+	"time"
+
+	"mp5/internal/apps"
+	"mp5/internal/workload"
+)
+
+// TestWatchdogDetectsStall wedges the first visit execution until the
+// watchdog fires and checks the run aborts with Stalled instead of hanging:
+// the liveness net every differential test implicitly relies on.
+func TestWatchdogDetectsStall(t *testing.T) {
+	prog, err := apps.Synthetic(2, 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arrivals := workload.Synthetic(prog, workload.Spec{Packets: 200, Pipelines: 2, Seed: 1}, 2, 16)
+	e := New(prog, Config{Workers: 2, StallTimeout: 50 * time.Millisecond})
+	// Block every visit until the watchdog aborts the run; no packet can
+	// ever egress, which is exactly the no-progress condition it detects.
+	e.testBeforeExec = func(*packet) { <-e.abort }
+	done := make(chan *Result, 1)
+	go func() { done <- e.Run(arrivals) }()
+	select {
+	case res := <-done:
+		if !res.Stalled {
+			t.Fatalf("wedged run did not report a stall: %+v", res)
+		}
+		// The worker wedged in the hook resumes when abort closes and may
+		// finish the packet in hand; everything else must be cut short.
+		if res.Completed >= res.Injected {
+			t.Fatalf("stalled run completed %d of %d packets", res.Completed, res.Injected)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("watchdog never aborted the wedged run")
+	}
+}

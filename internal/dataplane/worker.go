@@ -1,0 +1,228 @@
+package dataplane
+
+import (
+	"fmt"
+	"time"
+
+	"mp5/internal/banzai"
+	"mp5/internal/ir"
+	"mp5/internal/stats"
+)
+
+// packet is one in-flight packet: its execution environment, its resolved
+// visit plan, and its progress through the stage sequence. A packet is
+// owned by exactly one goroutine at a time (the admitter, then whichever
+// worker holds it), handed off over mailbox channels — so none of its
+// fields need locking.
+type packet struct {
+	id  int64
+	env *ir.Env
+	// visits is the admission-time resolution of every stateful stage the
+	// packet will visit; vi indexes the next unperformed one.
+	visits []visit
+	vi     int
+	// nextStage is the next stage to execute (resolution stages already
+	// ran on the admitter).
+	nextStage int
+	start     time.Time
+}
+
+// visit is one resolved stateful stage visit: the stage, the worker owning
+// every slot the stage may touch, and the slots' ticket queues.
+type visit struct {
+	stage int
+	pipe  int
+	slots []slotRef
+}
+
+// slotRef pairs a slot's identity with its ticket queue so workers never
+// consult the (admitter-owned) placement tables.
+type slotRef struct {
+	key slotKey
+	st  *slotState
+}
+
+// worker is one pipeline mapped onto one goroutine. It owns a full private
+// register file — only the indices the sharding map assigns to it hold the
+// live copy — plus the park bench for packets waiting on a head ticket.
+// All pops and head tests of a slot happen on the slot's owning worker, so
+// the park-or-proceed decision and the promotion after a pop are serialized
+// on one goroutine and cannot lose a wakeup.
+type worker struct {
+	id      int
+	e       *Engine
+	regs    *banzai.RegFile
+	mailbox chan *packet
+	// parked holds packets that reached their visit before holding every
+	// head ticket; runnable holds packets promoted by a pop and drained
+	// before the next mailbox receive.
+	parked   map[int64]*packet
+	runnable []*packet
+	// seen and touched are per-visit scratch (dedup of (reg, clamped idx)
+	// within one stage execution, and the concrete indices touched per
+	// visit slot).
+	seen    map[[2]int]bool
+	touched [][]int
+	// lat is the worker-private latency histogram, merged by the engine
+	// after the goroutine joins (the share-nothing stats.Histogram
+	// pattern).
+	lat *stats.Histogram
+}
+
+func newWorker(e *Engine, id int) *worker {
+	return &worker{
+		id:      id,
+		e:       e,
+		regs:    banzai.NewRegFile(e.prog),
+		mailbox: make(chan *packet, e.cfg.Window),
+		parked:  make(map[int64]*packet),
+		seen:    make(map[[2]int]bool),
+		touched: make([][]int, len(e.prog.Accesses)),
+		lat:     stats.NewHistogram(latLo, latHi, latBuckets),
+	}
+}
+
+// run is the worker loop: drain promoted packets first, then block on the
+// mailbox until the engine shuts down.
+func (w *worker) run() {
+	defer w.e.wg.Done()
+	for {
+		for n := len(w.runnable); n > 0; n = len(w.runnable) {
+			p := w.runnable[n-1]
+			w.runnable = w.runnable[:n-1]
+			w.process(p)
+		}
+		select {
+		case p := <-w.mailbox:
+			w.process(p)
+		case <-w.e.quit:
+			return
+		case <-w.e.abort:
+			return
+		}
+	}
+}
+
+// process advances the packet as far as it can go on this worker: stateless
+// stages execute inline; a visit stage either steers the packet to the
+// owning worker (D3), parks it until it holds every head ticket (D4), or
+// executes. Reaching the last stage egresses the packet.
+func (w *worker) process(p *packet) {
+	e := w.e
+	for p.nextStage < len(e.prog.Stages) {
+		var v *visit
+		if p.vi < len(p.visits) && p.visits[p.vi].stage == p.nextStage {
+			v = &p.visits[p.vi]
+		}
+		if v == nil {
+			// No ticket here: any stateful instruction in this stage has a
+			// (resolution-time) false predicate, so executing the stage
+			// touches only the packet environment and read-only tables.
+			ir.ExecStage(&e.prog.Stages[p.nextStage], p.env, w.regs)
+			p.nextStage++
+			continue
+		}
+		if v.pipe != w.id {
+			e.steers.Add(1)
+			e.met.Steers.Inc()
+			select {
+			case e.workers[v.pipe].mailbox <- p:
+			case <-e.abort:
+			}
+			return
+		}
+		if !w.eligible(p, v) {
+			w.parked[p.id] = p
+			e.parks.Add(1)
+			e.met.Parks.Inc()
+			return
+		}
+		if f := e.testBeforeExec; f != nil {
+			f(p)
+		}
+		w.execVisit(p, v)
+		p.vi++
+		p.nextStage++
+	}
+	w.egress(p)
+}
+
+// eligible reports whether p holds the head ticket of every slot of the
+// visit. Safe only on the owning worker (w.id == v.pipe).
+func (w *worker) eligible(p *packet, v *visit) bool {
+	for _, ref := range v.slots {
+		if !ref.st.headIs(p.id) {
+			return false
+		}
+	}
+	return true
+}
+
+// execVisit executes the visit's stage with the access observer attached,
+// recording which concrete register indices each slot ticket actually
+// covered (predicates evaluate live, so a conservative ticket may cover
+// nothing — a wasted visit). It then retires one ticket per slot and
+// promotes any parked packet that now holds a head ticket.
+func (w *worker) execVisit(p *packet, v *visit) {
+	e := w.e
+	clear(w.seen)
+	touched := w.touched[:len(v.slots)]
+	for i := range touched {
+		touched[i] = touched[i][:0]
+	}
+	ir.ExecStageObserved(&e.prog.Stages[v.stage], p.env, w.regs, func(reg int, idx int64, write bool) {
+		ci := banzai.ClampIndex(int(idx), e.prog.Regs[reg].Size)
+		dk := [2]int{reg, ci}
+		if w.seen[dk] {
+			return
+		}
+		w.seen[dk] = true
+		ri := -1
+		for i, ref := range v.slots {
+			if ref.key.reg == reg && (ref.key.idx == ci || ref.key.idx < 0) {
+				ri = i
+				break
+			}
+		}
+		if ri < 0 {
+			panic(fmt.Sprintf("dataplane: packet %d accessed r%d[%d] in stage %d without a ticket",
+				p.id, reg, ci, v.stage))
+		}
+		touched[ri] = append(touched[ri], ci)
+	})
+	record := e.cfg.RecordAccessOrder
+	for i, ref := range v.slots {
+		if len(touched[i]) == 0 {
+			e.wasted.Add(1)
+			e.met.Wasted.Inc()
+		}
+		next := ref.st.pop(touched[i], p.id, record)
+		if next >= 0 {
+			if q, ok := w.parked[next]; ok {
+				delete(w.parked, next)
+				w.runnable = append(w.runnable, q)
+			}
+		}
+	}
+}
+
+// egress completes the packet: record outputs and egress order, release the
+// window token, and close the engine's done gate on the last packet.
+func (w *worker) egress(p *packet) {
+	e := w.e
+	if e.outs != nil {
+		e.outs[p.id] = append([]int64(nil), p.env.Fields...)
+	}
+	if e.cfg.RecordEgressOrder {
+		e.egMu.Lock()
+		e.egressOrder = append(e.egressOrder, p.id)
+		e.egMu.Unlock()
+	}
+	w.lat.Add(float64(time.Since(p.start).Microseconds()))
+	e.met.Egressed.Inc()
+	<-e.window
+	c := e.completed.Add(1)
+	if t := e.total.Load(); t >= 0 && c == t {
+		e.closeDone()
+	}
+}

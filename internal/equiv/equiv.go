@@ -95,6 +95,15 @@ func Reference(prog *ir.Program, arrivals []core.Arrival) (regs [][]int64, outpu
 // and register equivalence is only meaningful for loss-free runs (§3.5.1) —
 // the caller should ensure no drops occurred before trusting it.
 func Check(prog *ir.Program, sim *core.Simulator, arrivals []core.Arrival) *Report {
+	return CheckState(prog, sim.FinalRegs(), sim.Outputs(), arrivals)
+}
+
+// CheckState is the engine-agnostic core of Check: it compares a final
+// register snapshot and a per-packet output map — however they were produced
+// (cycle simulator, concurrent dataplane, …) — against the single-pipeline
+// reference execution of the same program and trace. outputs must be
+// non-nil (the engine must have recorded per-packet final fields).
+func CheckState(prog *ir.Program, simRegs [][]int64, simOut map[int64][]int64, arrivals []core.Arrival) *Report {
 	refRegs, refOut := Reference(prog, arrivals)
 	rep := &Report{Equivalent: true}
 	// Every mismatch counts toward Total; only the first Limit are kept,
@@ -106,7 +115,6 @@ func Check(prog *ir.Program, sim *core.Simulator, arrivals []core.Arrival) *Repo
 			rep.Mismatches = append(rep.Mismatches, m)
 		}
 	}
-	simRegs := sim.FinalRegs()
 	for r := range refRegs {
 		for i := range refRegs[r] {
 			if refRegs[r][i] != simRegs[r][i] {
@@ -115,9 +123,8 @@ func Check(prog *ir.Program, sim *core.Simulator, arrivals []core.Arrival) *Repo
 			}
 		}
 	}
-	simOut := sim.Outputs()
 	if simOut == nil {
-		panic("equiv: simulator was not run with RecordOutputs")
+		panic("equiv: engine was not run with RecordOutputs")
 	}
 	// Iterate packets in ascending id order so the recorded mismatch list
 	// (and therefore Report.String) is deterministic across runs.

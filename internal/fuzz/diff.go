@@ -8,6 +8,7 @@ import (
 	"mp5/internal/banzai"
 	"mp5/internal/compiler"
 	"mp5/internal/core"
+	"mp5/internal/dataplane"
 	"mp5/internal/equiv"
 	"mp5/internal/ir"
 	"mp5/internal/workload"
@@ -20,6 +21,21 @@ import (
 var OrderPreserving = []core.Arch{
 	core.ArchMP5, core.ArchIdeal, core.ArchNaive, core.ArchStaticShard,
 }
+
+// Engine names distinguish which execution engine produced a Failure: the
+// event-driven simulator ("core", the default — old artifacts with no engine
+// field decode to it), the simulator's legacy full-sweep scheduler
+// ("core-sweep"), or the concurrent goroutine dataplane ("dataplane").
+const (
+	EngineCore      = "core"
+	EngineSweep     = "core-sweep"
+	EngineDataplane = "dataplane"
+)
+
+// DataplaneWorkers are the worker counts Run sweeps the concurrent dataplane
+// across: serial, minimal concurrency, and enough workers to exercise
+// steering, parking and remapping on programs with several stateful stages.
+var DataplaneWorkers = []int{1, 2, 4}
 
 // Case is one differential-fuzzing input: a generated program plus the
 // knobs that deterministically expand into a workload. Everything needed
@@ -99,9 +115,17 @@ func (d OrderDiv) String() string {
 		d.State, d.Pos, d.Want, d.Got)
 }
 
-// Failure is one architecture's divergence from the reference on one case.
+// Failure is one engine configuration's divergence from the reference on one
+// case.
 type Failure struct {
-	Arch core.Arch `json:"arch"`
+	// Engine identifies the execution engine (EngineCore, EngineSweep or
+	// EngineDataplane); empty means EngineCore for artifacts written before
+	// the field existed. Arch is the simulated architecture for the core
+	// engines (always ArchMP5 for sweep and dataplane); Workers is the
+	// dataplane worker count (0 otherwise).
+	Engine  string    `json:"engine,omitempty"`
+	Arch    core.Arch `json:"arch"`
+	Workers int       `json:"workers,omitempty"`
 	// Reason is "compile", "stall", "loss", "state" (equiv mismatch in
 	// registers or packet outputs), or "order" (C1 violation).
 	Reason string        `json:"reason"`
@@ -112,7 +136,14 @@ type Failure struct {
 
 func (f *Failure) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%v: %s", f.Arch, f.Reason)
+	switch f.Engine {
+	case EngineDataplane:
+		fmt.Fprintf(&b, "dataplane(workers=%d): %s", f.Workers, f.Reason)
+	case EngineSweep:
+		fmt.Fprintf(&b, "%v (full-sweep): %s", f.Arch, f.Reason)
+	default:
+		fmt.Fprintf(&b, "%v: %s", f.Arch, f.Reason)
+	}
 	if f.Detail != "" {
 		fmt.Fprintf(&b, " (%s)", f.Detail)
 	}
@@ -146,9 +177,15 @@ func newReference(prog *ir.Program, arrivals []core.Arrival, k int) *reference {
 	}
 }
 
-// runArch simulates the case on one architecture and compares against the
-// reference. nil means the architecture matched on every oracle.
-func (r *reference) runArch(arch core.Arch, seed int64) *Failure {
+// runCore simulates the case on one architecture of the cycle-accurate
+// simulator and compares against the reference; fullSweep forces the legacy
+// every-slot-every-cycle scheduler (always on ArchMP5). nil means the engine
+// matched on every oracle.
+func (r *reference) runCore(arch core.Arch, seed int64, fullSweep bool) *Failure {
+	engine := EngineCore
+	if fullSweep {
+		engine, arch = EngineSweep, core.ArchMP5
+	}
 	got := map[string][]int64{}
 	sim := core.NewSimulator(r.prog, core.Config{
 		Arch: arch, Pipelines: r.k, Seed: seed,
@@ -160,20 +197,56 @@ func (r *reference) runArch(arch core.Arch, seed int64) *Failure {
 			}
 		},
 	})
+	sim.SetFullSweep(fullSweep)
 	res := sim.Run(r.arrivals)
 	if res.Stalled {
-		return &Failure{Arch: arch, Reason: "stall",
+		return &Failure{Engine: engine, Arch: arch, Reason: "stall",
 			Detail: fmt.Sprintf("%d of %d completed after %d cycles", res.Completed, res.Injected, res.Cycles)}
 	}
 	if res.Completed != res.Injected {
-		return &Failure{Arch: arch, Reason: "loss",
+		return &Failure{Engine: engine, Arch: arch, Reason: "loss",
 			Detail: fmt.Sprintf("%d of %d completed", res.Completed, res.Injected)}
 	}
 	if divs := diffOrders(r.order, got); len(divs) > 0 {
-		return &Failure{Arch: arch, Reason: "order", Order: divs}
+		return &Failure{Engine: engine, Arch: arch, Reason: "order", Order: divs}
 	}
 	if rep := equiv.Check(r.prog, sim, r.arrivals); !rep.Equivalent {
-		return &Failure{Arch: arch, Reason: "state", Report: rep}
+		return &Failure{Engine: engine, Arch: arch, Reason: "state", Report: rep}
+	}
+	return nil
+}
+
+// runDataplane executes the case on the concurrent goroutine dataplane with
+// the given worker count and holds it to the same oracles as the simulator:
+// liveness (no watchdog stall), loss-freedom, C1 per-slot access order, and
+// final registers plus packet outputs.
+func (r *reference) runDataplane(workers int) *Failure {
+	fail := &Failure{Engine: EngineDataplane, Arch: core.ArchMP5, Workers: workers}
+	eng := dataplane.New(r.prog, dataplane.Config{
+		Workers:           workers,
+		RecordOutputs:     true,
+		RecordAccessOrder: true,
+	})
+	res := eng.Run(r.arrivals)
+	if res.Stalled {
+		fail.Reason = "stall"
+		fail.Detail = fmt.Sprintf("%d of %d completed before the watchdog fired", res.Completed, res.Injected)
+		return fail
+	}
+	if res.Completed != res.Injected {
+		fail.Reason = "loss"
+		fail.Detail = fmt.Sprintf("%d of %d completed", res.Completed, res.Injected)
+		return fail
+	}
+	if divs := diffOrders(r.order, eng.AccessOrders()); len(divs) > 0 {
+		fail.Reason = "order"
+		fail.Order = divs
+		return fail
+	}
+	if rep := equiv.CheckState(r.prog, eng.FinalRegs(), eng.Outputs(), r.arrivals); !rep.Equivalent {
+		fail.Reason = "state"
+		fail.Report = rep
+		return fail
 	}
 	return nil
 }
@@ -219,10 +292,14 @@ func diffOrders(want, got map[string][]int64) []OrderDiv {
 	return divs
 }
 
-// Run compiles the case and checks every architecture in archs against the
-// single-pipeline reference, returning one Failure per diverging
-// architecture. A compile error returns a single "compile" failure (the
-// generator aims for 100% compilable output, so this is itself a finding).
+// Run compiles the case once and checks it against the single-pipeline
+// reference on every engine configuration: each architecture in archs on the
+// event-driven simulator, ArchMP5 on the simulator's legacy full-sweep
+// scheduler, and the concurrent goroutine dataplane at every DataplaneWorkers
+// count — so one seed cross-checks core vs. full-sweep vs. dataplane. It
+// returns one Failure per diverging configuration. A compile error returns a
+// single "compile" failure (the generator aims for 100% compilable output, so
+// this is itself a finding).
 func Run(c *Case, archs []core.Arch) []*Failure {
 	if c.Pipelines <= 0 {
 		c.Pipelines = core.DefaultPipelines
@@ -238,9 +315,46 @@ func Run(c *Case, archs []core.Arch) []*Failure {
 	ref := newReference(prog, arrivals, c.Pipelines)
 	var fails []*Failure
 	for _, a := range archs {
-		if f := ref.runArch(a, c.WorkSeed); f != nil {
+		if f := ref.runCore(a, c.WorkSeed, false); f != nil {
+			fails = append(fails, f)
+		}
+	}
+	if f := ref.runCore(core.ArchMP5, c.WorkSeed, true); f != nil {
+		fails = append(fails, f)
+	}
+	for _, w := range DataplaneWorkers {
+		if f := ref.runDataplane(w); f != nil {
 			fails = append(fails, f)
 		}
 	}
 	return fails
+}
+
+// runLike reruns only the engine configuration that produced like, returning
+// its failure if the case still diverges (or a "compile" failure). This is
+// the shrink loop's reproduction predicate: matching on the originating
+// engine keeps a minimization from being hijacked by an unrelated divergence
+// on another engine, and skips the cost of the full three-engine sweep on
+// every candidate.
+func runLike(c *Case, like *Failure) *Failure {
+	if c.Pipelines <= 0 {
+		c.Pipelines = core.DefaultPipelines
+	}
+	prog, err := compiler.Compile(c.SourceText(), compiler.Options{Target: compiler.TargetMP5})
+	if err != nil {
+		return &Failure{Reason: "compile", Detail: err.Error()}
+	}
+	arrivals := c.Arrivals(prog)
+	if len(arrivals) == 0 {
+		return nil
+	}
+	ref := newReference(prog, arrivals, c.Pipelines)
+	switch like.Engine {
+	case EngineSweep:
+		return ref.runCore(core.ArchMP5, c.WorkSeed, true)
+	case EngineDataplane:
+		return ref.runDataplane(like.Workers)
+	default:
+		return ref.runCore(like.Arch, c.WorkSeed, false)
+	}
 }

@@ -72,8 +72,9 @@ func smokeCases(t testing.TB) []*Case {
 
 // TestDifferentialSmoke is the bounded deterministic gate wired into
 // scripts/check.sh: every smoke case must match the single-pipeline
-// reference on all order-preserving architectures, on state, packet
-// outputs, and C1 access order.
+// reference on all order-preserving architectures, the full-sweep
+// scheduler, and the concurrent dataplane at every DataplaneWorkers count —
+// on state, packet outputs, and C1 access order.
 func TestDifferentialSmoke(t *testing.T) {
 	for i, c := range smokeCases(t) {
 		fails := Run(c, OrderPreserving)
@@ -152,10 +153,26 @@ func TestShrinkNonFailure(t *testing.T) {
 	}
 }
 
+// TestShrinkFailureNonCore: the engine-aware reproduction predicate routes
+// to the right engine — shrinking against a full-sweep or dataplane-tagged
+// failure on a passing case runs that engine and reports no failure.
+func TestShrinkFailureNonCore(t *testing.T) {
+	c := &Case{ProgSeed: 1, Size: 2, WorkSeed: 1, Packets: 200, Pipelines: 4}
+	for _, like := range []*Failure{
+		{Engine: EngineSweep, Arch: core.ArchMP5},
+		{Engine: EngineDataplane, Arch: core.ArchMP5, Workers: 2},
+	} {
+		if _, f := ShrinkFailure(c, like, 6); f != nil {
+			t.Fatalf("%s failed a smoke-grade case during shrink: %v", like.Engine, f)
+		}
+	}
+}
+
 // FuzzDifferential is the native fuzz target: the fuzzer explores the
 // (program seed, workload seed, size, packets) space, and every input is
 // checked against the single-pipeline reference on all order-preserving
-// architectures. Run long with:
+// architectures, the full-sweep scheduler, and the concurrent dataplane
+// (via Run's three-engine sweep). Run long with:
 //
 //	go test -run FuzzDifferential -fuzz=FuzzDifferential ./internal/fuzz
 func FuzzDifferential(f *testing.F) {
@@ -181,7 +198,7 @@ func FuzzDifferential(f *testing.F) {
 			t.Fatalf("generated program does not compile: %s\n%s",
 				fails[0].Detail, c.SourceText())
 		}
-		min, mf := Shrink(c, fails[0].Arch, 60)
+		min, mf := ShrinkFailure(c, fails[0], 60)
 		if mf == nil {
 			min, mf = c, fails[0]
 		}

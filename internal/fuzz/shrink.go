@@ -56,18 +56,27 @@ func pruneDecls(p *Program) *Program {
 	return q
 }
 
-// Shrink minimizes a failing case against one architecture: first the
-// workload (halving the packet count while the failure reproduces), then
-// the program (dropping statements, flattening guards, pruning unused
-// declarations), re-running the differential check after every edit.
-// budget caps the number of candidate runs. It returns the minimized case
-// with its program pinned in Source, plus the failure the minimized case
-// still produces — nil if the original case did not reproduce at all.
+// Shrink minimizes a failing case against one core-simulator architecture.
+// It is the historical entry point; ShrinkFailure generalizes it to any
+// engine configuration.
+func Shrink(c *Case, arch core.Arch, budget int) (*Case, *Failure) {
+	return ShrinkFailure(c, &Failure{Engine: EngineCore, Arch: arch}, budget)
+}
+
+// ShrinkFailure minimizes a failing case against the engine configuration
+// that produced like (core architecture, full-sweep scheduler, or dataplane
+// at like.Workers): first the workload (halving the packet count while the
+// failure reproduces), then the program (dropping statements, flattening
+// guards, pruning unused declarations), re-running the differential check
+// after every edit. budget caps the number of candidate runs. It returns the
+// minimized case with its program pinned in Source, plus the failure the
+// minimized case still produces — nil if the original case did not reproduce
+// at all.
 //
 // Program-level shrinking needs the generator's structured form, so it is
 // skipped when the case arrived with an explicit Source (e.g. replayed
 // from an artifact); workload shrinking still applies.
-func Shrink(c *Case, arch core.Arch, budget int) (*Case, *Failure) {
+func ShrinkFailure(c *Case, like *Failure, budget int) (*Case, *Failure) {
 	cur := *c
 	attempts := 0
 	try := func(cand *Case) *Failure {
@@ -75,10 +84,8 @@ func Shrink(c *Case, arch core.Arch, budget int) (*Case, *Failure) {
 			return nil
 		}
 		attempts++
-		for _, f := range Run(cand, []core.Arch{arch}) {
-			if f.Reason != "compile" {
-				return f
-			}
+		if f := runLike(cand, like); f != nil && f.Reason != "compile" {
+			return f
 		}
 		return nil
 	}

@@ -1,0 +1,64 @@
+package stats
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestHistogramConcurrentMerge exercises the documented share-nothing
+// concurrency pattern: N goroutines each fill a private histogram and one
+// goroutine merges them at drain time. The merged result must be exactly
+// the histogram a single serial recorder would have produced — same
+// totals, same buckets, same quantiles.
+func TestHistogramConcurrentMerge(t *testing.T) {
+	const (
+		workers = 8
+		perW    = 10000
+	)
+	parts := make([]*Histogram, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		parts[w] = NewHistogram(0, 1000, 250)
+		wg.Add(1)
+		go func(w int, h *Histogram) {
+			defer wg.Done()
+			// Deterministic per-worker value stream, including
+			// out-of-range observations for the Under/Over counters.
+			for i := 0; i < perW; i++ {
+				h.Add(float64((w*perW+i)*7%1100) - 50)
+			}
+		}(w, parts[w])
+	}
+	wg.Wait()
+
+	merged := NewHistogram(0, 1000, 250)
+	for _, p := range parts {
+		merged.Merge(p)
+	}
+
+	serial := NewHistogram(0, 1000, 250)
+	for w := 0; w < workers; w++ {
+		for i := 0; i < perW; i++ {
+			serial.Add(float64((w*perW+i)*7%1100) - 50)
+		}
+	}
+
+	if merged.Total() != workers*perW || merged.Total() != serial.Total() {
+		t.Fatalf("merged total %d, serial %d, want %d", merged.Total(), serial.Total(), workers*perW)
+	}
+	if merged.Under != serial.Under || merged.Over != serial.Over {
+		t.Fatalf("out-of-range counts diverge: merged %d/%d serial %d/%d",
+			merged.Under, merged.Over, serial.Under, serial.Over)
+	}
+	for i := range merged.Buckets {
+		if merged.Buckets[i] != serial.Buckets[i] {
+			t.Fatalf("bucket %d: merged %d serial %d", i, merged.Buckets[i], serial.Buckets[i])
+		}
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+		if m, s := merged.Quantile(q), serial.Quantile(q); math.Abs(m-s) > 1e-9 {
+			t.Fatalf("q%.2f: merged %g serial %g", q, m, s)
+		}
+	}
+}

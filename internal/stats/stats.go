@@ -79,6 +79,14 @@ func Ratios(a, b []float64) []float64 {
 }
 
 // Histogram counts values into fixed-width buckets spanning [lo, hi).
+//
+// A Histogram is NOT safe for concurrent use: Add, Merge, Quantile and
+// Total all touch the bucket counts without synchronization. Concurrent
+// recorders should use the share-nothing pattern the dataplane's latency
+// path uses — each goroutine Adds into its own Histogram and a single
+// goroutine Merges them after the workers have joined (or behind a lock).
+// Merging N identically-bucketed histograms is exact: every observation
+// lands in the same bucket it would have landed in on a shared instance.
 type Histogram struct {
 	Lo, Hi  float64
 	Buckets []int

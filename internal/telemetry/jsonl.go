@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/json"
 	"io"
+	"sync"
 
 	"mp5/internal/banzai"
 	"mp5/internal/core"
@@ -27,9 +28,12 @@ type EventRecord struct {
 }
 
 // JSONL writes telemetry records — events, samples, spans, and arbitrary
-// tagged summary objects — as one JSON object per line. Not safe for
-// concurrent use; the simulator delivers events from one goroutine.
+// tagged summary objects — as one JSON object per line. Safe for concurrent
+// use: records from many goroutines (the concurrent dataplane's workers, or
+// several simulators sharing one sink) serialize on an internal mutex, so
+// lines never interleave mid-record.
 type JSONL struct {
+	mu  sync.Mutex
 	bw  *bufio.Writer
 	enc *json.Encoder
 	err error
@@ -42,10 +46,11 @@ func NewJSONL(w io.Writer) *JSONL {
 }
 
 func (j *JSONL) write(v any) {
-	if j.err != nil {
-		return
+	j.mu.Lock()
+	if j.err == nil {
+		j.err = j.enc.Encode(v)
 	}
-	j.err = j.enc.Encode(v)
+	j.mu.Unlock()
 }
 
 // EventHook returns a trace consumer streaming every event as JSONL.
@@ -79,6 +84,8 @@ func (j *JSONL) Object(v any) { j.write(v) }
 // Flush drains the buffer and reports the first error encountered on any
 // write.
 func (j *JSONL) Flush() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
 	if j.err != nil {
 		return j.err
 	}

@@ -1,6 +1,8 @@
 package telemetry
 
 import (
+	"sync"
+
 	"mp5/internal/core"
 )
 
@@ -55,8 +57,11 @@ type stagePipe struct {
 // sink callback. It is a pure trace consumer: attach its Hook via
 // core.Config.Trace (combine with other consumers through viz.Tee or
 // telemetry.Tee) and call Close after the run to flush the final partial
-// interval.
+// interval. Events from concurrent emitters serialize on an internal mutex
+// (the interval folding itself still assumes nondecreasing cycle order, so
+// concurrent emitters should share a clock or use cycle 0 throughout).
 type Sampler struct {
+	mu       sync.Mutex
 	interval int64
 	pipes    int
 	sink     func(Sample)
@@ -101,6 +106,8 @@ func (s *Sampler) Hook() func(core.Event) {
 }
 
 func (s *Sampler) observe(e core.Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if !s.started {
 		s.started = true
 		s.start = e.Cycle - e.Cycle%s.interval
@@ -238,6 +245,8 @@ func less(a, b StageDepth) bool {
 
 // Close flushes the final (possibly partial) interval.
 func (s *Sampler) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.started {
 		s.flush()
 		s.started = false

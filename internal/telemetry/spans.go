@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"math"
+	"sync"
 
 	"mp5/internal/core"
 	"mp5/internal/stats"
@@ -59,10 +60,13 @@ type LatencySummary struct {
 }
 
 // SpanBuilder folds trace events into per-packet Spans. A non-nil sink
-// receives every finished span (completions and drops alike) as it closes;
+// receives every finished span (completions and drops alike) as it closes —
+// called with the builder's mutex held, so the sink itself need not lock;
 // aggregates are always collected and served by Summary. Pure trace
-// consumer: attach Hook via core.Config.Trace.
+// consumer: attach Hook via core.Config.Trace. Safe for concurrent
+// emitters: observation and every accessor serialize on an internal mutex.
 type SpanBuilder struct {
+	mu   sync.Mutex
 	sink func(Span)
 
 	live      map[int64]*spanState
@@ -83,6 +87,8 @@ func (b *SpanBuilder) Hook() func(core.Event) {
 }
 
 func (b *SpanBuilder) observe(e core.Event) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	switch e.Kind {
 	case core.EvAdmit:
 		st, ok := b.live[e.PktID]
@@ -148,12 +154,18 @@ func (b *SpanBuilder) finish(e core.Event, dropped bool) {
 
 // Live returns the number of packets still in flight (0 after a drained
 // run).
-func (b *SpanBuilder) Live() int { return len(b.live) }
+func (b *SpanBuilder) Live() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.live)
+}
 
 // Summary computes the latency distribution of completed packets. The
 // histogram uses unit-width buckets when the max latency fits 64Ki buckets
 // (exact quantiles) and scales the width up beyond that.
 func (b *SpanBuilder) Summary() LatencySummary {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	s := LatencySummary{Completed: int64(len(b.latencies)), Dropped: b.dropped}
 	if len(b.latencies) == 0 {
 		return s
@@ -197,6 +209,8 @@ func (b *SpanBuilder) FillHistogram(h *Histogram) {
 	if h == nil {
 		return
 	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	for _, l := range b.latencies {
 		h.Observe(float64(l))
 	}

@@ -11,6 +11,10 @@ go test -race ./...
 # race-enabled pass over internal/core so narrowing the suite-wide -race run
 # above can never silently drop it.
 go test -race -count 1 ./internal/core
+# The concurrent dataplane's correctness claims are about goroutine
+# interleavings (ticket queues, parking, remap migration); its differential
+# equivalence suite must always run under the race detector.
+go test -race -count 1 ./internal/dataplane
 # Differential-fuzzing smoke: a deterministic, seeded, time-bounded slice of
 # the harness — fixed random programs and workloads checked against the
 # single-pipeline reference (state, outputs, C1 access order) on every
