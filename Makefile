@@ -1,13 +1,18 @@
 GO ?= go
 
-.PHONY: all build vet test race race-core race-dataplane check bench bench-guard bench-smoke bench-dataplane fuzz-smoke fuzz clean
+.PHONY: all build vet fmt-check test race race-core race-dataplane race-server serve-smoke check bench bench-guard bench-smoke bench-dataplane bench-server fuzz-smoke fuzz clean
 
 all: check
 
 build:
 	$(GO) build ./...
 
-vet: build
+# fmt-check fails (listing the offenders) when any tracked Go file is not
+# gofmt-clean; it never rewrites files.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet: build fmt-check
 	$(GO) vet ./...
 
 test: vet
@@ -29,10 +34,24 @@ race-core:
 race-dataplane:
 	$(GO) test -race -count 1 ./internal/dataplane
 
-# check is the full local gate: build, vet, the race-enabled test suite,
-# the deterministic differential-fuzzing smoke, and the telemetry-overhead
-# guard benchmark.
-check: vet race fuzz-smoke bench-guard
+# race-server focuses the race detector on the network daemon — listeners,
+# the bounded ingress queue, the serial admitter, and the egress-ack path
+# all interleave; the loopback soak with differential verification must
+# stay race-clean.
+race-server:
+	$(GO) test -race -count 1 ./internal/server
+
+# serve-smoke is the end-to-end daemon soak: build mp5d and mp5load, run a
+# fixed-seed closed-loop TCP workload over loopback (zero loss required),
+# probe the admin plane, SIGTERM, and require a clean drain with
+# differential equivalence at the daemon.
+serve-smoke:
+	sh scripts/serve_smoke.sh
+
+# check is the full local gate: build, gofmt, vet, the race-enabled test
+# suite, the deterministic differential-fuzzing smoke, the daemon soak, and
+# the telemetry-overhead guard benchmark.
+check: vet race fuzz-smoke serve-smoke bench-guard
 
 # fuzz-smoke is the deterministic, seeded, time-bounded slice of the
 # differential fuzzing harness: MP5_FUZZ_CASES fixed cases (program +
@@ -59,7 +78,7 @@ bench-guard:
 # sweep on sparse and dense traces and records the machine-readable perf
 # trajectory in BENCH_core.json (acceptance: sparse speedup ≥ 2x, dense
 # within 5% of the sweep), then refreshes the dataplane scaling curve.
-bench-smoke: bench-dataplane
+bench-smoke: bench-dataplane bench-server
 	$(GO) run ./cmd/mp5bench -core-bench -bench-out BENCH_core.json
 
 # bench-dataplane times the concurrent dataplane at worker counts
@@ -69,6 +88,13 @@ bench-smoke: bench-dataplane
 # in BENCH_dataplane.json.
 bench-dataplane:
 	$(GO) run ./cmd/mp5bench -dataplane-bench -bench-out BENCH_dataplane.json
+
+# bench-server times the full network path — the closed-loop TCP client
+# against an in-process daemon over loopback — at worker counts
+# {1, 2, GOMAXPROCS} and records pps plus RTT quantiles in
+# BENCH_server.json; the gap to BENCH_dataplane.json prices the wire.
+bench-server:
+	$(GO) run ./cmd/mp5bench -server-bench -bench-out BENCH_server.json
 
 clean:
 	$(GO) clean ./...

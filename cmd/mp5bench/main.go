@@ -14,6 +14,8 @@
 //	                         # event-driven vs full-sweep scheduler timing
 //	mp5bench -dataplane-bench -bench-out BENCH_dataplane.json
 //	                         # concurrent dataplane worker-scaling timing
+//	mp5bench -server-bench -bench-out BENCH_server.json
+//	                         # network daemon loopback-TCP timing
 package main
 
 import (
@@ -44,7 +46,8 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "write a Prometheus-text snapshot of the harness metrics to this file when done")
 	coreBench := flag.Bool("core-bench", false, "time the event-driven scheduler against the legacy full sweep (sparse and dense traces) and exit")
 	dataplaneBench := flag.Bool("dataplane-bench", false, "time the concurrent dataplane across worker counts against the simulator baseline and exit")
-	benchOut := flag.String("bench-out", "", "with -core-bench or -dataplane-bench: write the machine-readable results to this JSON file")
+	serverBench := flag.Bool("server-bench", false, "time the network daemon over loopback TCP across worker counts and exit")
+	benchOut := flag.String("bench-out", "", "with -core-bench, -dataplane-bench, or -server-bench: write the machine-readable results to this JSON file")
 	flag.Parse()
 
 	if *coreBench {
@@ -53,6 +56,10 @@ func main() {
 	}
 	if *dataplaneBench {
 		runDataplaneBench(*benchOut)
+		return
+	}
+	if *serverBench {
+		runServerBench(*benchOut)
 		return
 	}
 

@@ -1,0 +1,138 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"mp5/internal/apps"
+	"mp5/internal/core"
+	"mp5/internal/dataplane"
+	"mp5/internal/ir"
+	"mp5/internal/server"
+	"mp5/internal/workload"
+)
+
+// srvScenario is one row of BENCH_server.json: the daemon driven over
+// loopback TCP by the closed-loop client at one worker count. Latency is
+// the client-observed send→egress-ack round trip, so it prices the full
+// network path (codec, ingress queue, admission, execution, ack).
+type srvScenario struct {
+	Workers    int     `json:"workers"`
+	NsPerRun   int64   `json:"ns_per_run"`
+	PktsPerSec float64 `json:"pkts_per_sec"`
+	P50Micros  float64 `json:"rtt_p50_us"`
+	P99Micros  float64 `json:"rtt_p99_us"`
+	Lossless   bool    `json:"lossless"`
+}
+
+// srvBenchReport is the BENCH_server.json schema. The in-process dataplane
+// rate from BENCH_dataplane.json is the natural comparison point: the gap
+// between the two is the cost of the wire.
+type srvBenchReport struct {
+	Benchmark  string        `json:"benchmark"`
+	Date       string        `json:"date"`
+	GoVersion  string        `json:"go_version"`
+	NumCPU     int           `json:"num_cpu"`
+	GoMaxProcs int           `json:"gomaxprocs"`
+	Packets    int           `json:"packets"`
+	Window     int           `json:"window"`
+	Scenarios  []srvScenario `json:"scenarios"`
+}
+
+// runServerBench times the full network path — mp5load's client against an
+// in-process mp5d server over loopback TCP — at worker counts
+// {1, 2, GOMAXPROCS}, reporting achieved pps and RTT quantiles.
+func runServerBench(outPath string) {
+	prog, err := apps.Synthetic(4, 512, 16)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mp5bench:", err)
+		os.Exit(1)
+	}
+	trace := workload.Synthetic(prog, workload.Spec{Packets: 20000, Pipelines: 4, Seed: 1}, 4, 512)
+	const window = 256
+
+	counts := []int{1, 2, runtime.GOMAXPROCS(0)}
+	sort.Ints(counts)
+	report := srvBenchReport{
+		Benchmark:  "server-loopback",
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Packets:    len(trace),
+		Window:     window,
+	}
+	for i, w := range counts {
+		if i > 0 && w == counts[i-1] {
+			continue // GOMAXPROCS collides with 1 or 2 on small boxes
+		}
+		var best *server.LoadReport
+		for rep := 0; rep < 4; rep++ { // rep 0 is warmup
+			lr, err := oneServerRun(prog, trace, w, window)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mp5bench: workers=%d: %v\n", w, err)
+				os.Exit(1)
+			}
+			if rep > 0 && (best == nil || lr.Elapsed < best.Elapsed) {
+				best = lr
+			}
+		}
+		report.Scenarios = append(report.Scenarios, srvScenario{
+			Workers:    w,
+			NsPerRun:   best.Elapsed.Nanoseconds(),
+			PktsPerSec: best.PktsPerSec,
+			P50Micros:  best.Latency.Quantile(0.5),
+			P99Micros:  best.Latency.Quantile(0.99),
+			Lossless:   best.Acked == best.Sent,
+		})
+	}
+	out, _ := json.MarshalIndent(report, "", "  ")
+	out = append(out, '\n')
+	if outPath == "" {
+		os.Stdout.Write(out)
+		return
+	}
+	if err := os.WriteFile(outPath, out, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "mp5bench:", err)
+		os.Exit(1)
+	}
+	for _, sc := range report.Scenarios {
+		fmt.Printf("workers=%-2d       %10.0f pkts/s  p50 %5.0fµs  p99 %5.0fµs  lossless=%v\n",
+			sc.Workers, sc.PktsPerSec, sc.P50Micros, sc.P99Micros, sc.Lossless)
+	}
+	fmt.Println("wrote", outPath)
+}
+
+// oneServerRun stands up a fresh daemon on an ephemeral loopback port,
+// pushes the trace through the closed-loop TCP client, and tears it down.
+func oneServerRun(prog *ir.Program, trace []core.Arrival, workers, window int) (*server.LoadReport, error) {
+	s, err := server.New(prog, server.Config{
+		Engine:  dataplane.Config{Workers: workers},
+		TCPAddr: "127.0.0.1:0",
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Start(); err != nil {
+		return nil, err
+	}
+	defer s.Shutdown()
+	c, err := server.Dial("tcp", s.TCPAddr())
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	rep, err := c.Run(trace, server.LoadOptions{Window: window})
+	if err != nil {
+		return nil, err
+	}
+	res := s.Shutdown()
+	if res.Stalled {
+		return nil, fmt.Errorf("engine stalled at %d workers", workers)
+	}
+	return rep, nil
+}

@@ -1,0 +1,147 @@
+// Command mp5d runs the MP5 switch daemon: it compiles a packet-processing
+// program, wraps the concurrent dataplane in network listeners, and serves
+// an open-ended packet stream until SIGTERM/SIGINT, then drains gracefully
+// and prints the run summary.
+//
+// Examples:
+//
+//	mp5d -app sequencer -workers 4
+//	mp5d -synthetic 4 -regsize 512 -listen-tcp 127.0.0.1:9590 -policy drop
+//	mp5d -program prog.domino -listen-tcp 127.0.0.1:0 -admin 127.0.0.1:0 -verify
+//
+// The first line printed is machine-parseable ("mp5d: listening tcp=...
+// udp=... admin=...") so scripts can bind port 0 and discover the real
+// addresses. Exit codes: 0 clean drain, 1 verification mismatch, 3 stall.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"mp5/internal/apps"
+	"mp5/internal/compiler"
+	"mp5/internal/dataplane"
+	"mp5/internal/ir"
+	"mp5/internal/server"
+)
+
+func main() {
+	app := flag.String("app", "", "built-in application: flowlet, conga, wfq, sequencer")
+	programPath := flag.String("program", "", "Domino program file")
+	synthetic := flag.Int("synthetic", 0, "use the synthetic program with this many stateful stages")
+	regSize := flag.Int("regsize", 512, "register array size for -synthetic")
+	workers := flag.Int("workers", 0, "dataplane worker count (0 = GOMAXPROCS)")
+	window := flag.Int("window", 0, "admission window: max packets in flight (0 = engine default)")
+	seed := flag.Int64("seed", 0, "initial index→worker placement seed (0 = round-robin)")
+	tcpAddr := flag.String("listen-tcp", "127.0.0.1:9590", `TCP data-plane listen address ("" disables)`)
+	udpAddr := flag.String("listen-udp", "127.0.0.1:9590", `UDP data-plane listen address ("" disables)`)
+	adminAddr := flag.String("admin", "127.0.0.1:9591", `HTTP admin-plane listen address ("" disables)`)
+	ingressCap := flag.Int("ingress-cap", 0, "ingress queue depth between decoders and the admitter (0 = default 1024)")
+	policy := flag.String("policy", "drop", "UDP backpressure policy at a full ingress queue: drop or block")
+	verify := flag.Bool("verify", false, "record the admitted order and check equivalence against the single-pipeline reference at drain (memory grows with traffic; soak/debug mode)")
+	flag.Parse()
+
+	prog := selectProgram(*app, *synthetic, *regSize, *programPath)
+	pol, err := server.ParsePolicy(*policy)
+	if err != nil {
+		fatal(err)
+	}
+
+	s, err := server.New(prog, server.Config{
+		Engine: dataplane.Config{
+			Workers: *workers,
+			Window:  *window,
+			Seed:    *seed,
+		},
+		TCPAddr:    *tcpAddr,
+		UDPAddr:    *udpAddr,
+		AdminAddr:  *adminAddr,
+		IngressCap: *ingressCap,
+		Policy:     pol,
+		Verify:     *verify,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("mp5d: listening tcp=%s udp=%s admin=%s\n", s.TCPAddr(), s.UDPAddr(), s.AdminAddr())
+	fmt.Printf("mp5d: program %s (%d stages, %d registers), %d workers, policy %s\n",
+		prog.Name, prog.NumStages(), len(prog.Regs), s.Engine().Workers(), *policy)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	got := <-sig
+	fmt.Printf("mp5d: %v, draining\n", got)
+
+	res := s.Shutdown()
+	fmt.Printf("packets            %d admitted, %d completed, %d shed at ingress\n",
+		res.Injected, res.Completed, s.Dropped())
+	fmt.Printf("throughput         %.0f packets/sec (%.2f ms serving)\n",
+		res.PktsPerSec, float64(res.Elapsed.Microseconds())/1000)
+	fmt.Printf("shard moves        %d\n", res.ShardMoves)
+	if res.Stalled {
+		fmt.Fprintf(os.Stderr, "mp5d: engine stalled (%d of %d packets completed)\n",
+			res.Completed, res.Injected)
+		os.Exit(3)
+	}
+	if *verify {
+		rep, orderOK, err := s.VerifyRecorded()
+		if err != nil {
+			fatal(err)
+		}
+		switch {
+		case !rep.Equivalent:
+			fmt.Printf("equivalence        FAILED: %d mismatches, e.g. %v\n",
+				len(rep.Mismatches), rep.Mismatches[0])
+			os.Exit(1)
+		case !orderOK:
+			fmt.Println("equivalence        FAILED: C1 access order diverges from the reference")
+			os.Exit(1)
+		default:
+			fmt.Printf("equivalence        OK (%d packets, all registers, C1 order)\n",
+				rep.PacketsCompared)
+		}
+	}
+}
+
+// selectProgram mirrors mp5sim's program selection so a daemon and a load
+// generator launched with the same flags agree on the header-field shape.
+func selectProgram(app string, synthetic, regSize int, programPath string) *ir.Program {
+	switch {
+	case app != "":
+		a, err := apps.ByName(app)
+		if err != nil {
+			fatal(err)
+		}
+		return a.MustCompile(compiler.TargetMP5)
+	case synthetic > 0:
+		prog, err := apps.Synthetic(synthetic, regSize, compiler.DefaultMaxStages)
+		if err != nil {
+			fatal(err)
+		}
+		return prog
+	case programPath != "":
+		data, err := os.ReadFile(programPath)
+		if err != nil {
+			fatal(err)
+		}
+		prog, err := compiler.Compile(string(data), compiler.Options{Target: compiler.TargetMP5})
+		if err != nil {
+			fatal(err)
+		}
+		return prog
+	}
+	fmt.Fprintln(os.Stderr, "usage: mp5d (-app NAME | -synthetic N | -program FILE) [flags]")
+	os.Exit(2)
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mp5d:", err)
+	os.Exit(1)
+}

@@ -86,10 +86,10 @@ func main() {
 	for i := 0; i < *cases; i++ {
 		s := *seed + int64(i)
 		c := &fuzz.Case{
-			ProgSeed: int64(ir.Mix64(uint64(s))),
-			Size:     pick(*size, int(s%8)+1),
-			WorkSeed: int64(ir.Mix64(uint64(s) ^ 0x9e37)),
-			Packets:  *packets,
+			ProgSeed:  int64(ir.Mix64(uint64(s))),
+			Size:      pick(*size, int(s%8)+1),
+			WorkSeed:  int64(ir.Mix64(uint64(s) ^ 0x9e37)),
+			Packets:   *packets,
 			Pipelines: pick(*k, []int{2, 4, 8}[s%3]),
 		}
 		fails := fuzz.Run(c, archs)

@@ -55,8 +55,14 @@ type Config struct {
 	// RemapInterval is the number of admissions between dynamic-sharding
 	// remap passes (D2); 0 defaults to 256, negative disables remapping.
 	RemapInterval int
-	// Seed is reserved for randomized placement policies (the initial
-	// assignment is round-robin, matching the simulator's MP5 default).
+	// Seed selects the initial index→worker placement: 0 keeps the plain
+	// round-robin assignment (the simulator's MP5 default); any other
+	// value deterministically shuffles the balanced round-robin owner set
+	// of every sharded array, so distinct daemons can start from distinct
+	// placements without biasing load toward low-numbered workers.
+	// Unsharded arrays always home at stage mod k. Placement never affects
+	// functional correctness (C1 ticketing is placement-independent), only
+	// steering and remap trajectories.
 	Seed int64
 	// RecordOutputs retains each packet's final header fields (required
 	// for equivalence checking via equiv.CheckState).
@@ -74,6 +80,13 @@ type Config struct {
 	// Metrics, when non-nil, receives concurrent counter updates from the
 	// admitter and every worker (nil disables with zero overhead).
 	Metrics *Metrics
+	// OnEgress, when non-nil, runs on the egressing worker's goroutine
+	// with the packet id, after outputs are recorded and before the window
+	// token is released. Keep it fast: a callback that blocks stalls that
+	// worker and, through the admission window, eventually the whole
+	// stream (the server uses it to send per-packet acks in lossless
+	// mode, which is exactly the backpressure it wants).
+	OnEgress func(id int64)
 }
 
 func (c Config) withDefaults() Config {

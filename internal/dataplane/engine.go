@@ -1,6 +1,7 @@
 package dataplane
 
 import (
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -26,10 +27,12 @@ type regShard struct {
 	count []int64
 }
 
-// Engine runs one compiled MP5 program over one arrival trace on a real
-// goroutine topology (see the package comment for the architecture map).
-// An Engine is single-use: construct with New, call Run exactly once, then
-// read Outputs/FinalRegs/AccessOrders/EgressOrder.
+// Engine runs one compiled MP5 program on a real goroutine topology (see
+// the package comment for the architecture map). It executes either a
+// pre-materialized trace (Run) or an open-ended packet stream
+// (Start/Submit/Drain — Run is implemented on top of the streaming mode).
+// An Engine is single-use: construct with New, drive one trace or stream,
+// then read Outputs/FinalRegs/AccessOrders/EgressOrder.
 type Engine struct {
 	prog       *ir.Program
 	cfg        Config
@@ -59,10 +62,20 @@ type Engine struct {
 	abortOnce sync.Once
 	wg        sync.WaitGroup
 
+	// started flips when Start launches the topology; startT anchors the
+	// run's elapsed time. wdStop/wdWg manage the watchdog goroutine.
+	started bool
+	startT  time.Time
+	wdStop  chan struct{}
+	wdWg    sync.WaitGroup
+
 	// total holds the final injected count, -1 while admission is still
 	// running (workers poll it to detect the last egress).
 	total     atomic.Int64
 	completed atomic.Int64
+	// submitted counts admissions. Written only by the (serial) admitter,
+	// read atomically by the watchdog and health probes.
+	submitted atomic.Int64
 	steers    atomic.Int64
 	wasted    atomic.Int64
 	parks     atomic.Int64
@@ -71,9 +84,17 @@ type Engine struct {
 	shardMoves int64
 	spray      int64
 
+	// placeMu guards cross-goroutine snapshots of the owner arrays
+	// (ShardMap): remap's rare owner writes take it; the admitter's hot
+	// owner reads do not need it (remap runs on the admitter goroutine).
+	placeMu sync.Mutex
+
 	// outs[id] is the packet's final header state, written once by the
-	// egressing worker and read after all workers joined.
+	// egressing worker and read after all workers joined. Run preallocates
+	// the slice from the trace length; the streaming mode, which cannot
+	// size it up front, records into outsM under egMu instead.
 	outs        [][]int64
+	outsM       map[int64][]int64
 	egMu        sync.Mutex
 	egressOrder []int64
 
@@ -110,6 +131,14 @@ func New(prog *ir.Program, cfg Config) *Engine {
 	if e.met == nil {
 		e.met = &Metrics{} // all-nil counters: every update is a no-op
 	}
+	// Seed != 0 selects the seeded placement policy: the balanced
+	// round-robin assignment, deterministically shuffled per array. Same
+	// seed, same placement; the default (0) keeps plain round-robin,
+	// matching the simulator's MP5 default.
+	var placeRng *rand.Rand
+	if cfg.Seed != 0 {
+		placeRng = rand.New(rand.NewSource(cfg.Seed))
+	}
 	e.shard = make([]regShard, len(prog.Regs))
 	for r := range prog.Regs {
 		info := &prog.Regs[r]
@@ -121,6 +150,11 @@ func New(prog *ir.Program, cfg Config) *Engine {
 			sh.count = make([]int64, info.Size)
 			for i := range sh.owner {
 				sh.owner[i] = i % e.k // round-robin, like sharding.PolicyRoundRobin
+			}
+			if placeRng != nil {
+				placeRng.Shuffle(len(sh.owner), func(i, j int) {
+					sh.owner[i], sh.owner[j] = sh.owner[j], sh.owner[i]
+				})
 			}
 			for i := 0; i < info.Size; i++ {
 				e.slots[slotKey{r, i}] = &slotState{}
@@ -144,63 +178,107 @@ func New(prog *ir.Program, cfg Config) *Engine {
 // Run drives the whole trace through the topology and blocks until every
 // packet egressed (or the watchdog aborted a stall). The admitter runs on
 // the calling goroutine: execute the resolution stages, resolve visits,
-// issue tickets in arrival order, dispatch, and periodically remap.
+// issue tickets in arrival order, dispatch, and periodically remap. Run is
+// the batch shorthand for Start + Submit-per-arrival + Drain.
 func (e *Engine) Run(arrivals []core.Arrival) *Result {
-	start := time.Now()
 	if e.cfg.RecordOutputs {
+		// Sized by the trace so workers can record outputs without a lock;
+		// Start sees outs non-nil and skips the streaming map.
 		e.outs = make([][]int64, len(arrivals))
 	}
 	if len(arrivals) == 0 {
-		return e.result(0, time.Since(start))
+		return e.result(0, 0)
+	}
+	e.Start()
+	for i := range arrivals {
+		if !e.Submit(&arrivals[i]) {
+			break
+		}
+	}
+	return e.Drain()
+}
+
+// Start launches the worker topology and the liveness watchdog, switching
+// the engine into open-ended ingestion mode: the caller becomes the serial
+// admitter and feeds packets with Submit until Drain. Start must be called
+// exactly once, and Submit only from one goroutine at a time (admission
+// order is the correctness contract — C1 is defined by it).
+func (e *Engine) Start() {
+	if e.started {
+		panic("dataplane: Engine.Start called twice (engines are single-use)")
+	}
+	e.started = true
+	e.startT = time.Now()
+	if e.cfg.RecordOutputs && e.outs == nil {
+		e.outsM = make(map[int64][]int64)
 	}
 	e.wg.Add(e.k)
 	for _, w := range e.workers {
 		go w.run()
 	}
-	wdStop := make(chan struct{})
-	var wdWg sync.WaitGroup
-	wdWg.Add(1)
-	go e.watchdog(wdStop, &wdWg)
+	e.wdStop = make(chan struct{})
+	e.wdWg.Add(1)
+	go e.watchdog(e.wdStop, &e.wdWg)
+}
 
-	var admitted int64
-admitLoop:
-	for i := range arrivals {
-		select {
-		case e.window <- struct{}{}:
-		case <-e.abort:
-			break admitLoop
-		}
-		p := e.admit(int64(i), &arrivals[i])
-		admitted++
-		dest := 0
-		if len(p.visits) > 0 {
-			dest = p.visits[0].pipe
-		} else {
-			dest = int(e.spray % int64(e.k)) // D1: spray stateless packets
-			e.spray++
-		}
-		select {
-		case e.workers[dest].mailbox <- p:
-		case <-e.abort:
-			break admitLoop
-		}
-		if e.cfg.RemapInterval > 0 && admitted%int64(e.cfg.RemapInterval) == 0 {
-			e.remap()
-		}
+// Submit admits one packet: block until the admission window has room (the
+// live admission-control point), resolve and ticket the packet, and
+// dispatch it to its first worker. Returns false when the engine aborted
+// (watchdog stall) — the stream is dead and the caller should Drain.
+// Admitter-serial: never call Submit concurrently.
+func (e *Engine) Submit(a *core.Arrival) bool {
+	select {
+	case e.window <- struct{}{}:
+	case <-e.abort:
+		return false
 	}
-	e.total.Store(admitted)
-	if e.completed.Load() == admitted {
+	p := e.admit(e.submitted.Load(), a)
+	e.submitted.Add(1)
+	dest := 0
+	if len(p.visits) > 0 {
+		dest = p.visits[0].pipe
+	} else {
+		dest = int(e.spray % int64(e.k)) // D1: spray stateless packets
+		e.spray++
+	}
+	select {
+	case e.workers[dest].mailbox <- p:
+	case <-e.abort:
+		return false
+	}
+	if n := e.submitted.Load(); e.cfg.RemapInterval > 0 && n%int64(e.cfg.RemapInterval) == 0 {
+		e.remap()
+	}
+	return true
+}
+
+// NextID returns the packet id the next Submit will assign (ids are dense,
+// starting at 0). Admitter-serial, like Submit: callers that need to index
+// per-packet bookkeeping before the packet can possibly egress read it
+// immediately before the Submit it predicts.
+func (e *Engine) NextID() int64 { return e.submitted.Load() }
+
+// Drain ends admission and blocks until every in-flight packet egressed
+// (or the watchdog aborted), then joins the workers and returns the run
+// summary. After Drain the engine's post-run accessors are valid.
+func (e *Engine) Drain() *Result {
+	if !e.started {
+		return e.result(0, 0)
+	}
+	submitted := e.submitted.Load()
+	e.total.Store(submitted)
+	if e.completed.Load() == submitted {
 		e.closeDone()
 	}
 	select {
 	case <-e.done:
 	case <-e.abort:
 	}
-	close(wdStop)
-	wdWg.Wait()
+	close(e.wdStop)
+	e.wdWg.Wait()
 	close(e.quit)
 	e.wg.Wait()
-	return e.result(admitted, time.Since(start))
+	return e.result(submitted, time.Since(e.startT))
 }
 
 // admit prepares one packet on the admitter: copy the header, execute the
@@ -313,9 +391,12 @@ func (e *Engine) remap() {
 					// No pending tickets: nobody is touching (or will
 					// touch) the old copy, and the next ticket will be
 					// issued after owner[] is updated below — the slot
-					// mutex carries the value to the new owner.
+					// mutex carries the value to the new owner. placeMu
+					// publishes the new owner to ShardMap snapshots.
 					e.workers[l].regs.Array(reg)[best] = e.workers[h].regs.Array(reg)[best]
+					e.placeMu.Lock()
 					sh.owner[best] = l
+					e.placeMu.Unlock()
 					e.shardMoves++
 					e.met.ShardMoves.Inc()
 				}
@@ -330,7 +411,9 @@ func (e *Engine) remap() {
 
 // watchdog aborts the run when no packet egresses for StallTimeout while
 // packets are in flight, so a liveness bug fails tests loudly (Stalled)
-// instead of hanging them.
+// instead of hanging them. An idle stream (nothing in flight) is healthy,
+// not stalled — essential in streaming mode, where traffic gaps of any
+// length are normal.
 func (e *Engine) watchdog(stop <-chan struct{}, wg *sync.WaitGroup) {
 	defer wg.Done()
 	period := e.cfg.StallTimeout / 4
@@ -349,7 +432,7 @@ func (e *Engine) watchdog(stop <-chan struct{}, wg *sync.WaitGroup) {
 			return
 		case <-tick.C:
 			cur := e.completed.Load()
-			if cur != last {
+			if cur != last || cur == e.submitted.Load() {
 				last, lastChange = cur, time.Now()
 				continue
 			}
@@ -395,11 +478,18 @@ func (e *Engine) result(injected int64, elapsed time.Duration) *Result {
 }
 
 // Outputs returns each completed packet's final header fields, keyed by
-// packet id — the shape equiv.CheckState consumes. Only valid after Run,
-// and only when Config.RecordOutputs was set.
+// packet id — the shape equiv.CheckState consumes. Only valid after
+// Run/Drain, and only when Config.RecordOutputs was set.
 func (e *Engine) Outputs() map[int64][]int64 {
 	if e.outs == nil {
-		return nil
+		if e.outsM == nil {
+			return nil
+		}
+		out := make(map[int64][]int64, len(e.outsM))
+		for id, f := range e.outsM {
+			out[id] = f
+		}
+		return out
 	}
 	out := make(map[int64][]int64, len(e.outs))
 	for id, f := range e.outs {
@@ -445,3 +535,49 @@ func (e *Engine) AccessOrders() map[string][]int64 {
 // EgressOrder returns the wall-clock egress sequence of packet ids (only
 // recorded with Config.RecordEgressOrder).
 func (e *Engine) EgressOrder() []int64 { return e.egressOrder }
+
+// Stalled reports whether the liveness watchdog aborted the engine. Safe
+// to call from any goroutine at any time — the health-probe hook.
+func (e *Engine) Stalled() bool { return e.stalled.Load() }
+
+// Workers returns the resolved worker count k.
+func (e *Engine) Workers() int { return e.k }
+
+// Submitted returns the number of packets admitted so far (any goroutine).
+func (e *Engine) Submitted() int64 { return e.submitted.Load() }
+
+// Completed returns the number of packets egressed so far (any goroutine).
+func (e *Engine) Completed() int64 { return e.completed.Load() }
+
+// InFlight returns the number of admitted-but-not-yet-egressed packets,
+// bounded by Config.Window (any goroutine).
+func (e *Engine) InFlight() int64 { return e.submitted.Load() - e.completed.Load() }
+
+// ShardEntry is one register array's live D2 placement, in the shape the
+// admin plane serves as JSON.
+type ShardEntry struct {
+	Reg     int    `json:"reg"`
+	Name    string `json:"name"`
+	Sharded bool   `json:"sharded"`
+	// Owners[i] is the worker holding the live copy of index i; an
+	// unsharded array has a single element, the whole-array home.
+	Owners []int `json:"owners"`
+}
+
+// ShardMap snapshots the live index→worker ownership of every register
+// array. Safe from any goroutine while the engine runs: remap publishes
+// owner changes under the same lock the snapshot takes.
+func (e *Engine) ShardMap() []ShardEntry {
+	out := make([]ShardEntry, len(e.shard))
+	e.placeMu.Lock()
+	defer e.placeMu.Unlock()
+	for r := range e.shard {
+		out[r] = ShardEntry{
+			Reg:     r,
+			Name:    e.prog.Regs[r].Name,
+			Sharded: e.shard[r].sharded,
+			Owners:  append([]int(nil), e.shard[r].owner...),
+		}
+	}
+	return out
+}

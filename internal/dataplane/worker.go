@@ -206,12 +206,18 @@ func (w *worker) execVisit(p *packet, v *visit) {
 	}
 }
 
-// egress completes the packet: record outputs and egress order, release the
-// window token, and close the engine's done gate on the last packet.
+// egress completes the packet: record outputs and egress order, notify the
+// OnEgress hook, release the window token, and close the engine's done gate
+// on the last packet.
 func (w *worker) egress(p *packet) {
 	e := w.e
 	if e.outs != nil {
 		e.outs[p.id] = append([]int64(nil), p.env.Fields...)
+	} else if e.outsM != nil {
+		// Streaming mode: no preallocated slice, so record under egMu.
+		e.egMu.Lock()
+		e.outsM[p.id] = append([]int64(nil), p.env.Fields...)
+		e.egMu.Unlock()
 	}
 	if e.cfg.RecordEgressOrder {
 		e.egMu.Lock()
@@ -220,6 +226,9 @@ func (w *worker) egress(p *packet) {
 	}
 	w.lat.Add(float64(time.Since(p.start).Microseconds()))
 	e.met.Egressed.Inc()
+	if f := e.cfg.OnEgress; f != nil {
+		f(p.id)
+	}
 	<-e.window
 	c := e.completed.Add(1)
 	if t := e.total.Load(); t >= 0 && c == t {

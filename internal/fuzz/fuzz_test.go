@@ -182,10 +182,10 @@ func FuzzDifferential(f *testing.F) {
 	f.Add(int64(-3), int64(999), uint8(1), uint8(7))
 	f.Fuzz(func(t *testing.T, progSeed, workSeed int64, size, pk uint8) {
 		c := &Case{
-			ProgSeed: progSeed,
-			Size:     int(size%8) + 1,
-			WorkSeed: workSeed,
-			Packets:  100 + int(pk%8)*50, // 100..450
+			ProgSeed:  progSeed,
+			Size:      int(size%8) + 1,
+			WorkSeed:  workSeed,
+			Packets:   100 + int(pk%8)*50, // 100..450
 			Pipelines: []int{2, 4, 8}[int(uint64(workSeed)%3)],
 		}
 		fails := Run(c, OrderPreserving)

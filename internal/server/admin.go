@@ -1,0 +1,50 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// healthz is the /healthz response body. Status is "ok" while the engine
+// makes progress (or sits idle) and "stalled" after a watchdog abort — the
+// same liveness signal that fails tests loudly, surfaced to operators.
+type healthz struct {
+	Status    string `json:"status"`
+	Workers   int    `json:"workers"`
+	Submitted int64  `json:"submitted"`
+	Completed int64  `json:"completed"`
+	InFlight  int64  `json:"in_flight"`
+	Dropped   int64  `json:"ingress_dropped"`
+}
+
+// adminMux builds the admin-plane handler: /metrics (Prometheus text from
+// the shared registry), /healthz (watchdog-backed, 503 when stalled), and
+// /shardmap (the live D2 index→pipeline ownership as JSON).
+func (s *Server) adminMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		s.cfg.Registry.WriteProm(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		h := healthz{
+			Status:    "ok",
+			Workers:   s.eng.Workers(),
+			Submitted: s.eng.Submitted(),
+			Completed: s.eng.Completed(),
+			InFlight:  s.eng.InFlight(),
+			Dropped:   s.Dropped(),
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if s.eng.Stalled() {
+			h.Status = "stalled"
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		json.NewEncoder(w).Encode(h)
+	})
+	mux.HandleFunc("/shardmap", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(s.eng.ShardMap())
+	})
+	return mux
+}

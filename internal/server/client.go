@@ -1,0 +1,214 @@
+package server
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mp5/internal/core"
+	"mp5/internal/stats"
+)
+
+// RTT histogram shape: microseconds in [0, ~1.05 s) at 32 µs resolution.
+const (
+	rttLo      = 0
+	rttHi      = 1 << 20
+	rttBuckets = 1 << 15
+)
+
+// Client drives a daemon over the wire — the load-generator side of the
+// codec. One Client owns one connection; Run may be called once.
+type Client struct {
+	conn net.Conn
+	udp  bool
+}
+
+// Dial connects to a daemon. network is "tcp" (lossless, acked) or "udp"
+// (open-loop, ackless).
+func Dial(network, addr string) (*Client, error) {
+	switch network {
+	case "tcp", "udp":
+	default:
+		return nil, fmt.Errorf("server: Dial network %q (want tcp or udp)", network)
+	}
+	conn, err := net.Dial(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, udp: network == "udp"}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// LoadOptions shapes a Run.
+type LoadOptions struct {
+	// Window caps outstanding unacked packets on TCP — the closed-loop
+	// knob (default 256). Ignored on UDP.
+	Window int
+	// RatePPS paces sends to a target rate — the open-loop knob; 0 sends
+	// as fast as the transport admits.
+	RatePPS float64
+	// AckTimeout bounds the wait for each next ack after sending finished
+	// (default 10s); expiry reports the missing acks as loss.
+	AckTimeout time.Duration
+}
+
+func (o LoadOptions) withDefaults() LoadOptions {
+	if o.Window <= 0 {
+		o.Window = 256
+	}
+	if o.AckTimeout <= 0 {
+		o.AckTimeout = 10 * time.Second
+	}
+	return o
+}
+
+// LoadReport summarizes one Run.
+type LoadReport struct {
+	Sent  int64
+	Acked int64 // TCP only; UDP reports 0
+	// Elapsed spans first send to last ack (TCP) or last send (UDP).
+	Elapsed time.Duration
+	// PktsPerSec is the achieved end-to-end rate: acked/elapsed on TCP,
+	// sent/elapsed on UDP.
+	PktsPerSec float64
+	// Latency is the send→egress-ack round-trip distribution in
+	// microseconds (TCP only; empty on UDP).
+	Latency *stats.Histogram
+}
+
+// Run pushes the arrival trace through the connection and reports the
+// achieved rate. On TCP it runs the closed loop: at most Window packets
+// outstanding, each ack retiring one and recording its RTT; it returns an
+// error if the daemon acks fewer packets than were sent. On UDP it is a
+// pure open-loop blaster.
+func (c *Client) Run(arrivals []core.Arrival, opt LoadOptions) (*LoadReport, error) {
+	opt = opt.withDefaults()
+	if c.udp {
+		return c.runUDP(arrivals, opt)
+	}
+	return c.runTCP(arrivals, opt)
+}
+
+func (c *Client) runUDP(arrivals []core.Arrival, opt LoadOptions) (*LoadReport, error) {
+	rep := &LoadReport{Latency: stats.NewHistogram(rttLo, rttHi, rttBuckets)}
+	buf := make([]byte, 0, frameHeader+maxPayload)
+	start := time.Now()
+	for i := range arrivals {
+		c.pace(start, int64(i), opt.RatePPS)
+		buf = appendFrame(buf[:0], uint32(i), &arrivals[i])
+		if _, err := c.conn.Write(buf); err != nil {
+			rep.finish(start)
+			return rep, err
+		}
+		rep.Sent++
+	}
+	rep.finish(start)
+	return rep, nil
+}
+
+func (c *Client) runTCP(arrivals []core.Arrival, opt LoadOptions) (*LoadReport, error) {
+	rep := &LoadReport{Latency: stats.NewHistogram(rttLo, rttHi, rttBuckets)}
+	tokens := make(chan struct{}, opt.Window)
+
+	var (
+		mu    sync.Mutex
+		times = make(map[uint32]time.Time, opt.Window)
+		acked atomic.Int64
+	)
+	total := int64(len(arrivals))
+	readerDone := make(chan struct{})
+	var readerErr error
+	go func() {
+		defer close(readerDone)
+		var a [ackBytes]byte
+		for acked.Load() < total {
+			c.conn.SetReadDeadline(time.Now().Add(opt.AckTimeout))
+			if _, err := io.ReadFull(c.conn, a[:]); err != nil {
+				readerErr = err
+				return
+			}
+			seq := binary.BigEndian.Uint32(a[:])
+			mu.Lock()
+			t, ok := times[seq]
+			if ok {
+				delete(times, seq)
+			}
+			mu.Unlock()
+			if ok {
+				rep.Latency.Add(float64(time.Since(t).Microseconds()))
+			}
+			acked.Add(1)
+			<-tokens
+		}
+	}()
+
+	buf := make([]byte, 0, frameHeader+maxPayload)
+	start := time.Now()
+	var sendErr error
+send:
+	for i := range arrivals {
+		select {
+		case tokens <- struct{}{}:
+		case <-readerDone:
+			// The ack stream died; sending more would only fill kernel
+			// buffers against a wedged daemon.
+			break send
+		}
+		c.pace(start, int64(i), opt.RatePPS)
+		seq := uint32(i)
+		mu.Lock()
+		times[seq] = time.Now()
+		mu.Unlock()
+		buf = appendFrame(buf[:0], seq, &arrivals[i])
+		if _, err := c.conn.Write(buf); err != nil {
+			sendErr = err
+			break send
+		}
+		rep.Sent++
+	}
+	if rep.Sent < total {
+		// Short send: stop the reader's wait-for-everything loop early.
+		c.conn.SetReadDeadline(time.Now())
+	}
+	<-readerDone
+	rep.Acked = acked.Load()
+	rep.finish(start)
+	if sendErr != nil {
+		return rep, sendErr
+	}
+	if rep.Acked < rep.Sent {
+		if readerErr != nil {
+			return rep, fmt.Errorf("server: %d of %d packets acked: %w", rep.Acked, rep.Sent, readerErr)
+		}
+		return rep, fmt.Errorf("server: %d of %d packets acked", rep.Acked, rep.Sent)
+	}
+	return rep, nil
+}
+
+// pace sleeps until packet i's open-loop departure time (no-op at rate 0).
+func (c *Client) pace(start time.Time, i int64, rate float64) {
+	if rate <= 0 {
+		return
+	}
+	target := start.Add(time.Duration(float64(i) / rate * float64(time.Second)))
+	if d := time.Until(target); d > 0 {
+		time.Sleep(d)
+	}
+}
+
+func (r *LoadReport) finish(start time.Time) {
+	r.Elapsed = time.Since(start)
+	n := r.Acked
+	if n == 0 {
+		n = r.Sent
+	}
+	if r.Elapsed > 0 {
+		r.PktsPerSec = float64(n) / r.Elapsed.Seconds()
+	}
+}

@@ -1,0 +1,73 @@
+package server
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"mp5/internal/core"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	arrs := []core.Arrival{
+		{Port: 3, Size: 64, Fields: []int64{1, -2, 1 << 40, 0}},
+		{Port: 0, Size: 1400, Fields: nil},
+		{Port: 65535, Size: 0, Fields: []int64{-1}},
+	}
+	var wire []byte
+	for i := range arrs {
+		wire = appendFrame(wire, uint32(100+i), &arrs[i])
+	}
+	r := bytes.NewReader(wire)
+	for i := range arrs {
+		seq, got, err := readFrame(r)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if seq != uint32(100+i) {
+			t.Fatalf("frame %d: seq %d", i, seq)
+		}
+		if got.Port != arrs[i].Port || got.Size != arrs[i].Size {
+			t.Fatalf("frame %d: port/size %d/%d", i, got.Port, got.Size)
+		}
+		if len(got.Fields) != len(arrs[i].Fields) {
+			t.Fatalf("frame %d: %d fields", i, len(got.Fields))
+		}
+		if len(got.Fields) > 0 && !reflect.DeepEqual(got.Fields, arrs[i].Fields) {
+			t.Fatalf("frame %d: fields %v != %v", i, got.Fields, arrs[i].Fields)
+		}
+	}
+	if r.Len() != 0 {
+		t.Fatalf("%d trailing bytes", r.Len())
+	}
+}
+
+func TestDatagramRoundTrip(t *testing.T) {
+	a := core.Arrival{Port: 2, Size: 200, Fields: []int64{7, 8, 9}}
+	dg := appendFrame(nil, 55, &a)
+	seq, got, err := decodeDatagram(dg)
+	if err != nil || seq != 55 || !reflect.DeepEqual(got.Fields, a.Fields) {
+		t.Fatalf("seq=%d got=%+v err=%v", seq, got, err)
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	a := core.Arrival{Fields: []int64{1, 2}}
+	dg := appendFrame(nil, 1, &a)
+	cases := map[string][]byte{
+		"truncated datagram":  dg[:len(dg)-3],
+		"short header":        dg[:2],
+		"length mismatch":     append(append([]byte(nil), dg...), 0xff),
+		"field count too big": {0, 0, 0, 10, 0, 0, 0, 1, 0, 0, 0, 0, 0xff, 0xff},
+	}
+	for name, b := range cases {
+		if _, _, err := decodeDatagram(b); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+	// Hostile stream length: must refuse before allocating.
+	bad := []byte{0xff, 0xff, 0xff, 0xff}
+	if _, _, err := readFrame(bytes.NewReader(bad)); err == nil {
+		t.Error("oversized frame length accepted")
+	}
+}

@@ -1,0 +1,568 @@
+// Package server wraps the concurrent dataplane (internal/dataplane) in an
+// always-on network daemon — the runtime half of the paper's system: a
+// compiled MP5 program plus an engine that admits an unbounded packet
+// stream, with the D2 remap heuristic running against live access counters
+// while operators observe it.
+//
+// Topology:
+//
+//	UDP datagrams ─┐                                  ┌─ worker 0
+//	               ├─ decode ─→ ingress queue ─→ admit ├─ worker 1   (dataplane)
+//	TCP streams  ──┘  (per-conn goroutines)  (serial)  └─ worker k-1
+//
+// The bounded ingress queue is the explicit backpressure point in front of
+// the engine's admission window: UDP producers either drop at the queue
+// (PolicyDrop — overload sheds load, never stalls) or block the reader
+// (PolicyBlock); TCP producers always block, which propagates backpressure
+// to the client through TCP flow control — the lossless mode. A single
+// admit goroutine consumes the queue, preserving the serial-admitter
+// contract that defines C1 order, and the engine's window semaphore is the
+// live admission-control gate in front of D4 ticketing.
+//
+// An HTTP admin plane serves /metrics (Prometheus text), /healthz
+// (watchdog-backed), and /shardmap (live D2 index→pipeline ownership).
+// Shutdown drains gracefully: stop ingesting, let every in-flight packet
+// egress, deliver trailing acks, then join.
+package server
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"net"
+	"net/http"
+	"reflect"
+	"sync"
+	"time"
+
+	"mp5/internal/core"
+	"mp5/internal/dataplane"
+	"mp5/internal/equiv"
+	"mp5/internal/ir"
+	"mp5/internal/telemetry"
+)
+
+// Policy selects what a UDP producer does when the ingress queue is full.
+type Policy int
+
+const (
+	// PolicyDrop sheds load at the ingress queue: the datagram is counted
+	// (server_ingress_dropped_total) and discarded, and the reader keeps
+	// consuming — overload can never stall the daemon. The UDP default.
+	PolicyDrop Policy = iota
+	// PolicyBlock parks the UDP reader until the queue has room, trading
+	// kernel-socket-buffer loss for ingress-queue pressure.
+	PolicyBlock
+)
+
+// ParsePolicy maps the CLI spelling to a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "drop":
+		return PolicyDrop, nil
+	case "block":
+		return PolicyBlock, nil
+	}
+	return 0, fmt.Errorf("server: unknown backpressure policy %q (want drop or block)", s)
+}
+
+// Config parameterizes a Server.
+type Config struct {
+	// Engine configures the wrapped dataplane (workers, window, remap
+	// interval, placement seed). OnEgress is owned by the server.
+	Engine dataplane.Config
+	// TCPAddr/UDPAddr are the data-plane listen addresses; "" disables
+	// that listener (at least one must be set).
+	TCPAddr string
+	UDPAddr string
+	// AdminAddr is the HTTP admin-plane listen address; "" disables it.
+	AdminAddr string
+	// IngressCap bounds the ingress queue between the decode goroutines
+	// and the serial admitter (default 1024).
+	IngressCap int
+	// Policy is the UDP overflow behavior (TCP always blocks).
+	Policy Policy
+	// Verify records the admitted arrival order and turns on the engine's
+	// output/access-order recording, so VerifyRecorded can hold the
+	// network path to the differential bar after Shutdown. Costs memory
+	// proportional to the packet count — a soak/debug mode, not a
+	// production default.
+	Verify bool
+	// Registry receives the server's and engine's metrics; nil creates a
+	// private registry (the admin plane always has something to serve).
+	Registry *telemetry.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.IngressCap <= 0 {
+		c.IngressCap = 1024
+	}
+	if c.Registry == nil {
+		c.Registry = telemetry.NewRegistry()
+	}
+	return c
+}
+
+// srvMetrics is the server-level telemetry surface (the engine's own
+// counters register alongside it on the same registry).
+type srvMetrics struct {
+	rx         *telemetry.CounterVec
+	decodeErr  *telemetry.Counter
+	dropped    *telemetry.Counter
+	acks       *telemetry.Counter
+	submitFail *telemetry.Counter
+	conns      *telemetry.Counter
+}
+
+func newSrvMetrics(r *telemetry.Registry) *srvMetrics {
+	return &srvMetrics{
+		rx:         r.NewCounterVec("server_rx_frames_total", "frames decoded from the network", "proto"),
+		decodeErr:  r.NewCounter("server_decode_errors_total", "frames rejected by the codec or field-count check"),
+		dropped:    r.NewCounter("server_ingress_dropped_total", "packets shed at the full ingress queue (PolicyDrop)"),
+		acks:       r.NewCounter("server_acks_total", "egress acks sent to TCP clients"),
+		submitFail: r.NewCounter("server_submit_aborts_total", "admissions refused by an aborted engine"),
+		conns:      r.NewCounter("server_conns_total", "TCP connections accepted"),
+	}
+}
+
+// item is one decoded packet queued for admission; c is nil for UDP.
+type item struct {
+	arr core.Arrival
+	c   *tcpConn
+	seq uint32
+}
+
+// pendingAck remembers where packet id's egress ack goes.
+type pendingAck struct {
+	c   *tcpConn
+	seq uint32
+}
+
+// Server is the network daemon: listeners, bounded ingress, the serial
+// admitter, the wrapped engine, and the admin plane. Lifecycle: New →
+// Start → (serve traffic) → Shutdown, each exactly once.
+type Server struct {
+	cfg  Config
+	prog *ir.Program
+	eng  *dataplane.Engine
+	met  *srvMetrics
+
+	ingress chan item
+	closed  chan struct{}
+
+	tcpLn   net.Listener
+	udpConn net.PacketConn
+	adminLn net.Listener
+	admin   *http.Server
+
+	connMu sync.Mutex
+	conns  map[*tcpConn]struct{}
+
+	pendMu  sync.Mutex
+	pending map[int64]pendingAck
+
+	// admitted is the recorded admission-order trace (Verify only);
+	// admitter-owned during the run, read after Shutdown joins it.
+	admitted []core.Arrival
+
+	readerWg sync.WaitGroup // accept loop, per-conn readers, UDP reader
+	writerWg sync.WaitGroup // per-conn ack writers
+	admitWg  sync.WaitGroup
+	adminWg  sync.WaitGroup
+	shutOnce sync.Once
+	res      *dataplane.Result
+}
+
+// New builds a server for prog (compiled for TargetMP5, like any dataplane
+// program). Nothing is bound until Start.
+func New(prog *ir.Program, cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if cfg.TCPAddr == "" && cfg.UDPAddr == "" {
+		return nil, fmt.Errorf("server: no data-plane listener configured (set TCPAddr and/or UDPAddr)")
+	}
+	s := &Server{
+		cfg:     cfg,
+		prog:    prog,
+		met:     newSrvMetrics(cfg.Registry),
+		ingress: make(chan item, cfg.IngressCap),
+		closed:  make(chan struct{}),
+		conns:   make(map[*tcpConn]struct{}),
+		pending: make(map[int64]pendingAck),
+	}
+	engCfg := cfg.Engine
+	if cfg.Verify {
+		engCfg.RecordOutputs = true
+		engCfg.RecordAccessOrder = true
+	}
+	if engCfg.Metrics == nil {
+		engCfg.Metrics = dataplane.NewMetrics(cfg.Registry)
+	}
+	engCfg.OnEgress = s.onEgress
+	s.eng = dataplane.New(prog, engCfg)
+	return s, nil
+}
+
+// Start binds the listeners, launches the engine topology, and begins
+// serving. On error every partially bound listener is closed.
+func (s *Server) Start() error {
+	if s.cfg.TCPAddr != "" {
+		ln, err := net.Listen("tcp", s.cfg.TCPAddr)
+		if err != nil {
+			return err
+		}
+		s.tcpLn = ln
+	}
+	if s.cfg.UDPAddr != "" {
+		pc, err := net.ListenPacket("udp", s.cfg.UDPAddr)
+		if err != nil {
+			s.closeListeners()
+			return err
+		}
+		s.udpConn = pc
+	}
+	if s.cfg.AdminAddr != "" {
+		ln, err := net.Listen("tcp", s.cfg.AdminAddr)
+		if err != nil {
+			s.closeListeners()
+			return err
+		}
+		s.adminLn = ln
+		s.admin = &http.Server{Handler: s.adminMux()}
+	}
+
+	s.eng.Start()
+	s.admitWg.Add(1)
+	go s.admitLoop()
+	if s.tcpLn != nil {
+		s.readerWg.Add(1)
+		go s.acceptLoop()
+	}
+	if s.udpConn != nil {
+		s.readerWg.Add(1)
+		go s.udpLoop()
+	}
+	if s.admin != nil {
+		s.adminWg.Add(1)
+		go func() {
+			defer s.adminWg.Done()
+			s.admin.Serve(s.adminLn)
+		}()
+	}
+	return nil
+}
+
+func (s *Server) closeListeners() {
+	if s.tcpLn != nil {
+		s.tcpLn.Close()
+	}
+	if s.udpConn != nil {
+		s.udpConn.Close()
+	}
+	if s.adminLn != nil {
+		s.adminLn.Close()
+	}
+}
+
+// TCPAddr returns the bound TCP data-plane address ("" when disabled) —
+// the actual port, so ":0" configs are test- and script-friendly.
+func (s *Server) TCPAddr() string {
+	if s.tcpLn == nil {
+		return ""
+	}
+	return s.tcpLn.Addr().String()
+}
+
+// UDPAddr returns the bound UDP data-plane address ("" when disabled).
+func (s *Server) UDPAddr() string {
+	if s.udpConn == nil {
+		return ""
+	}
+	return s.udpConn.LocalAddr().String()
+}
+
+// AdminAddr returns the bound admin-plane address ("" when disabled).
+func (s *Server) AdminAddr() string {
+	if s.adminLn == nil {
+		return ""
+	}
+	return s.adminLn.Addr().String()
+}
+
+// admitLoop is the serial admitter: the single goroutine that feeds the
+// engine, so admission order — the order C1 is defined by — is exactly the
+// ingress-queue order. It registers the egress-ack target under the id the
+// engine will assign *before* submitting, closing the race with a packet
+// that egresses while Submit is still returning.
+func (s *Server) admitLoop() {
+	defer s.admitWg.Done()
+	for it := range s.ingress {
+		id := s.eng.NextID()
+		if it.c != nil {
+			s.pendMu.Lock()
+			s.pending[id] = pendingAck{it.c, it.seq}
+			s.pendMu.Unlock()
+		}
+		if !s.eng.Submit(&it.arr) {
+			// Engine aborted (watchdog stall): unregister and keep
+			// consuming so blocked producers can unwind to shutdown.
+			if it.c != nil {
+				s.pendMu.Lock()
+				delete(s.pending, id)
+				s.pendMu.Unlock()
+			}
+			s.met.submitFail.Inc()
+			continue
+		}
+		if s.cfg.Verify {
+			it.arr.Cycle = int64(len(s.admitted))
+			s.admitted = append(s.admitted, it.arr)
+		}
+	}
+}
+
+// onEgress runs on the egressing worker: look up the packet's ack target
+// and hand the ack to that connection's writer.
+func (s *Server) onEgress(id int64) {
+	s.pendMu.Lock()
+	pa, ok := s.pending[id]
+	if ok {
+		delete(s.pending, id)
+	}
+	s.pendMu.Unlock()
+	if ok {
+		pa.c.ack(pa.seq)
+		s.met.acks.Inc()
+	}
+}
+
+// udpLoop decodes datagrams and applies the backpressure policy at the
+// ingress queue. Drop mode never blocks: overload sheds load here, visibly
+// (server_ingress_dropped_total), and nowhere else.
+func (s *Server) udpLoop() {
+	defer s.readerWg.Done()
+	buf := make([]byte, frameHeader+maxPayload)
+	for {
+		n, _, err := s.udpConn.ReadFrom(buf)
+		if err != nil {
+			select {
+			case <-s.closed:
+				return
+			default:
+			}
+			// Transient datagram errors (e.g. oversized) are countable;
+			// anything after Close ends the loop above.
+			s.met.decodeErr.Inc()
+			continue
+		}
+		seq, arr, err := decodeDatagram(buf[:n])
+		if err != nil || len(arr.Fields) != len(s.prog.Fields) {
+			s.met.decodeErr.Inc()
+			continue
+		}
+		_ = seq // UDP is ackless; seq is carried for symmetry only
+		s.met.rx.Inc("udp")
+		it := item{arr: arr}
+		if s.cfg.Policy == PolicyDrop {
+			select {
+			case s.ingress <- it:
+			default:
+				s.met.dropped.Inc()
+			}
+		} else {
+			select {
+			case s.ingress <- it:
+			case <-s.closed:
+				return
+			}
+		}
+	}
+}
+
+// acceptLoop accepts TCP connections until the listener closes.
+func (s *Server) acceptLoop() {
+	defer s.readerWg.Done()
+	for {
+		c, err := s.tcpLn.Accept()
+		if err != nil {
+			return
+		}
+		s.met.conns.Inc()
+		tc := newTCPConn(c)
+		s.connMu.Lock()
+		s.conns[tc] = struct{}{}
+		s.connMu.Unlock()
+		s.writerWg.Add(1)
+		go s.writeLoop(tc)
+		s.readerWg.Add(1)
+		go s.readLoop(tc)
+	}
+}
+
+// readLoop decodes frames off one TCP connection and feeds the ingress
+// queue, blocking when it is full — that block, propagated by TCP flow
+// control, is the lossless backpressure path. A clean client half-close
+// (EOF) ends reading but keeps the connection and its ack writer alive, so
+// trailing acks for in-flight packets still reach the client.
+func (s *Server) readLoop(tc *tcpConn) {
+	defer s.readerWg.Done()
+	br := bufio.NewReaderSize(tc.c, 1<<16)
+	for {
+		seq, arr, err := readFrame(br)
+		if err != nil {
+			return
+		}
+		if len(arr.Fields) != len(s.prog.Fields) {
+			s.met.decodeErr.Inc()
+			continue
+		}
+		s.met.rx.Inc("tcp")
+		// Plain send: the admitter consumes until the queue closes, which
+		// happens only after this goroutine exits (Shutdown ordering).
+		s.ingress <- item{arr: arr, c: tc, seq: seq}
+	}
+}
+
+// writeLoop delivers egress acks for one connection, batching flushes when
+// the ack channel runs dry. A write error retires the connection: the
+// stream is broken, so readers and pending acks for it are abandoned.
+func (s *Server) writeLoop(tc *tcpConn) {
+	defer s.writerWg.Done()
+	bw := bufio.NewWriterSize(tc.c, 1<<12)
+	var buf [ackBytes]byte
+	write := func(seq uint32) bool {
+		binary.BigEndian.PutUint32(buf[:], seq)
+		if _, err := bw.Write(buf[:]); err != nil {
+			return false
+		}
+		if len(tc.acks) == 0 {
+			return bw.Flush() == nil
+		}
+		return true
+	}
+	for {
+		select {
+		case seq := <-tc.acks:
+			if !write(seq) {
+				tc.shutdown()
+				s.dropConn(tc)
+				return
+			}
+		case <-tc.done:
+			for {
+				select {
+				case seq := <-tc.acks:
+					if !write(seq) {
+						return
+					}
+				default:
+					bw.Flush()
+					return
+				}
+			}
+		}
+	}
+}
+
+func (s *Server) dropConn(tc *tcpConn) {
+	s.connMu.Lock()
+	delete(s.conns, tc)
+	s.connMu.Unlock()
+}
+
+// Shutdown drains the daemon gracefully and returns the engine's run
+// summary: stop ingesting (close listeners, abort connection reads), let
+// the admitter finish the queued backlog, drain every in-flight packet out
+// of the engine, flush trailing acks, then stop the admin plane. Safe to
+// call once; SIGTERM handling in cmd/mp5d is a thin wrapper around it.
+func (s *Server) Shutdown() *dataplane.Result {
+	s.shutOnce.Do(func() {
+		close(s.closed)
+		s.closeListeners()
+		// Abort in-progress reads without closing the connections: the
+		// write half stays up for trailing acks.
+		s.connMu.Lock()
+		for tc := range s.conns {
+			tc.c.SetReadDeadline(time.Now())
+		}
+		s.connMu.Unlock()
+		s.readerWg.Wait()
+		close(s.ingress)
+		s.admitWg.Wait()
+		s.res = s.eng.Drain()
+		// All egresses (and their acks) have been issued; let the writers
+		// flush and close the connections.
+		s.connMu.Lock()
+		conns := make([]*tcpConn, 0, len(s.conns))
+		for tc := range s.conns {
+			conns = append(conns, tc)
+		}
+		s.connMu.Unlock()
+		for _, tc := range conns {
+			tc.shutdown()
+		}
+		s.writerWg.Wait()
+		if s.admin != nil {
+			s.admin.Close()
+			s.adminWg.Wait()
+		}
+	})
+	return s.res
+}
+
+// Admitted returns the recorded admission-order trace (Verify mode only;
+// valid after Shutdown).
+func (s *Server) Admitted() []core.Arrival { return s.admitted }
+
+// VerifyRecorded holds the network path to the repo's differential bar:
+// replay the recorded admission order through the single-pipeline reference
+// and compare final registers, per-packet outputs, and per-slot C1 access
+// order against what the engine actually did. Valid after Shutdown of a
+// Verify-mode server.
+func (s *Server) VerifyRecorded() (*equiv.Report, bool, error) {
+	if !s.cfg.Verify {
+		return nil, false, fmt.Errorf("server: not started in Verify mode")
+	}
+	if s.res == nil {
+		return nil, false, fmt.Errorf("server: VerifyRecorded before Shutdown")
+	}
+	rep := equiv.CheckState(s.prog, s.eng.FinalRegs(), s.eng.Outputs(), s.admitted)
+	orderOK := reflect.DeepEqual(equiv.ReferenceOrder(s.prog, s.admitted), s.eng.AccessOrders())
+	return rep, orderOK, nil
+}
+
+// Engine exposes the wrapped dataplane engine (health probes, shard map).
+func (s *Server) Engine() *dataplane.Engine { return s.eng }
+
+// Dropped returns the ingress-queue drop count (the PolicyDrop counter).
+func (s *Server) Dropped() int64 { return s.met.dropped.Value() }
+
+// tcpConn pairs a TCP connection with its ack channel. The buffered
+// channel decouples egressing workers from the socket; when it fills (a
+// client that stopped reading acks), ack() blocks the worker — which is
+// the lossless mode's backpressure, ending in a watchdog abort if the
+// client never recovers.
+type tcpConn struct {
+	c         net.Conn
+	acks      chan uint32
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+func newTCPConn(c net.Conn) *tcpConn {
+	return &tcpConn{c: c, acks: make(chan uint32, 4096), done: make(chan struct{})}
+}
+
+// ack enqueues one egress ack; after shutdown it is a no-op.
+func (tc *tcpConn) ack(seq uint32) {
+	select {
+	case tc.acks <- seq:
+	case <-tc.done:
+	}
+}
+
+func (tc *tcpConn) shutdown() {
+	tc.closeOnce.Do(func() {
+		close(tc.done)
+		tc.c.Close()
+	})
+}

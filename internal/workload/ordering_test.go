@@ -1,0 +1,200 @@
+package workload
+
+import (
+	"fmt"
+	"testing"
+
+	"mp5/internal/compiler"
+	"mp5/internal/core"
+	"mp5/internal/ir"
+)
+
+// The simulator, the dataplane admitter, and now the network daemon all
+// assume traces arrive in non-decreasing (cycle, port) order — admission
+// order is what C1 is defined against, so a generator that emitted
+// out-of-order arrivals would silently weaken every differential check.
+// These tests pin that invariant across every generator and knob.
+
+// orderingProgram compiles a 3-stage synthetic program inline (the apps
+// package that normally builds it imports workload, so the test can't).
+func orderingProgram(t *testing.T) *ir.Program {
+	t.Helper()
+	src := `struct Packet {
+    int stateless;
+    int h0;
+    int h1;
+    int h2;
+};
+
+int reg0 [64] = {0};
+int reg1 [64] = {0};
+int reg2 [64] = {0};
+
+void synth (struct Packet p) {
+    if (p.stateless == 0) {
+        reg0[p.h0 % 64] = reg0[p.h0 % 64] + 1;
+        reg1[p.h1 % 64] = reg1[p.h1 % 64] + 1;
+        reg2[p.h2 % 64] = reg2[p.h2 % 64] + 1;
+    }
+}
+`
+	prog, err := compiler.Compile(src, compiler.Options{Target: compiler.TargetMP5, MaxStages: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+// checkOrdered asserts the (cycle, port) sort the simulator requires plus
+// per-packet sanity (size floor, fields allocated for the program).
+func checkOrdered(t *testing.T, name string, prog *ir.Program, arr []core.Arrival) {
+	t.Helper()
+	if len(arr) == 0 {
+		t.Fatalf("%s: empty trace", name)
+	}
+	for i, a := range arr {
+		if i > 0 {
+			prev := arr[i-1]
+			if a.Cycle < prev.Cycle {
+				t.Fatalf("%s: packet %d arrives at cycle %d after cycle %d", name, i, a.Cycle, prev.Cycle)
+			}
+			if a.Cycle == prev.Cycle && a.Port < prev.Port {
+				t.Fatalf("%s: packet %d port %d after port %d in cycle %d", name, i, a.Port, prev.Port, a.Cycle)
+			}
+		}
+		if a.Size < MinPacketSize && a.Size != 0 {
+			t.Fatalf("%s: packet %d size %d below the %dB floor", name, i, a.Size, MinPacketSize)
+		}
+		if len(a.Fields) != len(prog.Fields) {
+			t.Fatalf("%s: packet %d carries %d fields, program wants %d", name, i, len(a.Fields), len(prog.Fields))
+		}
+	}
+}
+
+// TestSyntheticOrdering sweeps Synthetic across patterns, size models,
+// loads, and churn: every combination must emit a (cycle, port)-ordered
+// trace.
+func TestSyntheticOrdering(t *testing.T) {
+	prog := orderingProgram(t)
+	for _, pat := range []Pattern{Uniform, Skewed} {
+		for _, sizes := range []SizeModel{SizeFixed, SizeBimodal} {
+			for _, load := range []float64{0.25, 1.0, 4.0} {
+				name := fmt.Sprintf("%v/%d/load%.2f", pat, sizes, load)
+				arr := Synthetic(prog, Spec{
+					Packets: 2000, Pipelines: 4, Seed: 11,
+					Pattern: pat, Sizes: sizes, Load: load,
+					ZipfS: 1.2, ChurnInterval: 500,
+				}, 3, 64)
+				checkOrdered(t, name, prog, arr)
+			}
+		}
+	}
+}
+
+// TestRandomFieldsOrdering covers the arbitrary-program generator.
+func TestRandomFieldsOrdering(t *testing.T) {
+	prog := orderingProgram(t)
+	for _, sizes := range []SizeModel{SizeFixed, SizeBimodal} {
+		arr := RandomFields(prog, Spec{Packets: 2000, Pipelines: 2, Seed: 3, Sizes: sizes})
+		checkOrdered(t, fmt.Sprintf("randomfields/%d", sizes), prog, arr)
+	}
+}
+
+// TestFuzzTraceOrderingAcrossBursts covers the fuzz generator, whose burst
+// clones replay the same field vector at consecutive clock ticks — the
+// burst boundary is exactly where a buggy generator would emit a cycle
+// regression.
+func TestFuzzTraceOrderingAcrossBursts(t *testing.T) {
+	prog := orderingProgram(t)
+	for _, pat := range []Pattern{Uniform, Skewed} {
+		for seed := int64(1); seed <= 5; seed++ {
+			fs := FuzzSpec{
+				Spec: Spec{
+					Packets: 3000, Pipelines: 4, Seed: seed,
+					Pattern: pat, Sizes: SizeBimodal,
+				},
+				Domain: 64, Flows: 8, BurstProb: 0.3, BurstLen: 6,
+			}
+			arr := FuzzTrace(prog, fs)
+			checkOrdered(t, fmt.Sprintf("fuzz/%v/seed%d", pat, seed), prog, arr)
+			// Bursts must actually occur for this test to mean anything:
+			// look for at least one pair of consecutive identical field
+			// vectors.
+			found := false
+			for i := 1; i < len(arr) && !found; i++ {
+				found = fieldsEqual(arr[i].Fields, arr[i-1].Fields)
+			}
+			if !found {
+				t.Fatalf("fuzz/%v/seed%d: no burst clones in 3000 packets at BurstProb 0.3", pat, seed)
+			}
+		}
+	}
+}
+
+func fieldsEqual(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestArrivalClockMonotone pins the clock primitive itself: for any mix of
+// packet sizes and loads, emitted cycles never decrease, and line rate
+// (load 1, 64B, k pipelines) admits exactly k packets per cycle.
+func TestArrivalClockMonotone(t *testing.T) {
+	sizes := []int{64, 64, 1400, 64, 200, 9000, 64, 175, 1400, 64}
+	for _, k := range []int{1, 4} {
+		for _, load := range []float64{0.1, 1.0, 8.0} {
+			c := newArrivalClock(k, load)
+			last := int64(-1)
+			for rep := 0; rep < 100; rep++ {
+				for _, sz := range sizes {
+					cyc := c.next(sz)
+					if cyc < last {
+						t.Fatalf("k=%d load=%.1f: clock went backwards %d → %d", k, load, last, cyc)
+					}
+					last = cyc
+				}
+			}
+		}
+	}
+
+	c := newArrivalClock(4, 1.0)
+	perCycle := map[int64]int{}
+	for i := 0; i < 400; i++ {
+		perCycle[c.next(64)]++
+	}
+	for cyc, n := range perCycle {
+		if n != 4 {
+			t.Fatalf("line rate at k=4: cycle %d admits %d packets, want 4", cyc, n)
+		}
+	}
+}
+
+// TestSortArrivalsStable checks the tie-breaking pass: same-cycle arrivals
+// are reordered by port, distinct cycles never move, and the sort is
+// stable within (cycle, port) so packet identity survives.
+func TestSortArrivalsStable(t *testing.T) {
+	arr := []core.Arrival{
+		{Cycle: 0, Port: 2, Fields: []int64{0}},
+		{Cycle: 0, Port: 1, Fields: []int64{1}},
+		{Cycle: 0, Port: 1, Fields: []int64{2}},
+		{Cycle: 1, Port: 0, Fields: []int64{3}},
+		{Cycle: 1, Port: 3, Fields: []int64{4}},
+		{Cycle: 1, Port: 1, Fields: []int64{5}},
+	}
+	sortArrivals(arr)
+	wantPorts := []int{1, 1, 2, 0, 1, 3}
+	wantField0 := []int64{1, 2, 0, 3, 5, 4}
+	for i := range arr {
+		if arr[i].Port != wantPorts[i] || arr[i].Fields[0] != wantField0[i] {
+			t.Fatalf("slot %d: got port %d field %d, want port %d field %d",
+				i, arr[i].Port, arr[i].Fields[0], wantPorts[i], wantField0[i])
+		}
+	}
+}

@@ -1,10 +1,13 @@
 #!/bin/sh
-# check.sh — the repository's local CI gate: build, vet, the race-enabled
-# test suite, the differential-fuzzing smoke, and the telemetry-overhead
-# guard benchmark. Mirrors `make check` for environments without make.
+# check.sh — the repository's local CI gate: build, gofmt, vet, the
+# race-enabled test suite, the differential-fuzzing smoke, the network
+# daemon soak, and the telemetry-overhead guard benchmark. Mirrors
+# `make check` for environments without make.
 set -eux
 
 go build ./...
+# Formatting gate: every tracked Go file must be gofmt-clean.
+test -z "$(gofmt -l .)" || { gofmt -l .; exit 1; }
 go vet ./...
 go test -race ./...
 # The simulator hot loop was rewritten event-driven; keep an explicit
@@ -15,11 +18,19 @@ go test -race -count 1 ./internal/core
 # interleavings (ticket queues, parking, remap migration); its differential
 # equivalence suite must always run under the race detector.
 go test -race -count 1 ./internal/dataplane
+# The network daemon's loopback soak (streaming ingestion, backpressure,
+# egress acks, graceful drain, differential verification of the admitted
+# order) must stay race-clean too.
+go test -race -count 1 ./internal/server
 # Differential-fuzzing smoke: a deterministic, seeded, time-bounded slice of
 # the harness — fixed random programs and workloads checked against the
 # single-pipeline reference (state, outputs, C1 access order) on every
 # order-preserving architecture, plus the committed seed corpus.
 MP5_FUZZ_CASES=40 go test -run 'TestDifferentialSmoke|FuzzDifferential' ./internal/fuzz
+# End-to-end daemon soak: mp5load drives mp5d over loopback TCP with a
+# fixed seed; zero loss, a live admin plane, and a clean SIGTERM drain with
+# reference equivalence are all required.
+sh scripts/serve_smoke.sh
 # Guard: the simulator with tracing disabled (BenchmarkTraceDisabled) must
 # stay within 2% of the seed's BenchmarkSimulatorPacketRate; compare the
 # pkts/s metrics printed below. BenchmarkTraceTelemetry shows the cost of
