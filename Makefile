@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet fmt-check test race race-core race-dataplane race-server serve-smoke check bench bench-guard bench-smoke bench-dataplane bench-server fuzz-smoke fuzz clean
+.PHONY: all build vet fmt-check test race race-core race-dataplane race-server serve-smoke trace-smoke check bench bench-guard bench-smoke bench-dataplane bench-server fuzz-smoke fuzz clean
 
 all: check
 
@@ -48,10 +48,18 @@ race-server:
 serve-smoke:
 	sh scripts/serve_smoke.sh
 
+# trace-smoke is the end-to-end tracing soak: run the daemon with 1/16 wire
+# span sampling and a JSONL span stream, drive a fixed-seed TCP workload,
+# check the live trace surface (/stats, /metrics, mp5top), then validate
+# the drained span stream with mp5trace (stage sums must reconcile with
+# span totals; the exact expected span count must be present).
+trace-smoke:
+	sh scripts/trace_smoke.sh
+
 # check is the full local gate: build, gofmt, vet, the race-enabled test
-# suite, the deterministic differential-fuzzing smoke, the daemon soak, and
-# the telemetry-overhead guard benchmark.
-check: vet race fuzz-smoke serve-smoke bench-guard
+# suite, the deterministic differential-fuzzing smoke, the daemon and
+# tracing soaks, and the telemetry-overhead guard benchmark.
+check: vet race fuzz-smoke serve-smoke trace-smoke bench-guard
 
 # fuzz-smoke is the deterministic, seeded, time-bounded slice of the
 # differential fuzzing harness: MP5_FUZZ_CASES fixed cases (program +

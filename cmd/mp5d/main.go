@@ -26,6 +26,7 @@ import (
 	"mp5/internal/dataplane"
 	"mp5/internal/ir"
 	"mp5/internal/server"
+	"mp5/internal/telemetry"
 )
 
 func main() {
@@ -42,6 +43,9 @@ func main() {
 	ingressCap := flag.Int("ingress-cap", 0, "ingress queue depth between decoders and the admitter (0 = default 1024)")
 	policy := flag.String("policy", "drop", "UDP backpressure policy at a full ingress queue: drop or block")
 	verify := flag.Bool("verify", false, "record the admitted order and check equivalence against the single-pipeline reference at drain (memory grows with traffic; soak/debug mode)")
+	traceSample := flag.Int("trace-sample", 1024, "sample one packet in N for wire-to-wire spans (0 disables tracing)")
+	traceJSONL := flag.String("trace-jsonl", "", "stream sampled wire spans to this JSONL file")
+	statsInterval := flag.Duration("stats-interval", 0, "background gauge sampler period (0 = default 250ms)")
 	flag.Parse()
 
 	prog := selectProgram(*app, *synthetic, *regSize, *programPath)
@@ -50,18 +54,42 @@ func main() {
 		fatal(err)
 	}
 
+	// The registry is shared by the server, engine, and tracer so /metrics
+	// serves the whole surface; the tracer's sink (when -trace-jsonl is set)
+	// streams raw spans off the collector goroutine.
+	reg := telemetry.NewRegistry()
+	var trc *dataplane.Tracer
+	var spanOut *telemetry.JSONL
+	var spanFile *os.File
+	if *traceSample > 0 {
+		tcfg := dataplane.TracerConfig{SampleEvery: *traceSample, Registry: reg}
+		if *traceJSONL != "" {
+			f, err := os.Create(*traceJSONL)
+			if err != nil {
+				fatal(err)
+			}
+			spanFile = f
+			spanOut = telemetry.NewJSONL(f)
+			tcfg.Sink = func(sp *dataplane.Span) { spanOut.Object(sp) }
+		}
+		trc = dataplane.NewTracer(tcfg)
+	}
+
 	s, err := server.New(prog, server.Config{
 		Engine: dataplane.Config{
 			Workers: *workers,
 			Window:  *window,
 			Seed:    *seed,
 		},
-		TCPAddr:    *tcpAddr,
-		UDPAddr:    *udpAddr,
-		AdminAddr:  *adminAddr,
-		IngressCap: *ingressCap,
-		Policy:     pol,
-		Verify:     *verify,
+		TCPAddr:        *tcpAddr,
+		UDPAddr:        *udpAddr,
+		AdminAddr:      *adminAddr,
+		IngressCap:     *ingressCap,
+		Policy:         pol,
+		Verify:         *verify,
+		Registry:       reg,
+		Tracer:         trc,
+		SampleInterval: *statsInterval,
 	})
 	if err != nil {
 		fatal(err)
@@ -84,6 +112,24 @@ func main() {
 	fmt.Printf("throughput         %.0f packets/sec (%.2f ms serving)\n",
 		res.PktsPerSec, float64(res.Elapsed.Microseconds())/1000)
 	fmt.Printf("shard moves        %d\n", res.ShardMoves)
+	if trc != nil {
+		trc.Close()
+		fmt.Printf("trace              %d spans sampled (1/%d), %d dropped at the collector\n",
+			trc.Sampled(), *traceSample, trc.Dropped())
+		for _, st := range trc.StageStats() {
+			fmt.Printf("  %-12s %8d spans  p50 %8.1fµs  p99 %8.1fµs\n",
+				st.Stage, st.Count, st.P50us, st.P99us)
+		}
+		if spanOut != nil {
+			if err := spanOut.Flush(); err != nil {
+				fatal(err)
+			}
+			if err := spanFile.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("trace              spans written to %s\n", *traceJSONL)
+		}
+	}
 	if res.Stalled {
 		fmt.Fprintf(os.Stderr, "mp5d: engine stalled (%d of %d packets completed)\n",
 			res.Completed, res.Injected)

@@ -80,6 +80,12 @@ type Config struct {
 	// Metrics, when non-nil, receives concurrent counter updates from the
 	// admitter and every worker (nil disables with zero overhead).
 	Metrics *Metrics
+	// Tracer, when non-nil, receives sampled wire-to-wire spans: the
+	// engine stamps window-wait, admit, crossbar, exec, ticket-wait, and
+	// egress segments on packets submitted with a span (SubmitTraced) and
+	// hands finished spans to the tracer's collector. Nil disables tracing
+	// with nil-check-only overhead on the hot path.
+	Tracer *Tracer
 	// OnEgress, when non-nil, runs on the egressing worker's goroutine
 	// with the packet id, after outputs are recorded and before the window
 	// token is released. Keep it fast: a callback that blocks stalls that

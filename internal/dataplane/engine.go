@@ -99,6 +99,7 @@ type Engine struct {
 	egressOrder []int64
 
 	met *Metrics
+	trc *Tracer
 
 	// testBeforeExec, when set, runs on the owning worker right before a
 	// visit executes — the white-box hook the stall test uses to wedge a
@@ -126,6 +127,7 @@ func New(prog *ir.Program, cfg Config) *Engine {
 		abort:      make(chan struct{}),
 		done:       make(chan struct{}),
 		met:        cfg.Metrics,
+		trc:        cfg.Tracer,
 	}
 	e.total.Store(-1)
 	if e.met == nil {
@@ -226,14 +228,28 @@ func (e *Engine) Start() {
 // dispatch it to its first worker. Returns false when the engine aborted
 // (watchdog stall) — the stream is dead and the caller should Drain.
 // Admitter-serial: never call Submit concurrently.
-func (e *Engine) Submit(a *core.Arrival) bool {
+func (e *Engine) Submit(a *core.Arrival) bool { return e.SubmitTraced(a, nil) }
+
+// SubmitTraced is Submit for a sampled packet: sp (started by the caller
+// at decode — see Tracer.Sample) rides the packet and accrues
+// window-wait, admit, crossbar, exec, ticket-wait, and egress segments
+// until the tracer collects it at egress. A nil sp is a plain Submit.
+func (e *Engine) SubmitTraced(a *core.Arrival, sp *Span) bool {
 	select {
 	case e.window <- struct{}{}:
 	case <-e.abort:
 		return false
 	}
+	if sp != nil {
+		sp.Advance(StageWindowWait, -1)
+		sp.ID = e.submitted.Load()
+	}
 	p := e.admit(e.submitted.Load(), a)
 	e.submitted.Add(1)
+	if sp != nil {
+		sp.Advance(StageAdmit, -1)
+		p.span = sp
+	}
 	dest := 0
 	if len(p.visits) > 0 {
 		dest = p.visits[0].pipe
@@ -552,6 +568,67 @@ func (e *Engine) Completed() int64 { return e.completed.Load() }
 // InFlight returns the number of admitted-but-not-yet-egressed packets,
 // bounded by Config.Window (any goroutine).
 func (e *Engine) InFlight() int64 { return e.submitted.Load() - e.completed.Load() }
+
+// WindowInUse returns the number of admission-window tokens currently held
+// (in-flight packets), safe from any goroutine — the live admission-control
+// gauge.
+func (e *Engine) WindowInUse() int { return len(e.window) }
+
+// WindowCap returns the admission-window size.
+func (e *Engine) WindowCap() int { return cap(e.window) }
+
+// WorkerStat is one worker's live occupancy/throughput view, in the shape
+// the admin plane serves (/stats) and mp5top renders. Mailbox is the
+// channel depth (queued crossbar handoffs), Parked the packets waiting on
+// head tickets, Processed the process-loop invocations (mailbox receives +
+// promotions), Egressed the packets completed on this worker, and BusyNs
+// cumulative wall time spent inside the process loop — only accounted
+// while a Tracer is attached, 0 otherwise.
+type WorkerStat struct {
+	ID         int   `json:"id"`
+	Mailbox    int   `json:"mailbox"`
+	MailboxCap int   `json:"mailbox_cap"`
+	Parked     int64 `json:"parked"`
+	Processed  int64 `json:"processed"`
+	Egressed   int64 `json:"egressed"`
+	BusyNs     int64 `json:"busy_ns"`
+}
+
+// WorkerStats snapshots every worker's live occupancy counters. Safe from
+// any goroutine while the engine runs (all fields are atomics or channel
+// lengths).
+func (e *Engine) WorkerStats() []WorkerStat {
+	out := make([]WorkerStat, e.k)
+	for i, w := range e.workers {
+		out[i] = WorkerStat{
+			ID:         i,
+			Mailbox:    len(w.mailbox),
+			MailboxCap: cap(w.mailbox),
+			Parked:     w.parkedN.Load(),
+			Processed:  w.processedN.Load(),
+			Egressed:   w.egressedN.Load(),
+			BusyNs:     w.busyNs.Load(),
+		}
+	}
+	return out
+}
+
+// TicketDepths sums the pending (issued-but-unretired) tickets across
+// every slot queue and reports the deepest single queue — the live D4
+// backlog. It takes each slot's mutex briefly; meant for the admin plane's
+// background sampler, not the per-packet path.
+func (e *Engine) TicketDepths() (pending, maxDepth int64) {
+	for _, st := range e.slots {
+		st.mu.Lock()
+		d := int64(len(st.queue) - st.head)
+		st.mu.Unlock()
+		pending += d
+		if d > maxDepth {
+			maxDepth = d
+		}
+	}
+	return pending, maxDepth
+}
 
 // ShardEntry is one register array's live D2 placement, in the shape the
 // admin plane serves as JSON.

@@ -2,6 +2,7 @@ package dataplane
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"mp5/internal/banzai"
@@ -25,6 +26,9 @@ type packet struct {
 	// ran on the admitter).
 	nextStage int
 	start     time.Time
+	// span is the packet's wire-to-wire trace (nil for unsampled packets).
+	// Packet-owned like every other field, so stamps never lock.
+	span *Span
 }
 
 // visit is one resolved stateful stage visit: the stage, the worker owning
@@ -67,6 +71,12 @@ type worker struct {
 	// after the goroutine joins (the share-nothing stats.Histogram
 	// pattern).
 	lat *stats.Histogram
+	// Live occupancy counters for WorkerStats: parked packets, process
+	// invocations, egresses, and (tracer-gated) busy wall time.
+	parkedN    atomic.Int64
+	processedN atomic.Int64
+	egressedN  atomic.Int64
+	busyNs     atomic.Int64
 }
 
 func newWorker(e *Engine, id int) *worker {
@@ -90,10 +100,20 @@ func (w *worker) run() {
 		for n := len(w.runnable); n > 0; n = len(w.runnable) {
 			p := w.runnable[n-1]
 			w.runnable = w.runnable[:n-1]
+			if p.span != nil {
+				// A promoted packet was parked: the elapsed segment is
+				// the D4 ordering wait.
+				p.span.Advance(StageTicketWait, w.id)
+			}
 			w.process(p)
 		}
 		select {
 		case p := <-w.mailbox:
+			if p.span != nil {
+				// The elapsed segment is the crossbar hop: mailbox
+				// queueing plus transit (initial dispatch or a steer).
+				p.span.Advance(StageCrossbar, w.id)
+			}
 			w.process(p)
 		case <-w.e.quit:
 			return
@@ -109,6 +129,14 @@ func (w *worker) run() {
 // executes. Reaching the last stage egresses the packet.
 func (w *worker) process(p *packet) {
 	e := w.e
+	w.processedN.Add(1)
+	if e.trc != nil {
+		// Busy-time accounting rides the tracing switch: two time.Now
+		// calls per process invocation are only paid when an operator
+		// turned introspection on.
+		t0 := time.Now()
+		defer func() { w.busyNs.Add(time.Since(t0).Nanoseconds()) }()
+	}
 	for p.nextStage < len(e.prog.Stages) {
 		var v *visit
 		if p.vi < len(p.visits) && p.visits[p.vi].stage == p.nextStage {
@@ -125,6 +153,11 @@ func (w *worker) process(p *packet) {
 		if v.pipe != w.id {
 			e.steers.Add(1)
 			e.met.Steers.Inc()
+			if p.span != nil {
+				// Close the exec segment before the handoff; the receiving
+				// worker stamps the crossbar hop.
+				p.span.Advance(StageExec, w.id)
+			}
 			select {
 			case e.workers[v.pipe].mailbox <- p:
 			case <-e.abort:
@@ -133,8 +166,14 @@ func (w *worker) process(p *packet) {
 		}
 		if !w.eligible(p, v) {
 			w.parked[p.id] = p
+			w.parkedN.Add(1)
 			e.parks.Add(1)
 			e.met.Parks.Inc()
+			if p.span != nil {
+				// Close the exec segment; the promotion stamp turns the
+				// parked time into a ticket_wait segment.
+				p.span.Advance(StageExec, w.id)
+			}
 			return
 		}
 		if f := e.testBeforeExec; f != nil {
@@ -200,6 +239,7 @@ func (w *worker) execVisit(p *packet, v *visit) {
 		if next >= 0 {
 			if q, ok := w.parked[next]; ok {
 				delete(w.parked, next)
+				w.parkedN.Add(-1)
 				w.runnable = append(w.runnable, q)
 			}
 		}
@@ -211,6 +251,12 @@ func (w *worker) execVisit(p *packet, v *visit) {
 // on the last packet.
 func (w *worker) egress(p *packet) {
 	e := w.e
+	if p.span != nil {
+		// Close the final exec segment; everything from here to the
+		// finish — output recording and the OnEgress hook (the TCP ack
+		// enqueue on the server path) — is the egress segment.
+		p.span.Advance(StageExec, w.id)
+	}
 	if e.outs != nil {
 		e.outs[p.id] = append([]int64(nil), p.env.Fields...)
 	} else if e.outsM != nil {
@@ -225,9 +271,14 @@ func (w *worker) egress(p *packet) {
 		e.egMu.Unlock()
 	}
 	w.lat.Add(float64(time.Since(p.start).Microseconds()))
+	w.egressedN.Add(1)
 	e.met.Egressed.Inc()
 	if f := e.cfg.OnEgress; f != nil {
 		f(p.id)
+	}
+	if p.span != nil {
+		p.span.Advance(StageEgress, w.id)
+		e.trc.finish(p.span)
 	}
 	<-e.window
 	c := e.completed.Add(1)

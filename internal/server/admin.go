@@ -3,23 +3,30 @@ package server
 import (
 	"encoding/json"
 	"net/http"
+	"net/http/pprof"
 )
 
 // healthz is the /healthz response body. Status is "ok" while the engine
 // makes progress (or sits idle) and "stalled" after a watchdog abort — the
 // same liveness signal that fails tests loudly, surfaced to operators.
 type healthz struct {
-	Status    string `json:"status"`
-	Workers   int    `json:"workers"`
-	Submitted int64  `json:"submitted"`
-	Completed int64  `json:"completed"`
-	InFlight  int64  `json:"in_flight"`
-	Dropped   int64  `json:"ingress_dropped"`
+	Status       string `json:"status"`
+	Workers      int    `json:"workers"`
+	Submitted    int64  `json:"submitted"`
+	Completed    int64  `json:"completed"`
+	InFlight     int64  `json:"in_flight"`
+	Dropped      int64  `json:"ingress_dropped"`
+	Acks         int64  `json:"acks"`
+	DecodeErrors int64  `json:"decode_errors"`
 }
 
-// adminMux builds the admin-plane handler: /metrics (Prometheus text from
-// the shared registry), /healthz (watchdog-backed, 503 when stalled), and
-// /shardmap (the live D2 index→pipeline ownership as JSON).
+// adminMux builds the admin-plane handler:
+//
+//	/metrics   Prometheus text from the shared registry
+//	/healthz   watchdog-backed liveness (503 + Retry-After when stalled)
+//	/shardmap  live D2 index→pipeline ownership as JSON
+//	/stats     the full StatsSnapshot (mp5top's poll target)
+//	/debug/pprof/*  the standard Go profiler surface
 func (s *Server) adminMux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -28,16 +35,22 @@ func (s *Server) adminMux() *http.ServeMux {
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		h := healthz{
-			Status:    "ok",
-			Workers:   s.eng.Workers(),
-			Submitted: s.eng.Submitted(),
-			Completed: s.eng.Completed(),
-			InFlight:  s.eng.InFlight(),
-			Dropped:   s.Dropped(),
+			Status:       "ok",
+			Workers:      s.eng.Workers(),
+			Submitted:    s.eng.Submitted(),
+			Completed:    s.eng.Completed(),
+			InFlight:     s.eng.InFlight(),
+			Dropped:      s.Dropped(),
+			Acks:         s.met.acks.Value(),
+			DecodeErrors: s.met.decodeErr.Value(),
 		}
 		w.Header().Set("Content-Type", "application/json")
 		if s.eng.Stalled() {
 			h.Status = "stalled"
+			// A stall never self-heals (the engine aborted); Retry-After
+			// still gives pollers a civilized backoff instead of a tight
+			// 503 loop while the operator collects state and restarts.
+			w.Header().Set("Retry-After", "1")
 			w.WriteHeader(http.StatusServiceUnavailable)
 		}
 		json.NewEncoder(w).Encode(h)
@@ -46,5 +59,17 @@ func (s *Server) adminMux() *http.ServeMux {
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(s.eng.ShardMap())
 	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(s.statsSnapshot())
+	})
+	// The net/http/pprof handlers normally self-register on
+	// http.DefaultServeMux; mount them explicitly so the daemon's private
+	// mux (and only the admin listener) serves them.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
 }

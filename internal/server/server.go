@@ -33,6 +33,7 @@ import (
 	"net/http"
 	"reflect"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mp5/internal/core"
@@ -91,6 +92,16 @@ type Config struct {
 	// Registry receives the server's and engine's metrics; nil creates a
 	// private registry (the admin plane always has something to serve).
 	Registry *telemetry.Registry
+	// Tracer, when non-nil, turns on wire-to-wire span sampling: the
+	// decode goroutines take the sampling decision per frame, the server
+	// stamps the ingress-queue wait, and the engine stamps everything from
+	// the admission window to egress. Nil disables tracing (the hot path
+	// pays only nil checks).
+	Tracer *dataplane.Tracer
+	// SampleInterval is the background gauge sampler's period (queue
+	// depths, per-worker occupancy, pps rates, histogram-window rotation);
+	// 0 defaults to 250ms.
+	SampleInterval time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -99,6 +110,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Registry == nil {
 		c.Registry = telemetry.NewRegistry()
+	}
+	if c.SampleInterval <= 0 {
+		c.SampleInterval = 250 * time.Millisecond
 	}
 	return c
 }
@@ -125,11 +139,13 @@ func newSrvMetrics(r *telemetry.Registry) *srvMetrics {
 	}
 }
 
-// item is one decoded packet queued for admission; c is nil for UDP.
+// item is one decoded packet queued for admission; c is nil for UDP, sp is
+// nil for unsampled packets.
 type item struct {
 	arr core.Arrival
 	c   *tcpConn
 	seq uint32
+	sp  *dataplane.Span
 }
 
 // pendingAck remembers where packet id's egress ack goes.
@@ -142,10 +158,25 @@ type pendingAck struct {
 // admitter, the wrapped engine, and the admin plane. Lifecycle: New →
 // Start → (serve traffic) → Shutdown, each exactly once.
 type Server struct {
-	cfg  Config
-	prog *ir.Program
-	eng  *dataplane.Engine
-	met  *srvMetrics
+	cfg    Config
+	prog   *ir.Program
+	eng    *dataplane.Engine
+	met    *srvMetrics
+	engMet *dataplane.Metrics
+	trc    *dataplane.Tracer
+
+	// startNs anchors uptime reporting (set by Start; 0 before).
+	startNs atomic.Int64
+	// Background gauge sampler (sampler.go): per-worker occupancy vecs,
+	// ticket-queue depths, and pps rates derived from counter deltas.
+	mailboxG    *telemetry.GaugeVec
+	parkedG     *telemetry.GaugeVec
+	ticketG     *telemetry.GaugeVec
+	rxPPS       *telemetry.Gauge
+	ackPPS      *telemetry.Gauge
+	egPPS       *telemetry.Gauge
+	samplerStop chan struct{}
+	samplerWg   sync.WaitGroup
 
 	ingress chan item
 	closed  chan struct{}
@@ -184,6 +215,7 @@ func New(prog *ir.Program, cfg Config) (*Server, error) {
 		cfg:     cfg,
 		prog:    prog,
 		met:     newSrvMetrics(cfg.Registry),
+		trc:     cfg.Tracer,
 		ingress: make(chan item, cfg.IngressCap),
 		closed:  make(chan struct{}),
 		conns:   make(map[*tcpConn]struct{}),
@@ -197,8 +229,13 @@ func New(prog *ir.Program, cfg Config) (*Server, error) {
 	if engCfg.Metrics == nil {
 		engCfg.Metrics = dataplane.NewMetrics(cfg.Registry)
 	}
+	s.engMet = engCfg.Metrics
+	if engCfg.Tracer == nil {
+		engCfg.Tracer = cfg.Tracer
+	}
 	engCfg.OnEgress = s.onEgress
 	s.eng = dataplane.New(prog, engCfg)
+	s.registerGauges(cfg.Registry)
 	return s, nil
 }
 
@@ -230,7 +267,11 @@ func (s *Server) Start() error {
 		s.admin = &http.Server{Handler: s.adminMux()}
 	}
 
+	s.startNs.Store(time.Now().UnixNano())
 	s.eng.Start()
+	s.samplerStop = make(chan struct{})
+	s.samplerWg.Add(1)
+	go s.samplerLoop()
 	s.admitWg.Add(1)
 	go s.admitLoop()
 	if s.tcpLn != nil {
@@ -296,13 +337,16 @@ func (s *Server) AdminAddr() string {
 func (s *Server) admitLoop() {
 	defer s.admitWg.Done()
 	for it := range s.ingress {
+		// Close the sampled packet's first segment: everything since the
+		// decode stamp was time queued in the ingress channel.
+		it.sp.Advance(dataplane.StageIngressWait, -1)
 		id := s.eng.NextID()
 		if it.c != nil {
 			s.pendMu.Lock()
 			s.pending[id] = pendingAck{it.c, it.seq}
 			s.pendMu.Unlock()
 		}
-		if !s.eng.Submit(&it.arr) {
+		if !s.eng.SubmitTraced(&it.arr, it.sp) {
 			// Engine aborted (watchdog stall): unregister and keep
 			// consuming so blocked producers can unwind to shutdown.
 			if it.c != nil {
@@ -362,6 +406,10 @@ func (s *Server) udpLoop() {
 		_ = seq // UDP is ackless; seq is carried for symmetry only
 		s.met.rx.Inc("udp")
 		it := item{arr: arr}
+		if sp := s.trc.Sample(); sp != nil {
+			sp.Proto = "udp"
+			it.sp = sp
+		}
 		if s.cfg.Policy == PolicyDrop {
 			select {
 			case s.ingress <- it:
@@ -416,9 +464,14 @@ func (s *Server) readLoop(tc *tcpConn) {
 			continue
 		}
 		s.met.rx.Inc("tcp")
+		it := item{arr: arr, c: tc, seq: seq}
+		if sp := s.trc.Sample(); sp != nil {
+			sp.Proto = "tcp"
+			it.sp = sp
+		}
 		// Plain send: the admitter consumes until the queue closes, which
 		// happens only after this goroutine exits (Shutdown ordering).
-		s.ingress <- item{arr: arr, c: tc, seq: seq}
+		s.ingress <- it
 	}
 }
 
@@ -504,6 +557,10 @@ func (s *Server) Shutdown() *dataplane.Result {
 		if s.admin != nil {
 			s.admin.Close()
 			s.adminWg.Wait()
+		}
+		if s.samplerStop != nil {
+			close(s.samplerStop)
+			s.samplerWg.Wait()
 		}
 	})
 	return s.res

@@ -1,0 +1,54 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestGaugeFunc checks the callback gauge: the closure is evaluated at
+// scrape time (no Set calls anywhere), renders as a gauge with HELP/TYPE
+// lines, and the nil-registry constructor stays inert.
+func TestGaugeFunc(t *testing.T) {
+	r := NewRegistry()
+	x := 1.5
+	g := r.NewGaugeFunc("up_seconds", "time since start", func() float64 { return x })
+	if g.Value() != 1.5 {
+		t.Fatalf("Value: %f", g.Value())
+	}
+	x = 3
+	out := r.PromString()
+	for _, want := range []string{
+		"# HELP up_seconds time since start",
+		"# TYPE up_seconds gauge",
+		"up_seconds 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("snapshot missing %q in:\n%s", want, out)
+		}
+	}
+
+	var nilReg *Registry
+	ng := nilReg.NewGaugeFunc("x", "y", func() float64 { panic("must never run") })
+	if ng != nil || ng.Value() != 0 {
+		t.Fatal("nil-registry GaugeFunc not inert")
+	}
+}
+
+// TestHistogramSumMax checks the cumulative Sum/Max accessors survive
+// window rotation (rotation only affects quantiles).
+func TestHistogramSumMax(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("lat_us", "latency", 0, 100, 10)
+	for _, v := range []float64{5, 15, 95} {
+		h.Observe(v)
+	}
+	h.Rotate()
+	h.Rotate()
+	if h.Sum() != 115 || h.Max() != 95 || h.Count() != 3 {
+		t.Fatalf("sum %f max %f count %d", h.Sum(), h.Max(), h.Count())
+	}
+	var nilH *Histogram
+	if nilH.Sum() != 0 || nilH.Max() != 0 {
+		t.Fatal("nil histogram accessors not inert")
+	}
+}

@@ -258,6 +258,42 @@ func (g *Gauge) write(w io.Writer) {
 	fmt.Fprintf(w, "%s %s\n", g.d.name, formatFloat(g.Value()))
 }
 
+// ---- GaugeFunc ----
+
+// GaugeFunc is a gauge whose value is computed at scrape time by a
+// callback — the right shape for values the runtime already maintains
+// (uptime, channel depths): the hot path pays nothing and /metrics is
+// always current, even on an idle daemon.
+type GaugeFunc struct {
+	d  desc
+	fn func() float64
+}
+
+// NewGaugeFunc registers a callback gauge. fn must be safe to call from
+// any goroutine at any time after registration. Returns nil when r is nil.
+func (r *Registry) NewGaugeFunc(name, help string, fn func() float64) *GaugeFunc {
+	if r == nil {
+		return nil
+	}
+	g := &GaugeFunc{d: desc{name, help}, fn: fn}
+	r.register(g)
+	return g
+}
+
+// Value evaluates the callback (0 on nil).
+func (g *GaugeFunc) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.fn()
+}
+
+func (g *GaugeFunc) describe() desc { return g.d }
+func (g *GaugeFunc) typ() string    { return "gauge" }
+func (g *GaugeFunc) write(w io.Writer) {
+	fmt.Fprintf(w, "%s %s\n", g.d.name, formatFloat(g.fn()))
+}
+
 // ---- GaugeVec ----
 
 // GaugeVec is a gauge partitioned by an ordered list of labels (rendered in
@@ -401,6 +437,26 @@ func (h *Histogram) Count() int64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return h.count
+}
+
+// Sum returns the cumulative sum of observations.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Max returns the cumulative maximum observation (0 when empty or nil).
+func (h *Histogram) Max() float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.max
 }
 
 func (h *Histogram) describe() desc { return h.d }

@@ -31,6 +31,11 @@ MP5_FUZZ_CASES=40 go test -run 'TestDifferentialSmoke|FuzzDifferential' ./intern
 # fixed seed; zero loss, a live admin plane, and a clean SIGTERM drain with
 # reference equivalence are all required.
 sh scripts/serve_smoke.sh
+# End-to-end tracing soak: the daemon with 1/16 wire-span sampling and a
+# JSONL span stream; the live trace surface (/stats, /metrics, mp5top)
+# must serve, and mp5trace must reconcile every exported span's stage sums
+# against its total.
+sh scripts/trace_smoke.sh
 # Guard: the simulator with tracing disabled (BenchmarkTraceDisabled) must
 # stay within 2% of the seed's BenchmarkSimulatorPacketRate; compare the
 # pkts/s metrics printed below. BenchmarkTraceTelemetry shows the cost of

@@ -34,11 +34,15 @@ ADMIN=$(sed -n 's/^mp5d: listening.*admin=\([^ ]*\).*/\1/p' "$DIR/mp5d.out")
 "$DIR/mp5load" -tcp "$TCP" -synthetic 4 -regsize 256 -packets 5000 \
     -seed 7 -pattern skewed -window 128
 
-# The admin plane must be serving while the daemon runs.
+# The admin plane must be serving while the daemon runs — including the
+# live-introspection endpoints (curl -fsS fails the smoke on any non-200).
 if command -v curl >/dev/null 2>&1; then
     curl -fsS "http://$ADMIN/healthz" | grep -q '"status":"ok"'
     curl -fsS "http://$ADMIN/metrics" | grep -q '^server_acks_total 5000$'
+    curl -fsS "http://$ADMIN/metrics" | grep -q '^server_uptime_seconds'
     curl -fsS "http://$ADMIN/shardmap" | grep -q '"owners"'
+    curl -fsS "http://$ADMIN/stats" | grep -q '"uptime_sec"'
+    curl -fsS "http://$ADMIN/debug/pprof/goroutine?debug=1" | grep -q 'goroutine profile'
 fi
 
 # Graceful drain: SIGTERM, clean exit, equivalence verified at the daemon.

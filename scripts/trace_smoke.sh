@@ -1,0 +1,58 @@
+#!/bin/sh
+# trace_smoke.sh — end-to-end smoke of the wire-to-wire tracing path: run
+# the daemon with aggressive span sampling (1/16) and a JSONL span stream,
+# push a fixed-seed closed-loop TCP workload through it, watch the live
+# trace surface on /stats and mp5top, then drain and validate the span
+# stream with mp5trace (per-stage sums must reconcile with every span's
+# total; the expected span count must be present).
+set -eu
+
+cd "$(dirname "$0")/.."
+DIR=.smoke
+mkdir -p "$DIR"
+trap 'test -n "${DPID:-}" && kill -9 "$DPID" 2>/dev/null; rm -f "$DIR"/mp5d "$DIR"/mp5load "$DIR"/mp5top "$DIR"/mp5trace "$DIR"/mp5d.out "$DIR"/spans.jsonl' EXIT
+
+go build -o "$DIR/mp5d" ./cmd/mp5d
+go build -o "$DIR/mp5load" ./cmd/mp5load
+go build -o "$DIR/mp5top" ./cmd/mp5top
+go build -o "$DIR/mp5trace" ./cmd/mp5trace
+
+"$DIR/mp5d" -synthetic 4 -regsize 256 -workers 4 \
+    -listen-tcp 127.0.0.1:0 -listen-udp "" -admin 127.0.0.1:0 \
+    -trace-sample 16 -trace-jsonl "$DIR/spans.jsonl" >"$DIR/mp5d.out" 2>&1 &
+DPID=$!
+
+i=0
+while ! grep -q '^mp5d: listening' "$DIR/mp5d.out" 2>/dev/null; do
+    i=$((i + 1))
+    test "$i" -le 50 || { echo "trace_smoke: daemon never came up"; cat "$DIR/mp5d.out"; exit 1; }
+    sleep 0.1
+done
+TCP=$(sed -n 's/^mp5d: listening tcp=\([^ ]*\).*/\1/p' "$DIR/mp5d.out")
+ADMIN=$(sed -n 's/^mp5d: listening.*admin=\([^ ]*\).*/\1/p' "$DIR/mp5d.out")
+
+"$DIR/mp5load" -tcp "$TCP" -synthetic 4 -regsize 256 -packets 8000 \
+    -seed 9 -pattern skewed -window 128
+
+# The live trace surface: /stats carries stage quantiles and the sampling
+# accounting; mp5top renders one frame off the same snapshot.
+if command -v curl >/dev/null 2>&1; then
+    curl -fsS "http://$ADMIN/stats" | grep -q '"trace_sampled":500'
+    curl -fsS "http://$ADMIN/stats" | grep -q '"stage":"total"'
+    curl -fsS "http://$ADMIN/metrics" | grep -q '^trace_spans_sampled_total 500$'
+fi
+"$DIR/mp5top" -admin "$ADMIN" -once | grep -q 'wire spans'
+
+kill -TERM "$DPID"
+wait "$DPID"
+DPID=
+
+grep -q '^trace              500 spans sampled' "$DIR/mp5d.out" || {
+    echo "trace_smoke: daemon did not report the expected span count"
+    cat "$DIR/mp5d.out"
+    exit 1
+}
+# 8000 packets at 1/16 = 500 spans; every span's stage durations must sum
+# to its total within 1ms, and all 500 must have reached the stream.
+"$DIR/mp5trace" -min-spans 500 "$DIR/spans.jsonl"
+echo "trace_smoke: OK (500 spans, stage sums reconcile)"
