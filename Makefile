@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet fmt-check test race race-core race-dataplane race-server serve-smoke trace-smoke check bench bench-guard bench-smoke bench-dataplane bench-server fuzz-smoke fuzz clean
+.PHONY: all build vet fmt-check test race race-core race-dataplane race-server race-bytecode serve-smoke trace-smoke check bench bench-guard bench-smoke bench-dataplane bench-server fuzz-smoke fuzz clean
 
 all: check
 
@@ -41,6 +41,12 @@ race-dataplane:
 race-server:
 	$(GO) test -race -count 1 ./internal/server
 
+# race-bytecode pins a race-enabled pass over the shared bytecode
+# compiler/VM — the per-stage executor under every engine — so its
+# differential and property suites can never silently leave the race gate.
+race-bytecode:
+	$(GO) test -race -count 1 ./internal/ir/bytecode
+
 # serve-smoke is the end-to-end daemon soak: build mp5d and mp5load, run a
 # fixed-seed closed-loop TCP workload over loopback (zero loss required),
 # probe the admin plane, SIGTERM, and require a clean drain with
@@ -64,9 +70,12 @@ check: vet race fuzz-smoke serve-smoke trace-smoke bench-guard
 # fuzz-smoke is the deterministic, seeded, time-bounded slice of the
 # differential fuzzing harness: MP5_FUZZ_CASES fixed cases (program +
 # workload) checked against the single-pipeline reference on every
-# order-preserving architecture, plus a run of the committed seed corpus.
+# order-preserving architecture, plus a run of the committed seed corpus —
+# then the same smoke again with the compiled bytecode executor forced on
+# every engine.
 fuzz-smoke:
 	MP5_FUZZ_CASES=40 $(GO) test -run 'TestDifferentialSmoke|FuzzDifferential' ./internal/fuzz
+	MP5_FUZZ_CASES=40 MP5_FUZZ_EXECUTOR=bytecode $(GO) test -count 1 -run TestDifferentialSmoke ./internal/fuzz
 
 # fuzz runs open-ended coverage-guided differential fuzzing (ctrl-C to stop;
 # see also cmd/mp5fuzz for long offline sweeps with JSONL artifacts).
@@ -83,9 +92,12 @@ bench-guard:
 	$(GO) test -bench 'BenchmarkTrace|BenchmarkSimulatorPacketRate' -benchtime 2x -run ^$$ .
 
 # bench-smoke times the event-driven scheduler against the legacy full
-# sweep on sparse and dense traces and records the machine-readable perf
-# trajectory in BENCH_core.json (acceptance: sparse speedup ≥ 2x, dense
-# within 5% of the sweep), then refreshes the dataplane scaling curve.
+# sweep on sparse and dense traces, plus the per-stage executors
+# (tree-walking interpreter vs compiled bytecode VM) driven at line rate
+# on the same traces, and records the machine-readable perf trajectory in
+# BENCH_core.json (acceptance: sparse scheduler speedup ≥ 2x, dense within
+# 5% of the sweep, bytecode ≥ 1.5x over the interpreter at dense line
+# rate), then refreshes the dataplane scaling curve.
 bench-smoke: bench-dataplane bench-server
 	$(GO) run ./cmd/mp5bench -core-bench -bench-out BENCH_core.json
 

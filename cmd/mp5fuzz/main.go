@@ -37,9 +37,13 @@ var archNames = map[string]core.Arch{
 // artifact is one JSONL failure record: everything needed to reproduce the
 // failing run (the case pins the minimized program source verbatim).
 type artifact struct {
-	Type      string        `json:"type"`
-	Engine    string        `json:"engine,omitempty"`
-	Arch      string        `json:"arch"`
+	Type   string `json:"type"`
+	Engine string `json:"engine,omitempty"`
+	Arch   string `json:"arch"`
+	// Executor records which stage executor diverged (bytecode or interp;
+	// also carried inside Failure) so artifact triage can split compiler
+	// bugs from engine bugs at a glance.
+	Executor  string        `json:"executor,omitempty"`
 	Case      *fuzz.Case    `json:"case"`
 	Failure   *fuzz.Failure `json:"failure"`
 	Minimized bool          `json:"minimized"`
@@ -56,8 +60,15 @@ func main() {
 	out := flag.String("out", "", "write JSONL failure artifacts to this file")
 	shrinkBudget := flag.Int("shrink", 80, "shrink budget in candidate runs per failure (0 disables)")
 	repro := flag.String("repro", "", "replay failure artifacts from this JSONL file instead of sweeping")
+	executor := flag.String("executor", "", "force the engine sweep's stage executor: bytecode or interp (empty: bytecode, plus the built-in cross-executor runs)")
 	verbose := flag.Bool("v", false, "log every Nth case")
 	flag.Parse()
+
+	switch *executor {
+	case "", fuzz.ExecBytecode, fuzz.ExecInterp:
+	default:
+		fatal(fmt.Errorf("unknown executor %q (want %q or %q)", *executor, fuzz.ExecBytecode, fuzz.ExecInterp))
+	}
 
 	var archs []core.Arch
 	for _, name := range strings.Split(*archList, ",") {
@@ -91,6 +102,7 @@ func main() {
 			WorkSeed:  int64(ir.Mix64(uint64(s) ^ 0x9e37)),
 			Packets:   *packets,
 			Pipelines: pick(*k, []int{2, 4, 8}[s%3]),
+			Executor:  *executor,
 		}
 		fails := fuzz.Run(c, archs)
 		if *verbose && i%100 == 0 {
@@ -98,7 +110,7 @@ func main() {
 		}
 		for _, f := range fails {
 			failures++
-			rec := artifact{Type: "failure", Engine: f.Engine, Arch: f.Arch.String(), Case: c, Failure: f}
+			rec := artifact{Type: "failure", Engine: f.Engine, Arch: f.Arch.String(), Executor: f.Executor, Case: c, Failure: f}
 			if f.Reason != "compile" && *shrinkBudget > 0 {
 				if min, mf := fuzz.ShrinkFailure(c, f, *shrinkBudget); mf != nil {
 					rec.Case, rec.Failure, rec.Minimized = min, mf, true

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"mp5/internal/ir"
+	"mp5/internal/ir/bytecode"
 )
 
 // RegFile is a flat register store holding every register array of one
@@ -104,6 +105,12 @@ func (rf *RegFile) Snapshot() [][]int64 {
 type Machine struct {
 	prog *ir.Program
 	regs *RegFile
+	// bc and vm hold the bytecode-compiled form of prog and the operand
+	// stack that runs it; nil when the machine was switched to the
+	// tree-walking interpreter with Interpret (the semantic oracle mode
+	// internal/equiv pins).
+	bc *bytecode.Program
+	vm *bytecode.VM
 	// AccessLog, when enabled with RecordAccesses, appends the packet id
 	// of every stateful-stage visit per register array, defining the
 	// reference access order for C1 checking.
@@ -117,9 +124,41 @@ type Machine struct {
 }
 
 // NewMachine builds a reference machine for program p with freshly
-// initialized register state.
+// initialized register state. Stages execute through the bytecode VM;
+// call Interpret to force the tree-walking interpreter instead.
 func NewMachine(p *ir.Program) *Machine {
-	return &Machine{prog: p, regs: NewRegFile(p)}
+	bc := bytecode.MustCompile(p)
+	return &Machine{prog: p, regs: NewRegFile(p), bc: bc, vm: bytecode.NewVM(bc)}
+}
+
+// Interpret switches the machine to the tree-walking ir interpreter.
+// internal/equiv uses this to keep the interpreter as the semantic ground
+// truth that the compiled executors are differenced against.
+func (m *Machine) Interpret() {
+	m.bc, m.vm = nil, nil
+}
+
+// execStage runs stage si through the active executor.
+func (m *Machine) execStage(si int, env *ir.Env) {
+	if m.bc != nil {
+		if err := m.vm.ExecStage(&m.bc.Stages[si], env, m.regs); err != nil {
+			panic("banzai: " + err.Error()) // compiled code is never corrupt
+		}
+		return
+	}
+	ir.ExecStage(&m.prog.Stages[si], env, m.regs)
+}
+
+// execStageObserved runs stage si through the active executor with C1
+// access observation.
+func (m *Machine) execStageObserved(si int, env *ir.Env, obs ir.AccessObserver) {
+	if m.bc != nil {
+		if err := m.vm.ExecStageObserved(&m.bc.Stages[si], env, m.regs, obs); err != nil {
+			panic("banzai: " + err.Error())
+		}
+		return
+	}
+	ir.ExecStageObserved(&m.prog.Stages[si], env, m.regs, obs)
 }
 
 // Program returns the compiled program the machine runs.
@@ -166,19 +205,19 @@ func (m *Machine) Process(id int64, env *ir.Env) {
 			m.logStageVisit(id, env, si)
 		}
 		if m.indexedLog != nil && st.Stateful() {
-			m.processStageIndexed(id, env, st)
+			m.processStageIndexed(id, env, si)
 			continue
 		}
-		ir.ExecStage(st, env, m.regs)
+		m.execStage(si, env)
 	}
 }
 
-// processStageIndexed executes one stage through the observed interpreter
+// processStageIndexed executes one stage through the observed execution
 // path, appending id to each distinct register slot the packet effectively
 // accesses (predicate held; index clamped).
-func (m *Machine) processStageIndexed(id int64, env *ir.Env, st *ir.Stage) {
+func (m *Machine) processStageIndexed(id int64, env *ir.Env, si int) {
 	var seen map[string]bool
-	ir.ExecStageObserved(st, env, m.regs, func(reg int, idx int64, write bool) {
+	m.execStageObserved(si, env, func(reg int, idx int64, write bool) {
 		key := AccessKey(reg, ClampIndex(int(idx), m.prog.Regs[reg].Size))
 		if seen[key] {
 			return

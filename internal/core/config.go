@@ -117,6 +117,11 @@ type Config struct {
 	// RecordOutputs retains each packet's final header fields for
 	// functional-equivalence checking.
 	RecordOutputs bool
+	// Interpret forces stage execution through the tree-walking ir
+	// interpreter instead of the compiled bytecode VM. The interpreter is
+	// the semantic oracle; the differential fuzz harness runs it against
+	// the default compiled path.
+	Interpret bool
 	// MaxCycles aborts a stuck run; 0 derives a generous bound.
 	MaxCycles int64
 	// Trace, when non-nil, receives every simulator event (admissions,

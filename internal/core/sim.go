@@ -6,6 +6,7 @@ import (
 
 	"mp5/internal/banzai"
 	"mp5/internal/ir"
+	"mp5/internal/ir/bytecode"
 	"mp5/internal/sharding"
 	"mp5/internal/stats"
 )
@@ -98,6 +99,12 @@ type Simulator struct {
 	shard *sharding.Map
 	regs  []*banzai.RegFile
 	st    [][]stageState // [stage][pipe]
+
+	// bc and vm are the bytecode-compiled program and its operand stack;
+	// nil when cfg.Interpret pins the tree-walking interpreter. The
+	// simulator is single-goroutine, so one VM serves every pipeline.
+	bc *bytecode.Program
+	vm *bytecode.VM
 
 	// phantoms and crossings are cyclic schedules indexed by delivery
 	// cycle modulo their length; delays are bounded by the pipeline
@@ -199,6 +206,10 @@ func NewSimulator(prog *ir.Program, cfg Config) *Simulator {
 	s.regs = make([]*banzai.RegFile, s.k)
 	for j := 0; j < s.k; j++ {
 		s.regs[j] = banzai.NewRegFile(prog)
+	}
+	if !cfg.Interpret {
+		s.bc = bytecode.MustCompile(prog)
+		s.vm = bytecode.NewVM(s.bc)
 	}
 	s.st = make([][]stageState, s.S)
 	s.occ = make([]int, s.S)
@@ -758,21 +769,30 @@ func (s *Simulator) processSlot(stage, pipe int) {
 	s.outCnt[stage]++
 }
 
-// execStage runs one stage's instructions for packet p on pipeline pipe.
-// When a trace hook is attached and the stage is stateful, execution goes
-// through the observed interpreter path so every effective register access
-// (predicate held, index resolved to its concrete clamped value) emits one
-// EvAccess event per distinct (register, index) the packet touches. The
-// event stream therefore reconstructs the exact per-state access order —
-// the ground truth for checking C1 against the single-pipeline reference.
+// execStage runs one stage's instructions for packet p on pipeline pipe
+// through the active executor (bytecode VM by default, tree-walking
+// interpreter under Config.Interpret). When a trace hook is attached and
+// the stage is stateful, execution goes through the observed path so every
+// effective register access (predicate held, index resolved to its
+// concrete clamped value) emits one EvAccess event per distinct
+// (register, index) the packet touches. The event stream therefore
+// reconstructs the exact per-state access order — the ground truth for
+// checking C1 against the single-pipeline reference. Both executors honor
+// the same observation contract, so the trace is executor-independent.
 func (s *Simulator) execStage(p *Packet, stage, pipe int) {
 	st := &s.prog.Stages[stage]
 	if s.cfg.Trace == nil || !s.statefulStage[stage] {
+		if s.bc != nil {
+			if err := s.vm.ExecStage(&s.bc.Stages[stage], p.Env, s.regs[pipe]); err != nil {
+				panic("core: " + err.Error()) // compiled code is never corrupt
+			}
+			return
+		}
 		ir.ExecStage(st, p.Env, s.regs[pipe])
 		return
 	}
 	seen := s.accessSeen
-	ir.ExecStageObserved(st, p.Env, s.regs[pipe], func(reg int, idx int64, write bool) {
+	obs := func(reg int, idx int64, write bool) {
 		key := accessKey{reg, banzai.ClampIndex(int(idx), s.prog.Regs[reg].Size)}
 		if seen[key] {
 			return
@@ -782,7 +802,14 @@ func (s *Simulator) execStage(p *Packet, stage, pipe int) {
 			Cycle: s.now, Kind: EvAccess, PktID: p.ID,
 			Stage: stage, Pipe: pipe, Reg: key.reg, Idx: key.idx,
 		})
-	})
+	}
+	if s.bc != nil {
+		if err := s.vm.ExecStageObserved(&s.bc.Stages[stage], p.Env, s.regs[pipe], obs); err != nil {
+			panic("core: " + err.Error())
+		}
+	} else {
+		ir.ExecStageObserved(st, p.Env, s.regs[pipe], obs)
+	}
 	clear(seen)
 }
 

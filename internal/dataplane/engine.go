@@ -9,6 +9,7 @@ import (
 	"mp5/internal/banzai"
 	"mp5/internal/core"
 	"mp5/internal/ir"
+	"mp5/internal/ir/bytecode"
 	"mp5/internal/stats"
 )
 
@@ -48,6 +49,12 @@ type Engine struct {
 	// stages are stateless by construction (ir.Program.Validate), so only
 	// its read-only match tables are ever consulted.
 	admRegs *banzai.RegFile
+	// bc is the bytecode-compiled program shared by the admitter and
+	// every worker (read-only after New); nil when cfg.Interpret pins the
+	// tree-walking interpreter. admVM is the admitter goroutine's operand
+	// stack — VMs are not goroutine-safe, so each worker carries its own.
+	bc    *bytecode.Program
+	admVM *bytecode.VM
 
 	// window is the admission-control semaphore: one token per in-flight
 	// packet. Because every in-flight packet occupies at most one mailbox
@@ -132,6 +139,10 @@ func New(prog *ir.Program, cfg Config) *Engine {
 	e.total.Store(-1)
 	if e.met == nil {
 		e.met = &Metrics{} // all-nil counters: every update is a no-op
+	}
+	if !cfg.Interpret {
+		e.bc = bytecode.MustCompile(prog)
+		e.admVM = bytecode.NewVM(e.bc)
 	}
 	// Seed != 0 selects the seeded placement policy: the balanced
 	// round-robin assignment, deterministically shuffled per array. Same
@@ -306,6 +317,12 @@ func (e *Engine) admit(id int64, a *core.Arrival) *packet {
 	copy(env.Fields, a.Fields)
 	p := &packet{id: id, env: env, start: time.Now()}
 	for si := 0; si < e.prog.ResolutionStages; si++ {
+		if e.bc != nil {
+			if err := e.admVM.ExecStage(&e.bc.Stages[si], env, e.admRegs); err != nil {
+				panic("dataplane: " + err.Error()) // compiled code is never corrupt
+			}
+			continue
+		}
 		ir.ExecStage(&e.prog.Stages[si], env, e.admRegs)
 	}
 	p.nextStage = e.prog.ResolutionStages

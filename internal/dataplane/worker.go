@@ -7,6 +7,7 @@ import (
 
 	"mp5/internal/banzai"
 	"mp5/internal/ir"
+	"mp5/internal/ir/bytecode"
 	"mp5/internal/stats"
 )
 
@@ -53,9 +54,12 @@ type slotRef struct {
 // the park-or-proceed decision and the promotion after a pop are serialized
 // on one goroutine and cannot lose a wakeup.
 type worker struct {
-	id      int
-	e       *Engine
-	regs    *banzai.RegFile
+	id   int
+	e    *Engine
+	regs *banzai.RegFile
+	// vm is this worker's operand stack for the shared compiled program
+	// e.bc (VMs are not goroutine-safe); nil under Config.Interpret.
+	vm      *bytecode.VM
 	mailbox chan *packet
 	// parked holds packets that reached their visit before holding every
 	// head ticket; runnable holds packets promoted by a pop and drained
@@ -80,10 +84,15 @@ type worker struct {
 }
 
 func newWorker(e *Engine, id int) *worker {
+	var vm *bytecode.VM
+	if e.bc != nil {
+		vm = bytecode.NewVM(e.bc)
+	}
 	return &worker{
 		id:      id,
 		e:       e,
 		regs:    banzai.NewRegFile(e.prog),
+		vm:      vm,
 		mailbox: make(chan *packet, e.cfg.Window),
 		parked:  make(map[int64]*packet),
 		seen:    make(map[[2]int]bool),
@@ -146,7 +155,13 @@ func (w *worker) process(p *packet) {
 			// No ticket here: any stateful instruction in this stage has a
 			// (resolution-time) false predicate, so executing the stage
 			// touches only the packet environment and read-only tables.
-			ir.ExecStage(&e.prog.Stages[p.nextStage], p.env, w.regs)
+			if w.vm != nil {
+				if err := w.vm.ExecStage(&e.bc.Stages[p.nextStage], p.env, w.regs); err != nil {
+					panic("dataplane: " + err.Error()) // compiled code is never corrupt
+				}
+			} else {
+				ir.ExecStage(&e.prog.Stages[p.nextStage], p.env, w.regs)
+			}
 			p.nextStage++
 			continue
 		}
@@ -209,7 +224,7 @@ func (w *worker) execVisit(p *packet, v *visit) {
 	for i := range touched {
 		touched[i] = touched[i][:0]
 	}
-	ir.ExecStageObserved(&e.prog.Stages[v.stage], p.env, w.regs, func(reg int, idx int64, write bool) {
+	obs := func(reg int, idx int64, write bool) {
 		ci := banzai.ClampIndex(int(idx), e.prog.Regs[reg].Size)
 		dk := [2]int{reg, ci}
 		if w.seen[dk] {
@@ -228,7 +243,14 @@ func (w *worker) execVisit(p *packet, v *visit) {
 				p.id, reg, ci, v.stage))
 		}
 		touched[ri] = append(touched[ri], ci)
-	})
+	}
+	if w.vm != nil {
+		if err := w.vm.ExecStageObserved(&e.bc.Stages[v.stage], p.env, w.regs, obs); err != nil {
+			panic("dataplane: " + err.Error())
+		}
+	} else {
+		ir.ExecStageObserved(&e.prog.Stages[v.stage], p.env, w.regs, obs)
+	}
 	record := e.cfg.RecordAccessOrder
 	for i, ref := range v.slots {
 		if len(touched[i]) == 0 {

@@ -77,8 +77,13 @@ const Limit = 32
 // Reference runs the single-pipeline reference executor over the arrival
 // trace (in arrival order — the definition of the logical single-pipeline
 // switch) and returns the final register snapshot and per-packet outputs.
+// The reference machine is pinned to the tree-walking ir interpreter: with
+// every engine defaulting to the bytecode VM, the interpreter stays the
+// independent semantic ground truth the compiled path is differenced
+// against (a miscompile cannot cancel out of the comparison).
 func Reference(prog *ir.Program, arrivals []core.Arrival) (regs [][]int64, outputs map[int64][]int64) {
 	m := banzai.NewMachine(prog)
+	m.Interpret()
 	outputs = make(map[int64][]int64, len(arrivals))
 	for i := range arrivals {
 		env := ir.NewEnv(prog)
@@ -155,7 +160,10 @@ func CheckState(prog *ir.Program, simRegs [][]int64, simOut map[int64][]int64, a
 // is the order correctness condition C1 requires every implementation to
 // reproduce.
 func ReferenceOrder(prog *ir.Program, arrivals []core.Arrival) map[string][]int64 {
+	// Pinned to the interpreter for the same oracle-independence reason as
+	// Reference.
 	m := banzai.NewMachine(prog)
+	m.Interpret()
 	m.RecordIndexedAccesses()
 	for i := range arrivals {
 		env := ir.NewEnv(prog)

@@ -25,11 +25,22 @@ var OrderPreserving = []core.Arch{
 // Engine names distinguish which execution engine produced a Failure: the
 // event-driven simulator ("core", the default — old artifacts with no engine
 // field decode to it), the simulator's legacy full-sweep scheduler
-// ("core-sweep"), or the concurrent goroutine dataplane ("dataplane").
+// ("core-sweep"), the concurrent goroutine dataplane ("dataplane"), or the
+// direct bytecode-vs-interpreter differential on the serial single-pipeline
+// machine ("bytecode").
 const (
 	EngineCore      = "core"
 	EngineSweep     = "core-sweep"
 	EngineDataplane = "dataplane"
+	EngineBytecode  = "bytecode"
+)
+
+// Executor names select (Case.Executor) and record (Failure.Executor) which
+// stage executor an engine ran: the compiled bytecode VM (the default) or
+// the tree-walking ir interpreter that serves as the semantic oracle.
+const (
+	ExecBytecode = "bytecode"
+	ExecInterp   = "interp"
 )
 
 // DataplaneWorkers are the worker counts Run sweeps the concurrent dataplane
@@ -50,6 +61,11 @@ type Case struct {
 	WorkSeed  int64 `json:"work_seed"`
 	Packets   int   `json:"packets"`
 	Pipelines int   `json:"pipelines"`
+	// Executor forces the stage executor for the engine sweep: ExecInterp
+	// pins the tree-walking interpreter, ExecBytecode (or empty) the
+	// compiled bytecode VM. Run always adds one cross-executor engine run
+	// and the direct bytecode-vs-interpreter differential on top.
+	Executor string `json:"executor,omitempty"`
 }
 
 // SourceText returns the case's program source, generating it from
@@ -126,6 +142,11 @@ type Failure struct {
 	Engine  string    `json:"engine,omitempty"`
 	Arch    core.Arch `json:"arch"`
 	Workers int       `json:"workers,omitempty"`
+	// Executor records which stage executor the diverging engine ran
+	// (ExecBytecode or ExecInterp); empty means ExecBytecode for artifacts
+	// written before the field existed. A "bytecode"-engine failure means
+	// the two executors disagreed outright on the serial machine.
+	Executor string `json:"executor,omitempty"`
 	// Reason is "compile", "stall", "loss", "state" (equiv mismatch in
 	// registers or packet outputs), or "order" (C1 violation).
 	Reason string        `json:"reason"`
@@ -141,8 +162,13 @@ func (f *Failure) String() string {
 		fmt.Fprintf(&b, "dataplane(workers=%d): %s", f.Workers, f.Reason)
 	case EngineSweep:
 		fmt.Fprintf(&b, "%v (full-sweep): %s", f.Arch, f.Reason)
+	case EngineBytecode:
+		fmt.Fprintf(&b, "bytecode-vs-interpreter: %s", f.Reason)
 	default:
 		fmt.Fprintf(&b, "%v: %s", f.Arch, f.Reason)
+	}
+	if f.Executor == ExecInterp {
+		b.WriteString(" [interp]")
 	}
 	if f.Detail != "" {
 		fmt.Fprintf(&b, " (%s)", f.Detail)
@@ -166,6 +192,18 @@ type reference struct {
 	arrivals []core.Arrival
 	order    map[string][]int64
 	k        int
+	// interp pins the engines under test to the tree-walking interpreter
+	// (the reference itself always runs the interpreter, so an interp-pinned
+	// sweep checks the engine logic alone, with the executor cancelled out).
+	interp bool
+}
+
+// execName names the executor this reference's engine runs carry.
+func (r *reference) execName() string {
+	if r.interp {
+		return ExecInterp
+	}
+	return ExecBytecode
 }
 
 func newReference(prog *ir.Program, arrivals []core.Arrival, k int) *reference {
@@ -190,6 +228,7 @@ func (r *reference) runCore(arch core.Arch, seed int64, fullSweep bool) *Failure
 	sim := core.NewSimulator(r.prog, core.Config{
 		Arch: arch, Pipelines: r.k, Seed: seed,
 		RecordOutputs: true,
+		Interpret:     r.interp,
 		Trace: func(e core.Event) {
 			if e.Kind == core.EvAccess {
 				key := banzai.AccessKey(e.Reg, e.Idx)
@@ -198,20 +237,57 @@ func (r *reference) runCore(arch core.Arch, seed int64, fullSweep bool) *Failure
 		},
 	})
 	sim.SetFullSweep(fullSweep)
+	fail := &Failure{Engine: engine, Arch: arch, Executor: r.execName()}
 	res := sim.Run(r.arrivals)
 	if res.Stalled {
-		return &Failure{Engine: engine, Arch: arch, Reason: "stall",
-			Detail: fmt.Sprintf("%d of %d completed after %d cycles", res.Completed, res.Injected, res.Cycles)}
+		fail.Reason = "stall"
+		fail.Detail = fmt.Sprintf("%d of %d completed after %d cycles", res.Completed, res.Injected, res.Cycles)
+		return fail
 	}
 	if res.Completed != res.Injected {
-		return &Failure{Engine: engine, Arch: arch, Reason: "loss",
-			Detail: fmt.Sprintf("%d of %d completed", res.Completed, res.Injected)}
+		fail.Reason = "loss"
+		fail.Detail = fmt.Sprintf("%d of %d completed", res.Completed, res.Injected)
+		return fail
 	}
 	if divs := diffOrders(r.order, got); len(divs) > 0 {
-		return &Failure{Engine: engine, Arch: arch, Reason: "order", Order: divs}
+		fail.Reason = "order"
+		fail.Order = divs
+		return fail
 	}
 	if rep := equiv.Check(r.prog, sim, r.arrivals); !rep.Equivalent {
-		return &Failure{Engine: engine, Arch: arch, Reason: "state", Report: rep}
+		fail.Reason = "state"
+		fail.Report = rep
+		return fail
+	}
+	return nil
+}
+
+// runBytecode differences the bytecode VM against the tree-walking
+// interpreter in the tightest possible setting: the serial single-pipeline
+// machine, same program, same arrival order — only the executor differs, so
+// scheduling cannot mask (or manufacture) a miscompile. Oracles: per-slot
+// C1 access order (the compiled observation hooks must fire identically)
+// and final registers plus per-packet outputs.
+func (r *reference) runBytecode() *Failure {
+	fail := &Failure{Engine: EngineBytecode, Arch: core.ArchMP5, Executor: ExecBytecode}
+	m := banzai.NewMachine(r.prog) // bytecode VM is the machine default
+	m.RecordIndexedAccesses()
+	outputs := make(map[int64][]int64, len(r.arrivals))
+	for i := range r.arrivals {
+		env := ir.NewEnv(r.prog)
+		copy(env.Fields, r.arrivals[i].Fields)
+		m.Process(int64(i), env)
+		outputs[int64(i)] = append([]int64(nil), env.Fields...)
+	}
+	if divs := diffOrders(r.order, m.IndexedAccessLog()); len(divs) > 0 {
+		fail.Reason = "order"
+		fail.Order = divs
+		return fail
+	}
+	if rep := equiv.CheckState(r.prog, m.Regs().Snapshot(), outputs, r.arrivals); !rep.Equivalent {
+		fail.Reason = "state"
+		fail.Report = rep
+		return fail
 	}
 	return nil
 }
@@ -221,11 +297,12 @@ func (r *reference) runCore(arch core.Arch, seed int64, fullSweep bool) *Failure
 // liveness (no watchdog stall), loss-freedom, C1 per-slot access order, and
 // final registers plus packet outputs.
 func (r *reference) runDataplane(workers int) *Failure {
-	fail := &Failure{Engine: EngineDataplane, Arch: core.ArchMP5, Workers: workers}
+	fail := &Failure{Engine: EngineDataplane, Arch: core.ArchMP5, Workers: workers, Executor: r.execName()}
 	eng := dataplane.New(r.prog, dataplane.Config{
 		Workers:           workers,
 		RecordOutputs:     true,
 		RecordAccessOrder: true,
+		Interpret:         r.interp,
 	})
 	res := eng.Run(r.arrivals)
 	if res.Stalled {
@@ -293,10 +370,12 @@ func diffOrders(want, got map[string][]int64) []OrderDiv {
 }
 
 // Run compiles the case once and checks it against the single-pipeline
-// reference on every engine configuration: each architecture in archs on the
+// reference on every engine configuration: the direct bytecode-vs-interpreter
+// differential on the serial machine, each architecture in archs on the
 // event-driven simulator, ArchMP5 on the simulator's legacy full-sweep
-// scheduler, and the concurrent goroutine dataplane at every DataplaneWorkers
-// count — so one seed cross-checks core vs. full-sweep vs. dataplane. It
+// scheduler, the concurrent goroutine dataplane at every DataplaneWorkers
+// count, and one cross-executor ArchMP5 run (the sweep's executor flipped) —
+// so one seed cross-checks every engine and both stage executors. It
 // returns one Failure per diverging configuration. A compile error returns a
 // single "compile" failure (the generator aims for 100% compilable output, so
 // this is itself a finding).
@@ -313,7 +392,11 @@ func Run(c *Case, archs []core.Arch) []*Failure {
 		return nil
 	}
 	ref := newReference(prog, arrivals, c.Pipelines)
+	ref.interp = c.Executor == ExecInterp
 	var fails []*Failure
+	if f := ref.runBytecode(); f != nil {
+		fails = append(fails, f)
+	}
 	for _, a := range archs {
 		if f := ref.runCore(a, c.WorkSeed, false); f != nil {
 			fails = append(fails, f)
@@ -326,6 +409,14 @@ func Run(c *Case, archs []core.Arch) []*Failure {
 		if f := ref.runDataplane(w); f != nil {
 			fails = append(fails, f)
 		}
+	}
+	// Cross-executor run: whatever executor the sweep above used, run the
+	// flagship architecture once with the other one, so both the compiled
+	// path and the interpreter path stay exercised on every case.
+	cross := *ref
+	cross.interp = !ref.interp
+	if f := cross.runCore(core.ArchMP5, c.WorkSeed, false); f != nil {
+		fails = append(fails, f)
 	}
 	return fails
 }
@@ -349,7 +440,10 @@ func runLike(c *Case, like *Failure) *Failure {
 		return nil
 	}
 	ref := newReference(prog, arrivals, c.Pipelines)
+	ref.interp = like.Executor == ExecInterp
 	switch like.Engine {
+	case EngineBytecode:
+		return ref.runBytecode()
 	case EngineSweep:
 		return ref.runCore(core.ArchMP5, c.WorkSeed, true)
 	case EngineDataplane:

@@ -48,7 +48,9 @@ func TestGeneratorDeterministic(t *testing.T) {
 
 // smokeCases returns the deterministic case list for the smoke run; the
 // count is env-overridable so `make fuzz-smoke` can run a longer sweep
-// without code changes.
+// without code changes, and MP5_FUZZ_EXECUTOR ("interp" or "bytecode")
+// forces the engine sweep's stage executor so check.sh can pin the
+// compiled path explicitly.
 func smokeCases(t testing.TB) []*Case {
 	n := 25
 	if v := os.Getenv("MP5_FUZZ_CASES"); v != "" {
@@ -58,6 +60,12 @@ func smokeCases(t testing.TB) []*Case {
 		}
 		n = p
 	}
+	executor := os.Getenv("MP5_FUZZ_EXECUTOR")
+	switch executor {
+	case "", ExecInterp, ExecBytecode:
+	default:
+		t.Fatalf("bad MP5_FUZZ_EXECUTOR=%q (want %q or %q)", executor, ExecInterp, ExecBytecode)
+	}
 	cases := make([]*Case, n)
 	for i := range cases {
 		s := int64(i)
@@ -65,6 +73,7 @@ func smokeCases(t testing.TB) []*Case {
 			ProgSeed: s*7919 + 1, Size: i%8 + 1,
 			WorkSeed: s*104729 + 3, Packets: 300 + i%5*100,
 			Pipelines: []int{2, 4, 8}[i%3],
+			Executor:  executor,
 		}
 	}
 	return cases
@@ -161,9 +170,26 @@ func TestShrinkFailureNonCore(t *testing.T) {
 	for _, like := range []*Failure{
 		{Engine: EngineSweep, Arch: core.ArchMP5},
 		{Engine: EngineDataplane, Arch: core.ArchMP5, Workers: 2},
+		{Engine: EngineBytecode, Arch: core.ArchMP5},
+		{Engine: EngineCore, Arch: core.ArchMP5, Executor: ExecInterp},
 	} {
 		if _, f := ShrinkFailure(c, like, 6); f != nil {
 			t.Fatalf("%s failed a smoke-grade case during shrink: %v", like.Engine, f)
+		}
+	}
+}
+
+// TestExecutorSweeps: the forced-executor smoke paths both pass — the whole
+// engine sweep pinned to the interpreter, and pinned to the bytecode VM.
+// Together with Run's built-in cross-executor run and the serial
+// bytecode-vs-interpreter differential, this holds the two executors to
+// identical behaviour on every oracle from both directions.
+func TestExecutorSweeps(t *testing.T) {
+	for _, exec := range []string{ExecInterp, ExecBytecode} {
+		c := &Case{ProgSeed: 11, Size: 5, WorkSeed: 13, Packets: 400,
+			Pipelines: 4, Executor: exec}
+		for _, f := range Run(c, []core.Arch{core.ArchMP5}) {
+			t.Errorf("executor %s: %v", exec, f)
 		}
 	}
 }

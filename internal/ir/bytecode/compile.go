@@ -1,0 +1,300 @@
+package bytecode
+
+import (
+	"fmt"
+	"math"
+
+	"mp5/internal/ir"
+)
+
+// Compile translates every stage of p into bytecode. The result shares p's
+// metadata (register placement, access sites, tables) — only the stage
+// bodies change representation. Compile is the one-time load-time step;
+// engines keep the returned Program for the lifetime of the run.
+//
+// Compilation fails only on structural limits a Validate-clean program
+// cannot hit (more than 65535 pool constants, fields, temps, or register
+// arrays in one stage, or a predicate body longer than 64 KiB).
+func Compile(p *ir.Program) (*Program, error) {
+	out := &Program{IR: p, Stages: make([]StageProgram, len(p.Stages))}
+	nf, nt := len(p.Fields), p.NumTemps
+	poolBase := nf + nt + scratchSlots
+	total := 0
+	for si := range p.Stages {
+		sp, err := compileStage(p, &p.Stages[si], poolBase+total)
+		if err != nil {
+			return nil, fmt.Errorf("stage %d: %w", si, err)
+		}
+		out.Stages[si] = sp
+		if sp.MaxStack > out.MaxStack {
+			out.MaxStack = sp.MaxStack
+		}
+		total += len(sp.Consts)
+	}
+	// Lay the per-stage pools out in one shared image and hand every stage
+	// the frame geometry: disjoint pool regions are what lets an env be
+	// seeded once and reused across all stages (see execMicro).
+	pools := make([]int64, 0, total)
+	for si := range out.Stages {
+		pools = append(pools, out.Stages[si].Consts...)
+	}
+	for si := range out.Stages {
+		out.Stages[si].frameLen = poolBase + total
+		out.Stages[si].seedSlot = nf + nt + 2
+		out.Stages[si].pools = pools
+	}
+	// Raise (never lower) the program's frame headroom so envs allocated
+	// after this compile can take the quickened loop's absolute-offset
+	// path. Monotonic, so compiling the same program from several engines
+	// is idempotent; envs allocated before any compile simply fall back to
+	// the canonical stack loop.
+	if hint := scratchSlots + total; hint > p.FrameHint {
+		p.FrameHint = hint
+	}
+	return out, nil
+}
+
+// MustCompile is Compile for programs already past ir.Program.Validate;
+// it panics on the structural limits Compile can reject.
+func MustCompile(p *ir.Program) *Program {
+	bp, err := Compile(p)
+	if err != nil {
+		panic("bytecode: " + err.Error())
+	}
+	return bp
+}
+
+// asm assembles one stage, tracking the operand-stack depth of every emit
+// so MaxStack is exact, and interning constants into the stage pool.
+type asm struct {
+	code     []byte
+	consts   []int64
+	constIdx map[int64]int
+	depth    int
+	maxDepth int
+	micro    []microOp
+}
+
+func (a *asm) op(op byte, delta int) {
+	a.code = append(a.code, op)
+	a.bump(delta)
+}
+
+func (a *asm) opArg(op byte, arg int, delta int) error {
+	if arg < 0 || arg > math.MaxUint16 {
+		return fmt.Errorf("%s operand %d exceeds uint16", opName(op), arg)
+	}
+	a.code = append(a.code, op, byte(arg), byte(arg>>8))
+	a.bump(delta)
+	return nil
+}
+
+func (a *asm) bump(delta int) {
+	a.depth += delta
+	if a.depth > a.maxDepth {
+		a.maxDepth = a.depth
+	}
+}
+
+// intern returns the pool index of v, adding it on first use. Pools are
+// deduplicated by value: every load of the same constant shares one slot.
+func (a *asm) intern(v int64) int {
+	if i, ok := a.constIdx[v]; ok {
+		return i
+	}
+	i := len(a.consts)
+	a.consts = append(a.consts, v)
+	a.constIdx[v] = i
+	return i
+}
+
+// load emits a push of operand o. A None operand loads 0, matching
+// ir.Env.Load.
+func (a *asm) load(o ir.Operand) error {
+	switch o.Kind {
+	case ir.KindConst:
+		return a.opArg(opLoadC, a.intern(o.Val), +1)
+	case ir.KindField:
+		return a.opArg(opLoadF, o.ID, +1)
+	case ir.KindTemp:
+		return a.opArg(opLoadT, o.ID, +1)
+	default:
+		return a.opArg(opLoadC, a.intern(0), +1)
+	}
+}
+
+// store emits a pop into destination o. None and Const destinations drop
+// the value, matching ir.Env.Store's no-op semantics.
+func (a *asm) store(o ir.Operand) error {
+	switch o.Kind {
+	case ir.KindField:
+		return a.opArg(opStoreF, o.ID, -1)
+	case ir.KindTemp:
+		return a.opArg(opStoreT, o.ID, -1)
+	default:
+		a.op(opDrop, -1)
+		return nil
+	}
+}
+
+// binOps maps the two-source ALU opcodes onto their bytecode encoding.
+var binOps = map[ir.Op]byte{
+	ir.OpAdd: opAdd, ir.OpSub: opSub, ir.OpMul: opMul,
+	ir.OpDiv: opDiv, ir.OpMod: opMod,
+	ir.OpAnd: opAnd, ir.OpOr: opOr, ir.OpXor: opXor,
+	ir.OpShl: opShl, ir.OpShr: opShr,
+	ir.OpEq: opEq, ir.OpNe: opNe,
+	ir.OpLt: opLt, ir.OpLe: opLe, ir.OpGt: opGt, ir.OpGe: opGe,
+	ir.OpLAnd: opLAnd, ir.OpLOr: opLOr,
+	ir.OpMax: opMax, ir.OpMin: opMin,
+}
+
+func compileStage(p *ir.Program, s *ir.Stage, constBase int) (StageProgram, error) {
+	a := &asm{constIdx: make(map[int64]int)}
+	for i := range s.Instrs {
+		if err := a.instr(&s.Instrs[i]); err != nil {
+			return StageProgram{}, fmt.Errorf("instr %d (%s): %w", i, &s.Instrs[i], err)
+		}
+		if a.depth != 0 {
+			// Every IR instruction compiles to a self-contained sequence;
+			// a non-zero depth here is a compiler bug, caught immediately
+			// rather than as a misbehaving stack at run time.
+			return StageProgram{}, fmt.Errorf("instr %d (%s): stack depth %d after instruction", i, &s.Instrs[i], a.depth)
+		}
+	}
+	a.micro = fuseMicro(a.micro)
+	if a.micro == nil {
+		a.micro = []microOp{} // empty stages still take the quickened path
+	}
+	if err := a.finalize(len(p.Fields), p.NumTemps, constBase); err != nil {
+		return StageProgram{}, err
+	}
+	return StageProgram{
+		Code:     a.code,
+		Consts:   a.consts,
+		MaxStack: a.maxDepth,
+		Stateful: s.Stateful(),
+		micro:    a.micro,
+	}, nil
+}
+
+// instr compiles one predicated TAC instruction. A predicate becomes a
+// load plus a conditional forward jump over the body, so the body only
+// executes (and a register access is only observed) when the predicate
+// holds — the same gating ir.ExecInstr applies before doing anything.
+func (a *asm) instr(in *ir.Instr) error {
+	if in.Op == ir.OpNop {
+		return nil // nothing to execute, predicated or not
+	}
+	patch := -1
+	if !in.Pred.IsNone() {
+		if err := a.load(in.Pred); err != nil {
+			return err
+		}
+		// Pred truth must equal !PredNeg to execute: skip the body when
+		// the load's truth matches PredNeg.
+		jump := opJz
+		if in.PredNeg {
+			jump = opJnz
+		}
+		if err := a.opArg(jump, 0, -1); err != nil {
+			return err
+		}
+		patch = len(a.code) - 2 // operand bytes to patch once body length is known
+	}
+	if err := a.body(in); err != nil {
+		return err
+	}
+	if patch >= 0 {
+		off := len(a.code) - (patch + 2)
+		if off > math.MaxUint16 {
+			return fmt.Errorf("predicated body of %d bytes exceeds jump range", off)
+		}
+		a.code[patch] = byte(off)
+		a.code[patch+1] = byte(off >> 8)
+	}
+	// Quicken after the stack emission so any constant the micro-op needs
+	// is already interned; the pool is identical with or without this.
+	a.mkMicro(in)
+	return nil
+}
+
+// body compiles the unpredicated core of one instruction.
+func (a *asm) body(in *ir.Instr) error {
+	loadAll := func(ops ...ir.Operand) error {
+		for _, o := range ops {
+			if err := a.load(o); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	switch in.Op {
+	case ir.OpMov:
+		if err := a.load(in.A); err != nil {
+			return err
+		}
+		return a.store(in.Dst)
+	case ir.OpNot, ir.OpNeg:
+		if err := a.load(in.A); err != nil {
+			return err
+		}
+		if in.Op == ir.OpNot {
+			a.op(opNot, 0)
+		} else {
+			a.op(opNeg, 0)
+		}
+		return a.store(in.Dst)
+	case ir.OpSelect:
+		if err := loadAll(in.A, in.B, in.C); err != nil {
+			return err
+		}
+		a.op(opSelect, -2)
+		return a.store(in.Dst)
+	case ir.OpHash2:
+		if err := loadAll(in.A, in.B); err != nil {
+			return err
+		}
+		a.op(opHash2, -1)
+		return a.store(in.Dst)
+	case ir.OpHash3:
+		if err := loadAll(in.A, in.B, in.C); err != nil {
+			return err
+		}
+		a.op(opHash3, -2)
+		return a.store(in.Dst)
+	case ir.OpLookup:
+		if err := loadAll(in.A, in.B, in.C); err != nil {
+			return err
+		}
+		if err := a.opArg(opLookup, in.Reg, -2); err != nil {
+			return err
+		}
+		return a.store(in.Dst)
+	case ir.OpRdReg:
+		if err := a.load(in.Idx); err != nil {
+			return err
+		}
+		if err := a.opArg(opRdReg, in.Reg, 0); err != nil {
+			return err
+		}
+		return a.store(in.Dst)
+	case ir.OpWrReg:
+		// Value first, index on top: the VM observes the raw index before
+		// performing the write, like the interpreter.
+		if err := loadAll(in.A, in.Idx); err != nil {
+			return err
+		}
+		return a.opArg(opWrReg, in.Reg, -2)
+	default:
+		bc, ok := binOps[in.Op]
+		if !ok {
+			return fmt.Errorf("unknown opcode %s", in.Op)
+		}
+		if err := loadAll(in.A, in.B); err != nil {
+			return err
+		}
+		a.op(bc, -1)
+		return a.store(in.Dst)
+	}
+}

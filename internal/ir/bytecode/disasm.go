@@ -1,0 +1,67 @@
+package bytecode
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DisasmStage renders one compiled stage as a deterministic listing: a
+// header with the pool and stack high-water mark, then one line per
+// instruction ("pc: mnemonic operand  ; annotation"). Constant loads are
+// annotated with the pooled value and jumps with their resolved target,
+// so codegen changes are visible in golden-file diffs.
+func DisasmStage(sp *StageProgram) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "; %d bytes, %d consts, maxstack %d", len(sp.Code), len(sp.Consts), sp.MaxStack)
+	if sp.Stateful {
+		b.WriteString(", stateful")
+	}
+	b.WriteByte('\n')
+	if len(sp.Consts) > 0 {
+		b.WriteString("; pool:")
+		for i, v := range sp.Consts {
+			fmt.Fprintf(&b, " [%d]=%d", i, v)
+		}
+		b.WriteByte('\n')
+	}
+	pc := 0
+	for pc < len(sp.Code) {
+		op := sp.Code[pc]
+		at := pc
+		pc++
+		if !hasArg(op) {
+			fmt.Fprintf(&b, "%4d: %s\n", at, opName(op))
+			continue
+		}
+		if pc+2 > len(sp.Code) {
+			fmt.Fprintf(&b, "%4d: %s <truncated>\n", at, opName(op))
+			break
+		}
+		arg := int(sp.Code[pc]) | int(sp.Code[pc+1])<<8
+		pc += 2
+		switch op {
+		case opLoadC:
+			if arg < len(sp.Consts) {
+				fmt.Fprintf(&b, "%4d: %s %d\t; %d\n", at, opName(op), arg, sp.Consts[arg])
+			} else {
+				fmt.Fprintf(&b, "%4d: %s %d\t; <out of pool>\n", at, opName(op), arg)
+			}
+		case opJz, opJnz:
+			fmt.Fprintf(&b, "%4d: %s %d\t; -> %d\n", at, opName(op), arg, pc+arg)
+		default:
+			fmt.Fprintf(&b, "%4d: %s %d\n", at, opName(op), arg)
+		}
+	}
+	return b.String()
+}
+
+// Disasm renders every stage of a compiled program, separated by stage
+// headers, for golden-file tests and debugging.
+func Disasm(p *Program) string {
+	var b strings.Builder
+	for si := range p.Stages {
+		fmt.Fprintf(&b, "== stage %d ==\n", si)
+		b.WriteString(DisasmStage(&p.Stages[si]))
+	}
+	return b.String()
+}

@@ -1,0 +1,438 @@
+package bytecode
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"mp5/internal/ir"
+)
+
+// flatStore mirrors the interpreter tests' minimal RegStore: raw indices
+// are recorded as given (no clamping), table lookups return key0+key1.
+type flatStore map[[2]int]int64
+
+func (s flatStore) ReadReg(reg, idx int) int64          { return s[[2]int{reg, idx}] }
+func (s flatStore) WriteReg(reg, idx int, v int64)      { s[[2]int{reg, idx}] = v }
+func (s flatStore) LookupTable(t int, k [3]int64) int64 { return k[0] + k[1] }
+
+// access records one observed register access for order comparisons.
+type access struct {
+	Reg   int
+	Idx   int64
+	Write bool
+}
+
+// compileStageT compiles a single stage inside a program context of nf
+// fields and nt temps (the frame layout needs both), failing on error.
+// The returned program has FrameHint set, so ir.NewEnv on it yields
+// frame-backed envs that take the quickened path.
+func compileStageT(t *testing.T, st *ir.Stage, nf, nt int) (*ir.Program, StageProgram) {
+	t.Helper()
+	p := &ir.Program{Fields: make([]string, nf), NumTemps: nt, Stages: []ir.Stage{*st}}
+	bp, err := Compile(p)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	return p, bp.Stages[0]
+}
+
+// sameVals compares slices by value, treating nil and empty as equal (a
+// frame-backed env's Fields view is non-nil even when zero-length).
+func sameVals(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// runBoth executes st through the interpreter and the VM from identical
+// environments and stores, returning both (env, store, observed accesses).
+// The VM leg runs on a frame-backed env (the quickened micro-op loop); a
+// third, frame-less leg runs the canonical stack loop and is asserted
+// against the quickened leg in place, so every differential case pins all
+// three executors to each other.
+func runBoth(t *testing.T, st *ir.Stage, fields, temps []int64, seed flatStore) (ie, ve *ir.Env, is, vs flatStore, iobs, vobs []access) {
+	t.Helper()
+	prog, sp := compileStageT(t, st, len(fields), len(temps))
+	ie = &ir.Env{Fields: append([]int64(nil), fields...), Temps: append([]int64(nil), temps...)}
+	ve = ir.NewEnv(prog)
+	copy(ve.Fields, fields)
+	copy(ve.Temps, temps)
+	ce := &ir.Env{Fields: append([]int64(nil), fields...), Temps: append([]int64(nil), temps...)}
+	is, vs = flatStore{}, flatStore{}
+	cs := flatStore{}
+	for k, v := range seed {
+		is[k] = v
+		vs[k] = v
+		cs[k] = v
+	}
+	ir.ExecStageObserved(st, ie, is, func(reg int, idx int64, write bool) {
+		iobs = append(iobs, access{reg, idx, write})
+	})
+	vm := newVMDepth(sp.MaxStack)
+	if err := vm.ExecStageObserved(&sp, ve, vs, func(reg int, idx int64, write bool) {
+		vobs = append(vobs, access{reg, idx, write})
+	}); err != nil {
+		t.Fatalf("VM exec (quickened): %v", err)
+	}
+	var cobs []access
+	if err := vm.ExecStageObserved(&sp, ce, cs, func(reg int, idx int64, write bool) {
+		cobs = append(cobs, access{reg, idx, write})
+	}); err != nil {
+		t.Fatalf("VM exec (canonical): %v", err)
+	}
+	if !sameVals(ve.Fields, ce.Fields) || !sameVals(ve.Temps, ce.Temps) ||
+		!reflect.DeepEqual(vs, cs) || !reflect.DeepEqual(vobs, cobs) {
+		t.Errorf("quickened and canonical paths diverged:\nquick fields=%v temps=%v store=%v obs=%v\ncanon fields=%v temps=%v store=%v obs=%v",
+			ve.Fields, ve.Temps, vs, vobs, ce.Fields, ce.Temps, cs, cobs)
+	}
+	return
+}
+
+// checkAgree asserts interpreter and VM ended in identical states.
+func checkAgree(t *testing.T, st *ir.Stage, fields, temps []int64, seed flatStore) {
+	t.Helper()
+	ie, ve, is, vs, iobs, vobs := runBoth(t, st, fields, temps, seed)
+	if !sameVals(ie.Fields, ve.Fields) || !sameVals(ie.Temps, ve.Temps) {
+		t.Errorf("env diverged:\ninterp fields=%v temps=%v\nvm     fields=%v temps=%v",
+			ie.Fields, ie.Temps, ve.Fields, ve.Temps)
+	}
+	if !reflect.DeepEqual(is, vs) {
+		t.Errorf("store diverged:\ninterp %v\nvm     %v", is, vs)
+	}
+	if !reflect.DeepEqual(iobs, vobs) {
+		t.Errorf("observed accesses diverged:\ninterp %v\nvm     %v", iobs, vobs)
+	}
+}
+
+// TestDifferentialEdgeCases holds the two executors to identical behavior
+// on the interpreter's defined-error paths: division and modulo by zero,
+// the wrapping MinInt64 corner, and out-of-range register indices (passed
+// raw to the RegStore by both sides — clamping belongs to the store).
+func TestDifferentialEdgeCases(t *testing.T) {
+	minI := int64(math.MinInt64)
+	cases := []struct {
+		name string
+		st   ir.Stage
+	}{
+		{"div by zero", ir.Stage{Instrs: []ir.Instr{
+			{Op: ir.OpDiv, Dst: ir.Temp(0), A: ir.Const(12), B: ir.Const(0), Reg: -1},
+			{Op: ir.OpDiv, Dst: ir.Temp(1), A: ir.Temp(0), B: ir.Temp(0), Reg: -1},
+		}}},
+		{"mod by zero", ir.Stage{Instrs: []ir.Instr{
+			{Op: ir.OpMod, Dst: ir.Temp(0), A: ir.Const(13), B: ir.Const(0), Reg: -1},
+		}}},
+		{"min int64 wrap", ir.Stage{Instrs: []ir.Instr{
+			{Op: ir.OpDiv, Dst: ir.Temp(0), A: ir.Const(minI), B: ir.Const(-1), Reg: -1},
+			{Op: ir.OpMod, Dst: ir.Temp(1), A: ir.Const(minI), B: ir.Const(-1), Reg: -1},
+			{Op: ir.OpNeg, Dst: ir.Temp(2), A: ir.Const(minI), Reg: -1},
+		}}},
+		{"out of range index", ir.Stage{Instrs: []ir.Instr{
+			{Op: ir.OpWrReg, Reg: 1, Idx: ir.Const(-7), A: ir.Const(5)},
+			{Op: ir.OpRdReg, Dst: ir.Temp(0), Reg: 1, Idx: ir.Const(1 << 40)},
+			{Op: ir.OpWrReg, Reg: 1, Idx: ir.Const(1 << 40), A: ir.Temp(0)},
+		}}},
+		{"shift clamps", ir.Stage{Instrs: []ir.Instr{
+			{Op: ir.OpShl, Dst: ir.Temp(0), A: ir.Const(1), B: ir.Const(200), Reg: -1},
+			{Op: ir.OpShr, Dst: ir.Temp(1), A: ir.Const(-8), B: ir.Const(1), Reg: -1},
+			{Op: ir.OpShr, Dst: ir.Temp(2), A: ir.Const(5), B: ir.Const(-1), Reg: -1},
+		}}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			checkAgree(t, &c.st, nil, make([]int64, 3), nil)
+		})
+	}
+}
+
+// TestDifferentialAllOps sweeps every opcode with a mix of operand kinds
+// and predicates through both executors.
+func TestDifferentialAllOps(t *testing.T) {
+	binary := []ir.Op{
+		ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpDiv, ir.OpMod, ir.OpAnd,
+		ir.OpOr, ir.OpXor, ir.OpShl, ir.OpShr, ir.OpEq, ir.OpNe,
+		ir.OpLt, ir.OpLe, ir.OpGt, ir.OpGe, ir.OpLAnd, ir.OpLOr,
+		ir.OpMax, ir.OpMin,
+	}
+	var instrs []ir.Instr
+	for i, op := range binary {
+		in := ir.Instr{Op: op, Dst: ir.Temp(i % 4), A: ir.Field(0), B: ir.Const(int64(i - 3)), Reg: -1}
+		if i%3 == 1 {
+			in.Pred = ir.Temp(3)
+		}
+		if i%3 == 2 {
+			in.Pred, in.PredNeg = ir.Field(1), true
+		}
+		instrs = append(instrs, in)
+	}
+	instrs = append(instrs,
+		ir.Instr{Op: ir.OpNop, Reg: -1},
+		ir.Instr{Op: ir.OpMov, Dst: ir.Field(1), A: ir.Temp(2), Reg: -1},
+		ir.Instr{Op: ir.OpMov, Dst: ir.None(), A: ir.Temp(2), Reg: -1}, // dropped store
+		ir.Instr{Op: ir.OpMov, Dst: ir.Temp(0), A: ir.None(), Reg: -1}, // None loads 0
+		ir.Instr{Op: ir.OpNot, Dst: ir.Temp(1), A: ir.Temp(0), Reg: -1},
+		ir.Instr{Op: ir.OpNeg, Dst: ir.Temp(2), A: ir.Field(0), Reg: -1},
+		ir.Instr{Op: ir.OpSelect, Dst: ir.Temp(0), A: ir.Temp(1), B: ir.Field(0), C: ir.Const(20), Reg: -1},
+		ir.Instr{Op: ir.OpHash2, Dst: ir.Temp(1), A: ir.Field(0), B: ir.Const(7), Reg: -1},
+		ir.Instr{Op: ir.OpHash3, Dst: ir.Temp(2), A: ir.Temp(1), B: ir.Field(1), C: ir.Const(9), Reg: -1},
+		ir.Instr{Op: ir.OpLookup, Dst: ir.Temp(3), A: ir.Temp(2), B: ir.Const(1), C: ir.Const(0), Reg: 0},
+		ir.Instr{Op: ir.OpWrReg, Reg: 2, Idx: ir.Temp(3), A: ir.Temp(1)},
+		ir.Instr{Op: ir.OpRdReg, Dst: ir.Temp(0), Reg: 2, Idx: ir.Temp(3)},
+		ir.Instr{Op: ir.OpWrReg, Reg: 2, Idx: ir.Temp(3), A: ir.Temp(0), Pred: ir.Temp(1)},
+		ir.Instr{Op: ir.OpRdReg, Dst: ir.Temp(1), Reg: 2, Idx: ir.Const(0), Pred: ir.Temp(2), PredNeg: true},
+	)
+	st := &ir.Stage{Instrs: instrs}
+	checkAgree(t, st, []int64{6, 0}, make([]int64, 4), flatStore{[2]int{2, 0}: 11})
+	checkAgree(t, st, []int64{-3, 1}, []int64{1, 2, 3, 4}, nil)
+}
+
+// TestDifferentialQuick cross-checks randomized stages (operand kinds,
+// predicates, register ops with data-dependent indices) between the two
+// executors under testing/quick.
+func TestDifferentialQuick(t *testing.T) {
+	ops := []ir.Op{
+		ir.OpMov, ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpDiv, ir.OpMod,
+		ir.OpXor, ir.OpShl, ir.OpShr, ir.OpLt, ir.OpLAnd, ir.OpNot,
+		ir.OpNeg, ir.OpSelect, ir.OpMax, ir.OpMin, ir.OpHash2,
+		ir.OpHash3, ir.OpRdReg, ir.OpWrReg,
+	}
+	randOperand := func(r *rand.Rand) ir.Operand {
+		switch r.Intn(4) {
+		case 0:
+			return ir.Const(int64(r.Intn(41) - 20))
+		case 1:
+			return ir.Field(r.Intn(3))
+		case 2:
+			return ir.Temp(r.Intn(4))
+		default:
+			return ir.None()
+		}
+	}
+	prop := func(progSeed int64, f0, f1, f2 int64) bool {
+		r := rand.New(rand.NewSource(progSeed))
+		n := 1 + r.Intn(12)
+		st := &ir.Stage{}
+		for i := 0; i < n; i++ {
+			in := ir.Instr{Op: ops[r.Intn(len(ops))], Reg: -1}
+			in.Dst = ir.Temp(r.Intn(4))
+			in.A = randOperand(r)
+			in.B = randOperand(r)
+			in.C = randOperand(r)
+			if in.Op == ir.OpRdReg || in.Op == ir.OpWrReg {
+				in.Reg = r.Intn(2)
+				in.Idx = randOperand(r)
+			}
+			if r.Intn(3) == 0 {
+				in.Pred = randOperand(r)
+				in.PredNeg = r.Intn(2) == 0
+			}
+			st.Instrs = append(st.Instrs, in)
+		}
+		ie, ve, is, vs, iobs, vobs := runBoth(t, st, []int64{f0, f1, f2}, make([]int64, 4), nil)
+		return sameVals(ie.Fields, ve.Fields) && sameVals(ie.Temps, ve.Temps) &&
+			reflect.DeepEqual(is, vs) && reflect.DeepEqual(iobs, vobs)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMaxStackIsExactBound runs randomized stages on a VM whose stack has
+// exactly the compiler-computed capacity: any push past MaxStack would
+// panic with an index out of range, so a passing run proves the bound.
+// The generator biases toward deep expressions (Select/Hash3 chains).
+func TestMaxStackIsExactBound(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 500; trial++ {
+		st := &ir.Stage{}
+		n := 1 + r.Intn(10)
+		for i := 0; i < n; i++ {
+			var in ir.Instr
+			switch r.Intn(5) {
+			case 0:
+				in = ir.Instr{Op: ir.OpSelect, Dst: ir.Temp(0), A: ir.Temp(1), B: ir.Temp(2), C: ir.Const(int64(i)), Reg: -1}
+			case 1:
+				in = ir.Instr{Op: ir.OpHash3, Dst: ir.Temp(1), A: ir.Temp(0), B: ir.Temp(2), C: ir.Temp(3), Reg: -1}
+			case 2:
+				in = ir.Instr{Op: ir.OpWrReg, Reg: 0, Idx: ir.Temp(0), A: ir.Temp(1)}
+			case 3:
+				in = ir.Instr{Op: ir.OpLookup, Dst: ir.Temp(2), A: ir.Temp(0), B: ir.Temp(1), C: ir.Temp(3), Reg: 0}
+			default:
+				in = ir.Instr{Op: ir.OpAdd, Dst: ir.Temp(3), A: ir.Temp(2), B: ir.Const(3), Reg: -1}
+			}
+			if r.Intn(2) == 0 {
+				in.Pred = ir.Temp(r.Intn(4))
+				in.PredNeg = r.Intn(2) == 0
+			}
+			st.Instrs = append(st.Instrs, in)
+		}
+		sp, err := compileStage(&ir.Program{NumTemps: 4}, st, 4+scratchSlots)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		vm := newVMDepth(sp.MaxStack) // exactly MaxStack: overflow panics
+		// Frame-less env: forces the canonical stack loop, whose depth
+		// MaxStack bounds (the quickened loop does not use the stack).
+		env := &ir.Env{Temps: []int64{1, 2, 3, 4}}
+		if err := vm.ExecStage(&sp, env, flatStore{}); err != nil {
+			t.Fatalf("trial %d: exec: %v", trial, err)
+		}
+	}
+}
+
+// TestFusedRMW pins the read-modify-write superinstruction: which triples
+// fuse, which must not, and the differential behaviour of both variants —
+// shared predicate (including negated) and partial (ALU unpredicated
+// between gated accesses, the shape the compiler emits for guarded state
+// updates) — plus the aliasing case where the ALU's B source is t1 itself.
+// checkAgree runs every case through the interpreter, the quickened loop,
+// and the canonical stack loop, observations included.
+func TestFusedRMW(t *testing.T) {
+	rmw := func(pred, aluPred ir.Operand, neg bool, b ir.Operand, rdDst ir.Operand) *ir.Stage {
+		return &ir.Stage{Instrs: []ir.Instr{
+			{Op: ir.OpRdReg, Dst: rdDst, Reg: 0, Idx: ir.Temp(0), Pred: pred, PredNeg: neg},
+			{Op: ir.OpAdd, Dst: ir.Temp(2), A: rdDst, B: b, Pred: aluPred, PredNeg: neg && !aluPred.IsNone(), Reg: -1},
+			{Op: ir.OpWrReg, Reg: 0, Idx: ir.Temp(0), A: ir.Temp(2), Pred: pred, PredNeg: neg},
+		}}
+	}
+	fused := func(st *ir.Stage) int {
+		_, sp := compileStageT(t, st, 1, 4)
+		n := 0
+		for i := range sp.micro {
+			if ir.Op(sp.micro[i].op) == opFusedRMW {
+				n++
+			}
+		}
+		return n
+	}
+	cases := []struct {
+		name     string
+		st       *ir.Stage
+		wantFuse int
+	}{
+		{"unpredicated", rmw(ir.None(), ir.None(), false, ir.Const(1), ir.Temp(1)), 1},
+		{"shared predicate", rmw(ir.Field(0), ir.Field(0), false, ir.Const(1), ir.Temp(1)), 1},
+		{"shared negated", rmw(ir.Field(0), ir.Field(0), true, ir.Const(1), ir.Temp(1)), 1},
+		{"partial (alu unpredicated)", rmw(ir.Field(0), ir.None(), false, ir.Const(1), ir.Temp(1)), 1},
+		{"partial negated", rmw(ir.Field(0), ir.None(), true, ir.Const(1), ir.Temp(1)), 1},
+		{"alu B aliases t1", rmw(ir.None(), ir.None(), false, ir.Temp(1), ir.Temp(1)), 1},
+		// t1 landing in the index slot would clobber the write's index:
+		// must stay unfused (and behave like the interpreter regardless).
+		{"idx clobbered by t1", rmw(ir.None(), ir.None(), false, ir.Const(1), ir.Temp(0)), 0},
+		// The write under a different predicate is not a fusable triple.
+		{"mismatched predicates", &ir.Stage{Instrs: []ir.Instr{
+			{Op: ir.OpRdReg, Dst: ir.Temp(1), Reg: 0, Idx: ir.Temp(0), Pred: ir.Field(0)},
+			{Op: ir.OpAdd, Dst: ir.Temp(2), A: ir.Temp(1), B: ir.Const(1), Reg: -1},
+			{Op: ir.OpWrReg, Reg: 0, Idx: ir.Temp(0), A: ir.Temp(2), Pred: ir.Temp(3)},
+		}}, 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := fused(c.st); got != c.wantFuse {
+				t.Fatalf("fused %d RMW triples, want %d", got, c.wantFuse)
+			}
+			for _, f0 := range []int64{0, 1} { // predicate false and true
+				checkAgree(t, c.st, []int64{f0}, []int64{3, -1, -1, 1}, flatStore{[2]int{0, 3}: 10})
+			}
+		})
+	}
+}
+
+// TestConstPoolDeduplicated: repeated constants share one pool slot.
+func TestConstPoolDeduplicated(t *testing.T) {
+	st := &ir.Stage{Instrs: []ir.Instr{
+		{Op: ir.OpAdd, Dst: ir.Temp(0), A: ir.Const(42), B: ir.Const(42), Reg: -1},
+		{Op: ir.OpMov, Dst: ir.Temp(1), A: ir.Const(42), Reg: -1},
+		{Op: ir.OpMov, Dst: ir.Temp(1), A: ir.Const(7), Reg: -1},
+		{Op: ir.OpMov, Dst: ir.Temp(1), A: ir.None(), Reg: -1}, // None loads pooled 0
+		{Op: ir.OpMov, Dst: ir.Temp(1), A: ir.Const(0), Reg: -1},
+	}}
+	_, sp := compileStageT(t, st, 0, 2)
+	want := []int64{42, 7, 0} // first-use order, each value once
+	if !reflect.DeepEqual(sp.Consts, want) {
+		t.Errorf("pool = %v, want %v", sp.Consts, want)
+	}
+	seen := map[int64]bool{}
+	for _, v := range sp.Consts {
+		if seen[v] {
+			t.Errorf("pool has duplicate value %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+// TestCorruptBytecode: undefined and truncated opcodes return errors
+// instead of panicking, and opInvalid (zeroed memory) is never legal.
+func TestCorruptBytecode(t *testing.T) {
+	env := &ir.Env{Temps: make([]int64, 1)}
+	vm := newVMDepth(4)
+	cases := []struct {
+		name string
+		code []byte
+		want string
+	}{
+		{"unknown opcode", []byte{0xFF}, "unknown opcode 255 at pc 0"},
+		{"invalid zero opcode", []byte{0x00}, "unknown opcode 0 at pc 0"},
+		{"past opCount", []byte{byte(opCount)}, "unknown opcode"},
+		{"truncated operand", []byte{opLoadC, 0x01}, "truncated loadc operand at pc 0"},
+		{"truncated after instr", []byte{opLoadC, 0x00, 0x00, opStoreT}, "truncated storet operand at pc 3"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			sp := &StageProgram{Code: c.code, Consts: []int64{0}, MaxStack: 4}
+			err := vm.ExecStage(sp, env, flatStore{})
+			if err == nil {
+				t.Fatal("corrupt bytecode executed without error")
+			}
+			if got := err.Error(); !strings.Contains(got, c.want) {
+				t.Errorf("error = %q, want substring %q", got, c.want)
+			}
+		})
+	}
+	var trunc errTruncated
+	sp := &StageProgram{Code: []byte{opJz, 0x01}}
+	if err := vm.ExecStage(sp, env, flatStore{}); !errors.As(err, &trunc) {
+		t.Errorf("truncated jump error = %v, want errTruncated", err)
+	}
+}
+
+// TestEmptyStage: the zero StageProgram executes as a no-op.
+func TestEmptyStage(t *testing.T) {
+	vm := newVMDepth(0)
+	env := &ir.Env{Fields: []int64{1}, Temps: []int64{2}}
+	if err := vm.ExecStage(&StageProgram{}, env, flatStore{}); err != nil {
+		t.Fatal(err)
+	}
+	if env.Fields[0] != 1 || env.Temps[0] != 2 {
+		t.Error("empty stage modified the environment")
+	}
+}
+
+// TestObservationGating: a predicated-off register access is not observed,
+// a predicated-on one is observed exactly once with the raw index — on
+// both executors.
+func TestObservationGating(t *testing.T) {
+	st := &ir.Stage{Instrs: []ir.Instr{
+		{Op: ir.OpWrReg, Reg: 0, Idx: ir.Const(-9), A: ir.Const(1), Pred: ir.Const(0)},
+		{Op: ir.OpWrReg, Reg: 0, Idx: ir.Const(-9), A: ir.Const(1), Pred: ir.Const(1)},
+		{Op: ir.OpRdReg, Dst: ir.Temp(0), Reg: 0, Idx: ir.Const(5), Pred: ir.Const(0), PredNeg: true},
+	}}
+	_, _, _, _, iobs, vobs := runBoth(t, st, nil, make([]int64, 1), nil)
+	want := []access{{0, -9, true}, {0, 5, false}}
+	if !reflect.DeepEqual(iobs, want) {
+		t.Errorf("interpreter observations = %v, want %v", iobs, want)
+	}
+	if !reflect.DeepEqual(vobs, want) {
+		t.Errorf("VM observations = %v, want %v", vobs, want)
+	}
+}

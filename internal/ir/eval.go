@@ -19,28 +19,51 @@ type RegStore interface {
 type Env struct {
 	Fields []int64
 	Temps  []int64
+	// Frame, when non-nil, is the single backing buffer behind Fields and
+	// Temps plus the program's FrameHint slots of headroom. The bytecode
+	// VM's quickened loop addresses every operand as an absolute offset
+	// into this buffer, overlaying each stage's constant pool and scratch
+	// slots onto the headroom (see internal/ir/bytecode). Envs built by
+	// hand without a frame still execute through the canonical paths.
+	Frame []int64
 }
 
-// NewEnv allocates an execution context sized for program p (fields and
-// temps share one backing allocation; the full-capacity slice expression
-// keeps appends — which never happen — from aliasing).
+// NewEnv allocates an execution context sized for program p (fields,
+// temps, and frame headroom share one backing allocation; the
+// full-capacity slice expressions keep appends — which never happen —
+// from aliasing).
 func NewEnv(p *Program) *Env {
-	buf := make([]int64, len(p.Fields)+p.NumTemps)
-	nf := len(p.Fields)
+	nf, nt := len(p.Fields), p.NumTemps
+	buf := make([]int64, nf+nt+p.FrameHint)
 	return &Env{
 		Fields: buf[:nf:nf],
-		Temps:  buf[nf:],
+		Temps:  buf[nf : nf+nt : nf+nt],
+		Frame:  buf,
 	}
 }
 
-// Clone returns a deep copy of the environment.
+// Clone returns a deep copy of the environment, preserving the unified
+// frame (and the Fields/Temps views into it) when present.
 func (e *Env) Clone() *Env {
-	c := &Env{
-		Fields: make([]int64, len(e.Fields)),
-		Temps:  make([]int64, len(e.Temps)),
+	nf, nt := len(e.Fields), len(e.Temps)
+	n := nf + nt
+	if len(e.Frame) > n {
+		n = len(e.Frame)
 	}
-	copy(c.Fields, e.Fields)
-	copy(c.Temps, e.Temps)
+	buf := make([]int64, n)
+	if e.Frame != nil {
+		copy(buf, e.Frame)
+	} else {
+		copy(buf, e.Fields)
+		copy(buf[nf:], e.Temps)
+	}
+	c := &Env{
+		Fields: buf[:nf:nf],
+		Temps:  buf[nf : nf+nt : nf+nt],
+	}
+	if e.Frame != nil {
+		c.Frame = buf
+	}
 	return c
 }
 

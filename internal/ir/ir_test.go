@@ -62,6 +62,67 @@ func TestExecArithmetic(t *testing.T) {
 	}
 }
 
+// TestExecDivModEdges pins the interpreter's defined-error semantics on
+// the division paths: any divisor of zero yields zero (never a Go runtime
+// panic), and the MinInt64 / -1 corner wraps like Go's quotient (Go spec:
+// x / -1 == -x with wraparound, no panic). The bytecode VM is held to the
+// exact same results by the differential tests in ir/bytecode.
+func TestExecDivModEdges(t *testing.T) {
+	const minI = int64(-1 << 63)
+	cases := []struct {
+		op   Op
+		a, b int64
+		want int64
+	}{
+		{OpDiv, 0, 0, 0},
+		{OpDiv, minI, 0, 0},
+		{OpMod, minI, 0, 0},
+		{OpDiv, minI, -1, minI}, // wraps, does not panic
+		{OpMod, minI, -1, 0},
+		{OpDiv, minI, 1, minI},
+		{OpMod, -7, 3, -1}, // truncated toward zero, like Go
+		{OpMod, 7, -3, 1},
+	}
+	for _, c := range cases {
+		e := run(t, Instr{Op: c.op, Dst: Temp(0), A: Const(c.a), B: Const(c.b)}, nil, []int64{99})
+		if e.Temps[0] != c.want {
+			t.Errorf("%v(%d, %d) = %d, want %d", c.op, c.a, c.b, e.Temps[0], c.want)
+		}
+	}
+}
+
+// TestExecRegIndexOutOfRange: the interpreter passes register indices to
+// the RegStore raw — negative, huge, whatever the program computed.
+// Clamping into [0, size) is the store's job (banzai.ClampIndex), so a
+// store that records raw indices must see them unmodified and in
+// instruction order, reads and writes alike.
+func TestExecRegIndexOutOfRange(t *testing.T) {
+	s := flatStore{}
+	var obs []int64
+	st := Stage{Instrs: []Instr{
+		{Op: OpWrReg, Reg: 0, Idx: Const(-5), A: Const(11)},
+		{Op: OpRdReg, Dst: Temp(0), Reg: 0, Idx: Const(-5)},
+		{Op: OpWrReg, Reg: 0, Idx: Const(1 << 40), A: Temp(0)},
+		{Op: OpRdReg, Dst: Temp(1), Reg: 0, Idx: Const(1 << 40)},
+	}}
+	e := &Env{Temps: make([]int64, 2)}
+	ExecStageObserved(&st, e, s, func(reg int, idx int64, write bool) {
+		obs = append(obs, idx)
+	})
+	if s[[2]int{0, -5}] != 11 || e.Temps[0] != 11 {
+		t.Errorf("negative index not passed raw: store=%v temps=%v", s, e.Temps)
+	}
+	if s[[2]int{0, 1 << 40}] != 11 || e.Temps[1] != 11 {
+		t.Errorf("huge index not passed raw: store=%v temps=%v", s, e.Temps)
+	}
+	want := []int64{-5, -5, 1 << 40, 1 << 40}
+	for i, w := range want {
+		if i >= len(obs) || obs[i] != w {
+			t.Fatalf("observed raw indices %v, want %v", obs, want)
+		}
+	}
+}
+
 func TestExecUnaryAndSelect(t *testing.T) {
 	e := run(t, Instr{Op: OpNot, Dst: Temp(0), A: Const(0)}, nil, []int64{0})
 	if e.Temps[0] != 1 {

@@ -22,11 +22,20 @@ go test -race -count 1 ./internal/dataplane
 # egress acks, graceful drain, differential verification of the admitted
 # order) must stay race-clean too.
 go test -race -count 1 ./internal/server
+# The bytecode compiler/VM is the shared per-stage executor under every
+# engine; its differential suites (interpreter vs canonical stack loop vs
+# quickened micro-ops, golden disassembly, exact MaxStack, corrupt-code
+# errors) get a pinned race-enabled pass.
+go test -race -count 1 ./internal/ir/bytecode
 # Differential-fuzzing smoke: a deterministic, seeded, time-bounded slice of
 # the harness — fixed random programs and workloads checked against the
 # single-pipeline reference (state, outputs, C1 access order) on every
 # order-preserving architecture, plus the committed seed corpus.
 MP5_FUZZ_CASES=40 go test -run 'TestDifferentialSmoke|FuzzDifferential' ./internal/fuzz
+# The same smoke with the compiled bytecode executor forced on every
+# engine: all three oracles (state, outputs, C1 access order) must hold on
+# the quickened VM exactly as they do on the tree-walking interpreter.
+MP5_FUZZ_CASES=40 MP5_FUZZ_EXECUTOR=bytecode go test -count 1 -run TestDifferentialSmoke ./internal/fuzz
 # End-to-end daemon soak: mp5load drives mp5d over loopback TCP with a
 # fixed seed; zero loss, a live admin plane, and a clean SIGTERM drain with
 # reference equivalence are all required.
