@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet fmt-check test race race-core race-dataplane race-server race-bytecode serve-smoke trace-smoke check bench bench-guard bench-smoke bench-dataplane bench-server fuzz-smoke fuzz clean
+.PHONY: all build vet fmt-check test race race-core race-dataplane race-server race-bytecode allocs-gate race-poison serve-smoke trace-smoke check bench bench-guard bench-smoke bench-dataplane bench-server fuzz-smoke fuzz clean
 
 all: check
 
@@ -34,6 +34,21 @@ race-core:
 race-dataplane:
 	$(GO) test -race -count 1 ./internal/dataplane
 
+# allocs-gate is the hot-path allocation regression gate: steady-state
+# Submit must perform exactly zero heap allocations per packet and
+# SubmitBatch ~zero per chunk (testing.AllocsPerRun counts process-wide
+# mallocs, so worker-side regressions are caught too). Deliberately not
+# under -race: the race runtime allocates, so those tests self-skip there.
+allocs-gate:
+	$(GO) test -count 1 -run 'TestSubmitSteadyStateAllocs|TestSubmitBatchSteadyStateAllocs' ./internal/dataplane
+
+# race-poison runs the dataplane suite with poison-on-free compiled in
+# (-tags mp5debug) under the race detector: every recycled packet is
+# clobbered with sentinels, so a stale reference either races or corrupts
+# an equivalence oracle loudly.
+race-poison:
+	$(GO) test -tags mp5debug -race -count 1 ./internal/dataplane
+
 # race-server focuses the race detector on the network daemon — listeners,
 # the bounded ingress queue, the serial admitter, and the egress-ack path
 # all interleave; the loopback soak with differential verification must
@@ -63,9 +78,10 @@ trace-smoke:
 	sh scripts/trace_smoke.sh
 
 # check is the full local gate: build, gofmt, vet, the race-enabled test
-# suite, the deterministic differential-fuzzing smoke, the daemon and
-# tracing soaks, and the telemetry-overhead guard benchmark.
-check: vet race fuzz-smoke serve-smoke trace-smoke bench-guard
+# suite, the hot-path allocation gate, the poison-on-free lifecycle pass,
+# the deterministic differential-fuzzing smoke, the daemon and tracing
+# soaks, and the telemetry-overhead guard benchmark.
+check: vet race allocs-gate race-poison fuzz-smoke serve-smoke trace-smoke bench-guard
 
 # fuzz-smoke is the deterministic, seeded, time-bounded slice of the
 # differential fuzzing harness: MP5_FUZZ_CASES fixed cases (program +

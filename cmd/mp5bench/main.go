@@ -350,7 +350,12 @@ type dpScenario struct {
 	PktsPerSec    float64 `json:"pkts_per_sec"`
 	SpeedupVs1    float64 `json:"speedup_vs_1"`
 	SpeedupVsCore float64 `json:"speedup_vs_core"`
-	Matched       bool    `json:"matched"`
+	// AllocsPerPkt is the marginal heap allocations per packet at steady
+	// state, measured as the malloc-count delta between a double-length and
+	// a single-length run over the extra packets — engine construction and
+	// pool warmup cancel out. The pooled hot path keeps this near zero.
+	AllocsPerPkt float64 `json:"allocs_per_pkt"`
+	Matched      bool    `json:"matched"`
 }
 
 // dpBenchReport is the BENCH_dataplane.json schema. NumCPU/GoMaxProcs pin
@@ -359,14 +364,33 @@ type dpScenario struct {
 // small box is speedup_vs_core (direct execution vs. the cycle-accurate
 // simulator on the same trace).
 type dpBenchReport struct {
-	Benchmark      string       `json:"benchmark"`
-	Date           string       `json:"date"`
-	GoVersion      string       `json:"go_version"`
-	NumCPU         int          `json:"num_cpu"`
-	GoMaxProcs     int          `json:"gomaxprocs"`
+	Benchmark  string `json:"benchmark"`
+	Date       string `json:"date"`
+	GoVersion  string `json:"go_version"`
+	NumCPU     int    `json:"num_cpu"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	// SingleCPU flags a run where GOMAXPROCS or NumCPU is 1: worker
+	// scaling numbers then measure scheduling overhead, not parallel
+	// speedup, and must not be read as scaling claims.
+	SingleCPU      bool         `json:"single_cpu"`
 	Packets        int          `json:"packets"`
 	CorePktsPerSec float64      `json:"core_pkts_per_sec"`
 	Scenarios      []dpScenario `json:"scenarios"`
+}
+
+// warnSingleCPU prints the prominent single-CPU warning and reports whether
+// it fired — mp5bench must never write scaling numbers from a one-core box
+// without complaint.
+func warnSingleCPU(bench string) bool {
+	if runtime.NumCPU() > 1 && runtime.GOMAXPROCS(0) > 1 {
+		return false
+	}
+	fmt.Fprintf(os.Stderr,
+		"WARNING: %s is running with num_cpu=%d gomaxprocs=%d — a single-CPU box.\n"+
+			"WARNING: multi-worker rows measure scheduling overhead, NOT parallel speedup;\n"+
+			"WARNING: the JSON is flagged \"single_cpu\": true. Re-run on a multi-core box for scaling claims.\n",
+		bench, runtime.NumCPU(), runtime.GOMAXPROCS(0))
+	return true
 }
 
 // runDataplaneBench times the concurrent dataplane on a dense line-rate
@@ -396,7 +420,7 @@ func runDataplaneBench(outPath string) {
 	}
 	corePPS := n / coreBest.Seconds()
 
-	counts := []int{1, 2, runtime.GOMAXPROCS(0)}
+	counts := []int{1, 2, 4, runtime.GOMAXPROCS(0)}
 	sort.Ints(counts)
 	report := dpBenchReport{
 		Benchmark:      "dataplane-scaling",
@@ -404,6 +428,7 @@ func runDataplaneBench(outPath string) {
 		GoVersion:      runtime.Version(),
 		NumCPU:         runtime.NumCPU(),
 		GoMaxProcs:     runtime.GOMAXPROCS(0),
+		SingleCPU:      warnSingleCPU("dataplane-bench"),
 		Packets:        len(trace),
 		CorePktsPerSec: corePPS,
 	}
@@ -439,6 +464,7 @@ func runDataplaneBench(outPath string) {
 			PktsPerSec:    pps,
 			SpeedupVs1:    pps / pps1,
 			SpeedupVsCore: pps / corePPS,
+			AllocsPerPkt:  measureDpAllocs(prog, trace, w),
 			Matched:       matched,
 		})
 	}
@@ -454,10 +480,33 @@ func runDataplaneBench(outPath string) {
 	}
 	fmt.Printf("core baseline    %10.0f pkts/s\n", corePPS)
 	for _, sc := range report.Scenarios {
-		fmt.Printf("workers=%-2d       %10.0f pkts/s  vs1 %.2fx  vs core %.2fx  matched=%v\n",
-			sc.Workers, sc.PktsPerSec, sc.SpeedupVs1, sc.SpeedupVsCore, sc.Matched)
+		fmt.Printf("workers=%-2d       %10.0f pkts/s  vs1 %.2fx  vs core %.2fx  allocs/pkt %.3f  matched=%v\n",
+			sc.Workers, sc.PktsPerSec, sc.SpeedupVs1, sc.SpeedupVsCore, sc.AllocsPerPkt, sc.Matched)
 	}
 	fmt.Println("wrote", outPath)
+}
+
+// measureDpAllocs measures the dataplane's marginal heap allocations per
+// packet at steady state: the malloc-count delta between a double-length
+// and a single-length run, divided by the extra packets — the fixed costs
+// (engine construction, worker startup, free-list and scratch warmup)
+// cancel out of the subtraction.
+func measureDpAllocs(prog *ir.Program, trace []core.Arrival, workers int) float64 {
+	run := func(tr []core.Arrival) uint64 {
+		eng := dataplane.New(prog, dataplane.Config{Workers: workers})
+		runtime.GC()
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		eng.Run(tr)
+		runtime.ReadMemStats(&m1)
+		return m1.Mallocs - m0.Mallocs
+	}
+	double := append(append(make([]core.Arrival, 0, 2*len(trace)), trace...), trace...)
+	d := float64(run(double)) - float64(run(trace))
+	if d < 0 {
+		d = 0
+	}
+	return d / float64(len(trace))
 }
 
 func emit(f func() *experiments.Table) {

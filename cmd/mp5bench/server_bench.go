@@ -52,6 +52,7 @@ type srvBenchReport struct {
 	GoVersion        string          `json:"go_version"`
 	NumCPU           int             `json:"num_cpu"`
 	GoMaxProcs       int             `json:"gomaxprocs"`
+	SingleCPU        bool            `json:"single_cpu"`
 	Packets          int             `json:"packets"`
 	Window           int             `json:"window"`
 	Scenarios        []srvScenario   `json:"scenarios"`
@@ -71,7 +72,7 @@ func runServerBench(outPath string) {
 	trace := workload.Synthetic(prog, workload.Spec{Packets: 20000, Pipelines: 4, Seed: 1}, 4, 512)
 	const window = 256
 
-	counts := []int{1, 2, runtime.GOMAXPROCS(0)}
+	counts := []int{1, 2, 4, runtime.GOMAXPROCS(0)}
 	sort.Ints(counts)
 	report := srvBenchReport{
 		Benchmark:  "server-loopback",
@@ -79,6 +80,7 @@ func runServerBench(outPath string) {
 		GoVersion:  runtime.Version(),
 		NumCPU:     runtime.NumCPU(),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
+		SingleCPU:  warnSingleCPU("server-bench"),
 		Packets:    len(trace),
 		Window:     window,
 	}

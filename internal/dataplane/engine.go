@@ -2,6 +2,7 @@ package dataplane
 
 import (
 	"math/rand"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -56,14 +57,24 @@ type Engine struct {
 	bc    *bytecode.Program
 	admVM *bytecode.VM
 
-	// window is the admission-control semaphore: one token per in-flight
-	// packet. Because every in-flight packet occupies at most one mailbox
-	// slot and mailboxes are sized to Window, crossbar sends can never
-	// block — the window bound is what makes the topology deadlock-free.
-	window chan struct{}
-	quit   chan struct{} // closed by Run after the trace drains
-	abort  chan struct{} // closed by the watchdog on a stall
-	done   chan struct{} // closed when completed == injected
+	// winCap/winUsed/winAvail form the admission-control semaphore: one
+	// token per in-flight packet. The serial admitter takes tokens with one
+	// atomic CAS per batch (not per packet); egressing workers return them
+	// with an atomic decrement plus a non-blocking signal on winAvail. The
+	// single-slot signal channel cannot lose a wakeup: the admitter is the
+	// only acquirer and re-checks winUsed after every wake, and a retained
+	// signal merely causes one spurious re-check. Because every in-flight
+	// packet occupies at most one mailbox slot (a coalesced batch occupies
+	// one slot for many packets) and mailboxes are sized to Window, crossbar
+	// sends can never block — the window bound is what makes the topology
+	// deadlock-free.
+	winCap   int64
+	winUsed  atomic.Int64
+	winAvail chan struct{}
+
+	quit  chan struct{} // closed by Run after the trace drains
+	abort chan struct{} // closed by the watchdog on a stall
+	done  chan struct{} // closed when completed == injected
 
 	doneOnce  sync.Once
 	abortOnce sync.Once
@@ -99,19 +110,50 @@ type Engine struct {
 	// outs[id] is the packet's final header state, written once by the
 	// egressing worker and read after all workers joined. Run preallocates
 	// the slice from the trace length; the streaming mode, which cannot
-	// size it up front, records into outsM under egMu instead.
-	outs        [][]int64
-	outsM       map[int64][]int64
-	egMu        sync.Mutex
+	// size it up front, records into per-worker maps merged by Outputs
+	// after the workers join (no egress lock either way).
+	outs [][]int64
+	// egSeq hands out egress sequence numbers; each worker records
+	// (seq, id) pairs privately and Drain merges them into egressOrder
+	// after the workers join — the sharded replacement for a global
+	// egress mutex.
+	egSeq       atomic.Int64
 	egressOrder []int64
+
+	// free is the packet free list: egressing workers return packets here
+	// — after every oracle (outputs, access log, egress order, span) has
+	// observed them — and the admitter reuses them, so steady-state
+	// admission allocates nothing. At most Window packets are ever live
+	// (each is created under a held window token), so the list is bounded.
+	// A mutex-guarded stack rather than a sync.Pool: the zero-alloc
+	// guarantee must not be voided by a GC cycle emptying the pool.
+	freeMu sync.Mutex
+	free   []*packet
+
+	// Admitter-only scratch, reused across SubmitBatch chunks and remap
+	// passes so the hot path allocates nothing. chunk holds the packets of
+	// the batch being admitted, tkSlots the slots with buffered tickets
+	// (slotState.pend), xbuf the per-worker dispatch batches under
+	// assembly (their backing slices come from batchPool and are returned
+	// by the draining worker), remapAgg the per-worker load aggregation.
+	chunk    []*packet
+	tkSlots  []*slotState
+	xbuf     []*pktBatch
+	remapAgg []int64
+	// batchPool recycles the []*packet slices that ride xbarMsg batches
+	// between the admitter and the workers.
+	batchPool sync.Pool
 
 	met *Metrics
 	trc *Tracer
 
 	// testBeforeExec, when set, runs on the owning worker right before a
 	// visit executes — the white-box hook the stall test uses to wedge a
-	// packet and exercise the watchdog.
-	testBeforeExec func(*packet)
+	// packet and exercise the watchdog. testAfterTicket runs on the
+	// admitter after tickets are issued but before dispatch — the hook the
+	// abort-retirement tests use to kill the engine at the worst moment.
+	testBeforeExec  func(*packet)
+	testAfterTicket func()
 }
 
 // New builds an engine for prog. The program must carry MP5 resolution
@@ -129,13 +171,18 @@ func New(prog *ir.Program, cfg Config) *Engine {
 		accByStage: prog.AccessesByStage(),
 		slots:      make(map[slotKey]*slotState),
 		admRegs:    banzai.NewRegFile(prog),
-		window:     make(chan struct{}, cfg.Window),
+		winCap:     int64(cfg.Window),
+		winAvail:   make(chan struct{}, 1),
 		quit:       make(chan struct{}),
 		abort:      make(chan struct{}),
 		done:       make(chan struct{}),
 		met:        cfg.Metrics,
 		trc:        cfg.Tracer,
 	}
+	e.free = make([]*packet, 0, cfg.Window)
+	e.chunk = make([]*packet, 0, cfg.Window)
+	e.xbuf = make([]*pktBatch, cfg.Workers)
+	e.remapAgg = make([]int64, cfg.Workers)
 	e.total.Store(-1)
 	if e.met == nil {
 		e.met = &Metrics{} // all-nil counters: every update is a no-op
@@ -192,22 +239,18 @@ func New(prog *ir.Program, cfg Config) *Engine {
 // packet egressed (or the watchdog aborted a stall). The admitter runs on
 // the calling goroutine: execute the resolution stages, resolve visits,
 // issue tickets in arrival order, dispatch, and periodically remap. Run is
-// the batch shorthand for Start + Submit-per-arrival + Drain.
+// the batch shorthand for Start + SubmitBatch + Drain.
 func (e *Engine) Run(arrivals []core.Arrival) *Result {
 	if e.cfg.RecordOutputs {
 		// Sized by the trace so workers can record outputs without a lock;
-		// Start sees outs non-nil and skips the streaming map.
+		// workers see outs non-nil and skip their streaming maps.
 		e.outs = make([][]int64, len(arrivals))
 	}
 	if len(arrivals) == 0 {
 		return e.result(0, 0)
 	}
 	e.Start()
-	for i := range arrivals {
-		if !e.Submit(&arrivals[i]) {
-			break
-		}
-	}
+	e.SubmitBatch(arrivals, nil)
 	return e.Drain()
 }
 
@@ -222,9 +265,6 @@ func (e *Engine) Start() {
 	}
 	e.started = true
 	e.startT = time.Now()
-	if e.cfg.RecordOutputs && e.outs == nil {
-		e.outsM = make(map[int64][]int64)
-	}
 	e.wg.Add(e.k)
 	for _, w := range e.workers {
 		go w.run()
@@ -247,36 +287,216 @@ func (e *Engine) Submit(a *core.Arrival) bool { return e.SubmitTraced(a, nil) }
 // until the tracer collects it at egress. A nil sp is a plain Submit.
 func (e *Engine) SubmitTraced(a *core.Arrival, sp *Span) bool {
 	select {
-	case e.window <- struct{}{}:
 	case <-e.abort:
+		return false // dead engine: refuse before consuming an id
+	default:
+	}
+	if e.acquireWindow(1) == 0 {
 		return false
 	}
+	id := e.submitted.Load()
 	if sp != nil {
 		sp.Advance(StageWindowWait, -1)
-		sp.ID = e.submitted.Load()
+		sp.ID = id
 	}
-	p := e.admit(e.submitted.Load(), a)
+	p := e.prepare(id, a)
 	e.submitted.Add(1)
 	if sp != nil {
 		sp.Advance(StageAdmit, -1)
 		p.span = sp
 	}
-	dest := 0
-	if len(p.visits) > 0 {
-		dest = p.visits[0].pipe
-	} else {
-		dest = int(e.spray % int64(e.k)) // D1: spray stateless packets
-		e.spray++
+	for vi := range p.visits {
+		for _, ref := range p.visits[vi].slots {
+			ref.st.enqueue(id)
+		}
+	}
+	if f := e.testAfterTicket; f != nil {
+		f()
+	}
+	dest := e.destOf(p)
+	// Deterministic abort check between ticketing and dispatch: without it
+	// the dispatch select below could take the (closed) abort case even
+	// with mailbox room, leaving this packet's tickets stranded at queue
+	// heads forever — the ticket-leak bug. Either abort path retires the
+	// packet: tickets cancelled, window token returned, packet recycled.
+	select {
+	case <-e.abort:
+		e.retire(p)
+		return false
+	default:
 	}
 	select {
-	case e.workers[dest].mailbox <- p:
+	case e.workers[dest].mailbox <- xbarMsg{p: p}:
 	case <-e.abort:
+		e.retire(p)
 		return false
 	}
 	if n := e.submitted.Load(); e.cfg.RemapInterval > 0 && n%int64(e.cfg.RemapInterval) == 0 {
 		e.remap()
 	}
 	return true
+}
+
+// SubmitBatch admits a run of packets, amortizing the per-packet costs of
+// Submit across the batch: one window acquisition per chunk, one ticket
+// queue lock per touched slot per chunk, and one crossbar mailbox send per
+// destination worker per chunk. Ticket order — hence C1 — is still exactly
+// arrival order: packets are resolved serially in slice order, every
+// ticket of the chunk is enqueued before any packet dispatches, and
+// per-slot ticket runs flush in admission order.
+//
+// spans is either nil or parallel to arrs (nil entries for unsampled
+// packets). Returns how many packets were admitted; fewer than len(arrs)
+// means the engine aborted (packets admitted after the abort are retired
+// in place and will never egress — the run is already dead). Admitter-
+// serial, like Submit.
+func (e *Engine) SubmitBatch(arrs []core.Arrival, spans []*Span) int {
+	admitted := 0
+	for admitted < len(arrs) {
+		select {
+		case <-e.abort:
+			return admitted
+		default:
+		}
+		base := e.submitted.Load()
+		want := int64(len(arrs) - admitted)
+		if iv := int64(e.cfg.RemapInterval); iv > 0 {
+			// Chunks never straddle a remap boundary, so remap keeps its
+			// every-RemapInterval-admissions cadence (and its chance to see
+			// drained ticket queues) exactly as under per-packet Submit.
+			if until := iv - base%iv; want > until {
+				want = until
+			}
+		}
+		got := int(e.acquireWindow(want))
+		if got == 0 {
+			return admitted
+		}
+		for i := 0; i < got; i++ {
+			a := &arrs[admitted+i]
+			id := base + int64(i)
+			var sp *Span
+			if spans != nil {
+				sp = spans[admitted+i]
+			}
+			if sp != nil {
+				// Batch semantics: the window wait for the whole chunk was
+				// paid up front, so later chunk members fold the queueing
+				// behind their chunk-mates' admits into window_wait too.
+				sp.Advance(StageWindowWait, -1)
+				sp.ID = id
+			}
+			p := e.prepare(id, a)
+			if sp != nil {
+				sp.Advance(StageAdmit, -1)
+				p.span = sp
+			}
+			// Buffer tickets chunk-locally (pend is admitter-owned); the
+			// flush below takes each slot's lock once for the whole chunk.
+			for vi := range p.visits {
+				for _, ref := range p.visits[vi].slots {
+					st := ref.st
+					if len(st.pend) == 0 {
+						e.tkSlots = append(e.tkSlots, st)
+					}
+					st.pend = append(st.pend, id)
+				}
+			}
+			e.chunk = append(e.chunk, p)
+		}
+		e.submitted.Store(base + int64(got))
+		// Flush every ticket of the chunk before any packet dispatches: a
+		// dispatched packet must be able to find its own tickets (and park
+		// behind earlier ones) the moment it reaches a worker.
+		for _, st := range e.tkSlots {
+			st.enqueueBatch(st.pend)
+			st.pend = st.pend[:0]
+		}
+		e.tkSlots = e.tkSlots[:0]
+		admitted += got
+		if f := e.testAfterTicket; f != nil {
+			f()
+		}
+		if !e.dispatchChunk() {
+			return admitted
+		}
+		if iv := int64(e.cfg.RemapInterval); iv > 0 && (base+int64(got))%iv == 0 {
+			e.remap()
+		}
+	}
+	return admitted
+}
+
+// dispatchChunk coalesces the admitted chunk into at most one mailbox send
+// per destination worker (admission order preserved within each batch) and
+// clears the chunk. Returns false when the engine aborted mid-dispatch;
+// undispatched packets are retired in place.
+func (e *Engine) dispatchChunk() bool {
+	for _, p := range e.chunk {
+		dest := e.destOf(p)
+		if e.xbuf[dest] == nil {
+			e.xbuf[dest] = e.getBatch()
+		}
+		e.xbuf[dest].items = append(e.xbuf[dest].items, p)
+	}
+	e.chunk = e.chunk[:0]
+	aborted := false
+	select {
+	case <-e.abort:
+		aborted = true // deterministic pre-check, as in SubmitTraced
+	default:
+	}
+	for w := 0; w < e.k; w++ {
+		b := e.xbuf[w]
+		if b == nil {
+			continue
+		}
+		e.xbuf[w] = nil
+		if aborted {
+			for _, p := range b.items {
+				e.retire(p)
+			}
+			e.putBatch(b)
+			continue
+		}
+		select {
+		case e.workers[w].mailbox <- xbarMsg{batch: b}:
+		case <-e.abort:
+			aborted = true
+			for _, p := range b.items {
+				e.retire(p)
+			}
+			e.putBatch(b)
+		}
+	}
+	return !aborted
+}
+
+// destOf returns the packet's first-hop worker: the owner of its first
+// visit, or the D1 spray target for stateless packets (admitter-serial).
+func (e *Engine) destOf(p *packet) int {
+	if len(p.visits) > 0 {
+		return p.visits[0].pipe
+	}
+	d := int(e.spray % int64(e.k))
+	e.spray++
+	return d
+}
+
+// retire un-admits a packet on the abort path: cancel its tickets, return
+// its window token, and recycle it. The packet's id stays consumed
+// (submitted is not rolled back — ids must stay dense) but it will never
+// egress; that is fine because retire only runs on a dead engine, whose
+// results are already discarded as Stalled/incomplete.
+func (e *Engine) retire(p *packet) {
+	for vi := range p.visits {
+		for _, ref := range p.visits[vi].slots {
+			ref.st.cancel(p.id)
+		}
+	}
+	p.span = nil
+	e.putPacket(p)
+	e.releaseWindow()
 }
 
 // NextID returns the packet id the next Submit will assign (ids are dense,
@@ -305,35 +525,139 @@ func (e *Engine) Drain() *Result {
 	e.wdWg.Wait()
 	close(e.quit)
 	e.wg.Wait()
+	e.mergeEgressOrder()
 	return e.result(submitted, time.Since(e.startT))
 }
 
-// admit prepares one packet on the admitter: copy the header, execute the
-// stateless resolution stages, resolve every state access to a (stage,
-// worker, slots) visit list, and issue one ticket per visit slot — the D4
-// phantom, enqueued in arrival order because the admitter is serial.
-func (e *Engine) admit(id int64, a *core.Arrival) *packet {
-	env := ir.NewEnv(e.prog)
-	copy(env.Fields, a.Fields)
-	p := &packet{id: id, env: env, start: time.Now()}
+// mergeEgressOrder stitches the per-worker (seq, id) egress records into
+// the global wall-clock egress sequence. Runs after the workers joined —
+// the Drain-time half of the sharded egress recording that replaced the
+// old global egress mutex.
+func (e *Engine) mergeEgressOrder() {
+	if !e.cfg.RecordEgressOrder {
+		return
+	}
+	n := 0
+	for _, w := range e.workers {
+		n += len(w.egRecs)
+	}
+	recs := make([]egRec, 0, n)
+	for _, w := range e.workers {
+		recs = append(recs, w.egRecs...)
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].seq < recs[j].seq })
+	e.egressOrder = make([]int64, len(recs))
+	for i, r := range recs {
+		e.egressOrder[i] = r.id
+	}
+}
+
+// prepare readies one packet on the admitter: take a recycled packet from
+// the free list (or build one), reset its env for the new arrival, execute
+// the stateless resolution stages, and resolve every state access to a
+// (stage, worker, slots) visit list. Ticket issue is the caller's job —
+// Submit enqueues directly, SubmitBatch buffers and flushes per chunk.
+func (e *Engine) prepare(id int64, a *core.Arrival) *packet {
+	p := e.getPacket()
+	p.id = id
+	p.env.ResetFor(a.Fields)
+	p.visits = p.visits[:0]
+	p.vi = 0
+	p.span = nil
+	p.start = time.Now()
 	for si := 0; si < e.prog.ResolutionStages; si++ {
 		if e.bc != nil {
-			if err := e.admVM.ExecStage(&e.bc.Stages[si], env, e.admRegs); err != nil {
+			if err := e.admVM.ExecStage(&e.bc.Stages[si], p.env, e.admRegs); err != nil {
 				panic("dataplane: " + err.Error()) // compiled code is never corrupt
 			}
 			continue
 		}
-		ir.ExecStage(&e.prog.Stages[si], env, e.admRegs)
+		ir.ExecStage(&e.prog.Stages[si], p.env, e.admRegs)
 	}
 	p.nextStage = e.prog.ResolutionStages
 	e.resolve(p)
-	for vi := range p.visits {
-		for _, ref := range p.visits[vi].slots {
-			ref.st.enqueue(id)
-		}
-	}
 	e.met.Admitted.Inc()
 	return p
+}
+
+// acquireWindow takes up to want admission-window tokens (at least one),
+// blocking while the window is full. Returns the number taken, or 0 when
+// the engine aborted. Admitter-serial — the single-acquirer assumption is
+// what makes the CAS loop plus one-slot wakeup channel race-free.
+func (e *Engine) acquireWindow(want int64) int64 {
+	for {
+		used := e.winUsed.Load()
+		if free := e.winCap - used; free > 0 {
+			n := want
+			if n > free {
+				n = free
+			}
+			if e.winUsed.CompareAndSwap(used, used+n) {
+				return n
+			}
+			continue
+		}
+		select {
+		case <-e.winAvail:
+		case <-e.abort:
+			return 0
+		}
+	}
+}
+
+// releaseWindow returns one token and wakes the admitter if it is waiting
+// (worker-side, at egress or abort-retirement).
+func (e *Engine) releaseWindow() {
+	e.winUsed.Add(-1)
+	select {
+	case e.winAvail <- struct{}{}:
+	default: // a wakeup is already pending; one is enough
+	}
+}
+
+// getPacket pops a recycled packet (env, visit plan capacity and all) off
+// the free list, or builds a fresh one. Admitter-only.
+func (e *Engine) getPacket() *packet {
+	e.freeMu.Lock()
+	if n := len(e.free); n > 0 {
+		p := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		e.freeMu.Unlock()
+		return p
+	}
+	e.freeMu.Unlock()
+	return &packet{env: ir.NewEnv(e.prog)}
+}
+
+// putPacket recycles a packet after its last observer is done with it
+// (worker-side at egress, admitter-side at abort-retirement). poisonPacket
+// is a no-op in release builds; under the mp5debug tag it clobbers the
+// packet so any use-after-recycle fails loudly.
+func (e *Engine) putPacket(p *packet) {
+	poisonPacket(p)
+	e.freeMu.Lock()
+	e.free = append(e.free, p)
+	e.freeMu.Unlock()
+}
+
+// getBatch/putBatch recycle the packet batches riding coalesced xbarMsg
+// sends. A sync.Pool is fine here (unlike the packet free list): losing a
+// batch to GC costs one amortized allocation per chunk, not the packet
+// zero-alloc guarantee.
+func (e *Engine) getBatch() *pktBatch {
+	if v := e.batchPool.Get(); v != nil {
+		return v.(*pktBatch)
+	}
+	return &pktBatch{items: make([]*packet, 0, 64)}
+}
+
+func (e *Engine) putBatch(b *pktBatch) {
+	for i := range b.items {
+		b.items[i] = nil
+	}
+	b.items = b.items[:0]
+	e.batchPool.Put(b)
 }
 
 // resolve performs preemptive address resolution (§3.3): evaluate resolvable
@@ -362,8 +686,18 @@ func (e *Engine) resolve(p *packet) {
 			sh.count[pos]++
 			dest := sh.owner[pos]
 			if v == nil {
-				p.visits = append(p.visits, visit{stage: stage, pipe: dest})
-				v = &p.visits[len(p.visits)-1]
+				// Extend in place when the recycled packet's visit array has
+				// room: reslicing (rather than appending a fresh struct)
+				// keeps each visit's slots capacity from previous lives.
+				if n := len(p.visits); n < cap(p.visits) {
+					p.visits = p.visits[:n+1]
+					v = &p.visits[n]
+					v.stage, v.pipe = stage, dest
+					v.slots = v.slots[:0]
+				} else {
+					p.visits = append(p.visits, visit{stage: stage, pipe: dest})
+					v = &p.visits[n]
+				}
 			} else if v.pipe != dest {
 				panic("dataplane: co-located accesses resolved to different pipelines")
 			}
@@ -393,7 +727,10 @@ func (e *Engine) remap() {
 		if !sh.sharded {
 			continue
 		}
-		agg := make([]int64, e.k)
+		agg := e.remapAgg // admitter-only scratch; remap is admitter-only
+		for i := range agg {
+			agg[i] = 0
+		}
 		for i, o := range sh.owner {
 			agg[o] += sh.count[i]
 		}
@@ -512,15 +849,22 @@ func (e *Engine) result(injected int64, elapsed time.Duration) *Result {
 
 // Outputs returns each completed packet's final header fields, keyed by
 // packet id — the shape equiv.CheckState consumes. Only valid after
-// Run/Drain, and only when Config.RecordOutputs was set.
+// Run/Drain, and only when Config.RecordOutputs was set. Streaming-mode
+// outputs live in per-worker maps until this merge (no egress lock).
 func (e *Engine) Outputs() map[int64][]int64 {
 	if e.outs == nil {
-		if e.outsM == nil {
+		if !e.cfg.RecordOutputs {
 			return nil
 		}
-		out := make(map[int64][]int64, len(e.outsM))
-		for id, f := range e.outsM {
-			out[id] = f
+		n := 0
+		for _, w := range e.workers {
+			n += len(w.outs)
+		}
+		out := make(map[int64][]int64, n)
+		for _, w := range e.workers {
+			for id, f := range w.outs {
+				out[id] = f
+			}
 		}
 		return out
 	}
@@ -589,10 +933,10 @@ func (e *Engine) InFlight() int64 { return e.submitted.Load() - e.completed.Load
 // WindowInUse returns the number of admission-window tokens currently held
 // (in-flight packets), safe from any goroutine — the live admission-control
 // gauge.
-func (e *Engine) WindowInUse() int { return len(e.window) }
+func (e *Engine) WindowInUse() int { return int(e.winUsed.Load()) }
 
 // WindowCap returns the admission-window size.
-func (e *Engine) WindowCap() int { return cap(e.window) }
+func (e *Engine) WindowCap() int { return int(e.winCap) }
 
 // WorkerStat is one worker's live occupancy/throughput view, in the shape
 // the admin plane serves (/stats) and mp5top renders. Mailbox is the

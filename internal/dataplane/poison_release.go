@@ -1,0 +1,11 @@
+//go:build !mp5debug
+
+package dataplane
+
+// poisonPacket is a no-op in release builds; build with -tags mp5debug to
+// clobber recycled packets so any use-after-recycle fails loudly (see
+// poison_debug.go).
+func poisonPacket(*packet) {}
+
+// poisonEnabled reports whether this build poisons recycled packets.
+const poisonEnabled = false

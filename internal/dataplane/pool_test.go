@@ -1,0 +1,283 @@
+package dataplane
+
+import (
+	"reflect"
+	"runtime/debug"
+	"testing"
+	"time"
+
+	"mp5/internal/apps"
+	"mp5/internal/core"
+	"mp5/internal/equiv"
+	"mp5/internal/ir"
+	"mp5/internal/workload"
+)
+
+// checkEquivalence holds an already-drained engine to the state and C1
+// oracles (the post-run half of runChecked, for tests that drive admission
+// themselves).
+func checkEquivalence(t *testing.T, prog *ir.Program, e *Engine, arrivals []core.Arrival, workers int) {
+	t.Helper()
+	if rep := equiv.CheckState(prog, e.FinalRegs(), e.Outputs(), arrivals); !rep.Equivalent {
+		t.Fatalf("workers=%d: not equivalent to reference:\n%s", workers, rep)
+	}
+	want := equiv.ReferenceOrder(prog, arrivals)
+	if got := e.AccessOrders(); !reflect.DeepEqual(want, got) {
+		t.Fatalf("workers=%d: access orders diverged from reference", workers)
+	}
+}
+
+// TestSubmitSteadyStateAllocs is the zero-alloc acceptance criterion: once
+// the free list and every scratch buffer warmed up, a Submit must perform
+// zero heap allocations — on the admitter *and* on the workers, since
+// AllocsPerRun counts process-wide mallocs.
+func TestSubmitSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counting is meaningless under -race (the race runtime allocates)")
+	}
+	prog, err := apps.Synthetic(4, 64, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arrivals := workload.Synthetic(prog, workload.Spec{Packets: 2048, Pipelines: 2, Seed: 11}, 4, 64)
+	e := New(prog, Config{Workers: 2, Window: 64})
+	e.Start()
+	// Warmup: populate the free list, grow every visit/slot/queue buffer to
+	// its steady capacity, and cross a few remap boundaries.
+	for i := range arrivals {
+		if !e.Submit(&arrivals[i]) {
+			t.Fatal("engine aborted during warmup")
+		}
+	}
+	i := 0
+	avg := testing.AllocsPerRun(500, func() {
+		if !e.Submit(&arrivals[i%len(arrivals)]) {
+			t.Fatal("engine aborted mid-measurement")
+		}
+		i++
+	})
+	res := e.Drain()
+	if res.Stalled {
+		t.Fatalf("engine stalled: %d of %d completed", res.Completed, res.Injected)
+	}
+	if avg != 0 {
+		t.Fatalf("steady-state Submit allocates %v per packet, want 0", avg)
+	}
+}
+
+// TestSubmitBatchSteadyStateAllocs holds the coalesced path to (almost) the
+// same bar: a whole SubmitBatch chunk must not allocate beyond the slack of
+// its sync.Pool-backed batch carriers. GC is disabled during the
+// measurement so a collection cannot drain the batch pool mid-run.
+func TestSubmitBatchSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counting is meaningless under -race (the race runtime allocates)")
+	}
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	prog, err := apps.Synthetic(4, 64, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arrivals := workload.Synthetic(prog, workload.Spec{Packets: 2048, Pipelines: 2, Seed: 12}, 4, 64)
+	e := New(prog, Config{Workers: 2, Window: 64})
+	e.Start()
+	const chunk = 128
+	for off := 0; off+chunk <= len(arrivals); off += chunk {
+		if e.SubmitBatch(arrivals[off:off+chunk], nil) != chunk {
+			t.Fatal("engine aborted during warmup")
+		}
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		if e.SubmitBatch(arrivals[:chunk], nil) != chunk {
+			t.Fatal("engine aborted mid-measurement")
+		}
+	})
+	res := e.Drain()
+	if res.Stalled {
+		t.Fatalf("engine stalled: %d of %d completed", res.Completed, res.Injected)
+	}
+	// One batch call covers `chunk` packets; allow a couple of stray
+	// allocations per call (slot-queue growth on unlucky skew) without
+	// letting a per-packet regression (≥ chunk allocs/call) through.
+	if avg > 2 {
+		t.Fatalf("steady-state SubmitBatch allocates %v per %d-packet batch, want ~0", avg, chunk)
+	}
+}
+
+// TestRecyclingEquivalence forces heavy packet recycling — a window far
+// smaller than the trace, so every packet struct and env is reused dozens
+// of times — and holds the run to all three oracles. Under -tags mp5debug
+// this doubles as the use-after-recycle detector: recycled packets are
+// poisoned, so any stale reference corrupts an oracle loudly.
+func TestRecyclingEquivalence(t *testing.T) {
+	prog, err := apps.Synthetic(3, 64, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arrivals := workload.Synthetic(prog, workload.Spec{Packets: 4000, Pipelines: 4, Seed: 13}, 3, 64)
+	for _, workers := range workerCounts {
+		runChecked(t, prog, arrivals, Config{Workers: workers, Window: 32})
+	}
+}
+
+// TestSubmitBatchChunkedEquivalence drives the same trace through
+// SubmitBatch at several chunk sizes (including chunk=1 and a chunk larger
+// than the window) and checks bit-identical results against the reference —
+// chunking must be invisible to all three oracles.
+func TestSubmitBatchChunkedEquivalence(t *testing.T) {
+	prog, err := apps.Synthetic(4, 64, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arrivals := workload.Synthetic(prog, workload.Spec{Packets: 1500, Pipelines: 4, Seed: 14}, 4, 64)
+	for _, chunk := range []int{1, 3, 17, 256, 1024} {
+		e := New(prog, Config{Workers: 4, Window: 128, RecordOutputs: true, RecordAccessOrder: true, RecordEgressOrder: true})
+		e.Start()
+		for off := 0; off < len(arrivals); off += chunk {
+			end := off + chunk
+			if end > len(arrivals) {
+				end = len(arrivals)
+			}
+			if e.SubmitBatch(arrivals[off:end], nil) != end-off {
+				t.Fatalf("chunk=%d: engine aborted at offset %d", chunk, off)
+			}
+		}
+		res := e.Drain()
+		if res.Stalled || res.Completed != int64(len(arrivals)) {
+			t.Fatalf("chunk=%d: %d of %d completed (stalled=%v)", chunk, res.Completed, len(arrivals), res.Stalled)
+		}
+		checkEquivalence(t, prog, e, arrivals, 4)
+	}
+}
+
+// TestSubmitAbortRetiresTickets is the regression test for the abort-path
+// ticket leak: Submit used to enqueue tickets and then leave them stranded
+// forever if the engine aborted before the crossbar dispatch. Now the
+// abort path must cancel the tickets, return the window token, and recycle
+// the packet.
+func TestSubmitAbortRetiresTickets(t *testing.T) {
+	prog, err := apps.Synthetic(2, 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arrivals := workload.Synthetic(prog, workload.Spec{Packets: 4, Pipelines: 2, Seed: 15}, 2, 16)
+	e := New(prog, Config{Workers: 2, Window: 8})
+	e.Start()
+	// Kill the engine at the worst possible moment: after the packet's
+	// tickets are enqueued, before it dispatches.
+	e.testAfterTicket = func() {
+		e.abortOnce.Do(func() { close(e.abort) })
+	}
+	if e.Submit(&arrivals[0]) {
+		t.Fatal("Submit succeeded on an engine that aborted mid-admission")
+	}
+	if pend, _ := e.TicketDepths(); pend != 0 {
+		t.Fatalf("aborted Submit leaked %d tickets", pend)
+	}
+	if got := e.WindowInUse(); got != 0 {
+		t.Fatalf("aborted Submit leaked %d window tokens", got)
+	}
+	e.freeMu.Lock()
+	freed := len(e.free)
+	e.freeMu.Unlock()
+	if freed != 1 {
+		t.Fatalf("aborted Submit did not recycle the packet (free list has %d)", freed)
+	}
+	// A dead engine must refuse further admissions without consuming ids.
+	before := e.Submitted()
+	if e.Submit(&arrivals[1]) {
+		t.Fatal("Submit succeeded on a dead engine")
+	}
+	if e.Submitted() != before {
+		t.Fatal("dead-engine Submit consumed a packet id")
+	}
+	res := e.Drain()
+	if res.Completed != 0 {
+		t.Fatalf("retired packets egressed: completed=%d", res.Completed)
+	}
+}
+
+// TestSubmitBatchAbortRetiresTickets is the batched twin: a chunk whose
+// tickets are already flushed when the engine dies must be retired wholesale
+// — no pending tickets, no held window tokens, every packet recycled.
+func TestSubmitBatchAbortRetiresTickets(t *testing.T) {
+	prog, err := apps.Synthetic(2, 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 8
+	arrivals := workload.Synthetic(prog, workload.Spec{Packets: n, Pipelines: 2, Seed: 16}, 2, 16)
+	e := New(prog, Config{Workers: 2, Window: 16})
+	e.Start()
+	e.testAfterTicket = func() {
+		e.abortOnce.Do(func() { close(e.abort) })
+	}
+	admitted := e.SubmitBatch(arrivals, nil)
+	if admitted != n {
+		t.Fatalf("SubmitBatch admitted %d of %d (ids must stay dense even on abort)", admitted, n)
+	}
+	if pend, _ := e.TicketDepths(); pend != 0 {
+		t.Fatalf("aborted SubmitBatch leaked %d tickets", pend)
+	}
+	if got := e.WindowInUse(); got != 0 {
+		t.Fatalf("aborted SubmitBatch leaked %d window tokens", got)
+	}
+	e.freeMu.Lock()
+	freed := len(e.free)
+	e.freeMu.Unlock()
+	if freed != n {
+		t.Fatalf("aborted SubmitBatch recycled %d of %d packets", freed, n)
+	}
+	res := e.Drain()
+	if res.Completed != 0 {
+		t.Fatalf("retired packets egressed: completed=%d", res.Completed)
+	}
+}
+
+// TestPoisonOnFree checks the mp5debug build really clobbers recycled
+// packets (and that release builds really don't pay for it).
+func TestPoisonOnFree(t *testing.T) {
+	if !poisonEnabled {
+		t.Skip("poison-on-free is compiled out (build with -tags mp5debug)")
+	}
+	prog, err := apps.Synthetic(1, 8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(prog, Config{Workers: 1})
+	p := e.getPacket()
+	p.id = 42
+	p.env.Fields[0] = 7
+	e.putPacket(p)
+	if p.id != -1 {
+		t.Fatalf("freed packet id = %d, want poisoned -1", p.id)
+	}
+	if p.env.Fields[0] == 7 {
+		t.Fatal("freed packet fields survived poisoning")
+	}
+}
+
+// TestRecycleHammer cycles Submit/Drain engines back to back under load —
+// with -race this is the pooled-object lifecycle hammer: any packet or env
+// observed after recycling shows up as a race or (under mp5debug) as an
+// oracle mismatch in the equivalence suites.
+func TestRecycleHammer(t *testing.T) {
+	prog, err := apps.Synthetic(2, 32, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arrivals := workload.Synthetic(prog, workload.Spec{Packets: 600, Pipelines: 2, Seed: 17}, 2, 32)
+	for round := 0; round < 8; round++ {
+		e := New(prog, Config{Workers: 2, Window: 16, StallTimeout: 10 * time.Second})
+		e.Start()
+		for i := range arrivals {
+			if !e.Submit(&arrivals[i]) {
+				t.Fatalf("round %d: engine aborted", round)
+			}
+		}
+		res := e.Drain()
+		if res.Stalled || res.Completed != int64(len(arrivals)) {
+			t.Fatalf("round %d: %d of %d completed (stalled=%v)", round, res.Completed, len(arrivals), res.Stalled)
+		}
+	}
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package dataplane
+
+// raceEnabled lets allocation-counting tests skip under -race: the race
+// runtime instruments allocation itself, so AllocsPerRun is meaningless.
+const raceEnabled = true

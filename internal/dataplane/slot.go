@@ -29,19 +29,55 @@ type slotState struct {
 	// For sharded slots it has a single key; an unsharded array-level slot
 	// accumulates every index of the array here.
 	log map[int][]int64
+	// pend is the admitter's chunk-local ticket buffer for SubmitBatch:
+	// tickets accumulate here lock-free (the admitter is serial and pend is
+	// never touched by workers) and flush into queue with one mutex
+	// acquisition per slot per chunk (see Engine.SubmitBatch).
+	pend []int64
 }
 
 // enqueue appends a ticket for packet id (admitter only).
 func (s *slotState) enqueue(id int64) {
 	s.mu.Lock()
-	// Compact the retired prefix once it dominates the backing array so a
-	// long run cannot grow the queue without bound.
+	s.compactLocked()
+	s.queue = append(s.queue, id)
+	s.mu.Unlock()
+}
+
+// enqueueBatch appends a run of tickets under one lock acquisition
+// (admitter only; ids are already in admission order).
+func (s *slotState) enqueueBatch(ids []int64) {
+	s.mu.Lock()
+	s.compactLocked()
+	s.queue = append(s.queue, ids...)
+	s.mu.Unlock()
+}
+
+// compactLocked drops the retired prefix once it dominates the backing
+// array so a long run cannot grow the queue without bound. Caller holds mu.
+func (s *slotState) compactLocked() {
 	if s.head > 32 && s.head*2 >= len(s.queue) {
 		s.queue = append(s.queue[:0], s.queue[s.head:]...)
 		s.head = 0
 	}
-	s.queue = append(s.queue, id)
-	s.mu.Unlock()
+}
+
+// cancel removes packet id's pending ticket, scanning from the tail (the
+// cancelled packet was admitted most recently). Abort-path only: it runs
+// after the engine died, when workers are winding down, so removing a head
+// ticket deliberately promotes nobody — there is no worker left to run a
+// promoted packet, and the run is already failed (Stalled). Returns whether
+// a ticket was found.
+func (s *slotState) cancel(id int64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := len(s.queue) - 1; i >= s.head; i-- {
+		if s.queue[i] == id {
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			return true
+		}
+	}
+	return false
 }
 
 // headIs reports whether packet id holds the slot's head ticket.

@@ -149,8 +149,9 @@ type TracerConfig struct {
 	// every packet); <= 0 defaults to 1024.
 	SampleEvery int
 	// Sink, when non-nil, receives every collected span on the collector
-	// goroutine (mp5d wires a JSONL writer here). Must not retain sp's
-	// Stages slice beyond the call if it mutates it.
+	// goroutine (mp5d wires a JSONL writer here). The span is recycled the
+	// moment Sink returns, so Sink must not retain sp or its Stages slice —
+	// deep-copy anything it needs beyond the call.
 	Sink func(sp *Span)
 	// Registry receives the per-stage latency histograms and the
 	// sampled/dropped counters; nil disables the metric surface (spans
@@ -182,6 +183,11 @@ type Tracer struct {
 	closed atomic.Bool
 	stop   chan struct{}
 	wg     sync.WaitGroup
+
+	// pool recycles spans: Sample draws from it and the collector returns
+	// each span after folding it (and after the sink, which must not retain
+	// it, returned). Dropped spans are returned at the drop site.
+	pool sync.Pool
 }
 
 // NewTracer builds and starts a tracer (collector goroutine included).
@@ -227,6 +233,14 @@ func (t *Tracer) Sample() *Span {
 	t.sampled.Inc()
 	t.sampledN.Add(1)
 	now := time.Now()
+	if v := t.pool.Get(); v != nil {
+		sp := v.(*Span)
+		sp.ID, sp.Proto, sp.TotalNs = 0, "", 0
+		sp.StartNs = now.UnixNano()
+		sp.t0, sp.last = now, 0
+		sp.Stages = sp.Stages[:0]
+		return sp
+	}
 	return &Span{Type: "wire_span", StartNs: now.UnixNano(), t0: now, Stages: make([]StageRec, 0, 12)}
 }
 
@@ -239,6 +253,7 @@ func (t *Tracer) finish(sp *Span) {
 	}
 	sp.TotalNs = int64(time.Since(sp.t0))
 	if t.closed.Load() {
+		t.pool.Put(sp)
 		return
 	}
 	select {
@@ -246,6 +261,7 @@ func (t *Tracer) finish(sp *Span) {
 	default:
 		t.dropped.Inc()
 		t.droppedN.Add(1)
+		t.pool.Put(sp)
 	}
 }
 
@@ -281,6 +297,7 @@ func (t *Tracer) observe(sp *Span) {
 	if t.sink != nil {
 		t.sink(sp)
 	}
+	t.pool.Put(sp) // sinks do not retain spans (see TracerConfig.Sink)
 }
 
 // Rotate starts a new histogram window on every stage histogram (the

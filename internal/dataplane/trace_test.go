@@ -29,8 +29,11 @@ func collectSpans(t *testing.T, workers, every, packets int) ([]*Span, *Tracer, 
 		SampleEvery: every,
 		Registry:    reg,
 		Sink: func(sp *Span) {
+			// Spans are recycled after the sink returns: keep a deep copy.
+			cp := *sp
+			cp.Stages = append([]StageRec(nil), sp.Stages...)
 			mu.Lock()
-			got = append(got, sp)
+			got = append(got, &cp)
 			mu.Unlock()
 		},
 	})

@@ -47,6 +47,32 @@ type slotRef struct {
 	st  *slotState
 }
 
+// xbarMsg is one crossbar mailbox transfer: a single packet (Submit's
+// dispatch) or a coalesced batch — an admission chunk's per-worker run
+// (SubmitBatch) or a worker's accumulated steers for one destination,
+// flushed when its mailbox runs dry. A batch occupies one mailbox slot
+// for many packets, so coalescing only strengthens the
+// mailboxes-never-fill invariant.
+type xbarMsg struct {
+	p     *packet
+	batch *pktBatch
+}
+
+// pktBatch is the recycled carrier behind coalesced sends (see
+// Engine.getBatch/putBatch).
+type pktBatch struct {
+	items []*packet
+}
+
+// egRec is one worker-private egress record: seq is drawn from the
+// engine's global atomic counter at egress time, so sorting the merged
+// records by seq reconstructs the wall-clock egress order without a
+// global lock on the egress path.
+type egRec struct {
+	seq int64
+	id  int64
+}
+
 // worker is one pipeline mapped onto one goroutine. It owns a full private
 // register file — only the indices the sharding map assigns to it hold the
 // live copy — plus the park bench for packets waiting on a head ticket.
@@ -60,17 +86,37 @@ type worker struct {
 	// vm is this worker's operand stack for the shared compiled program
 	// e.bc (VMs are not goroutine-safe); nil under Config.Interpret.
 	vm      *bytecode.VM
-	mailbox chan *packet
+	mailbox chan xbarMsg
 	// parked holds packets that reached their visit before holding every
 	// head ticket; runnable holds packets promoted by a pop and drained
 	// before the next mailbox receive.
 	parked   map[int64]*packet
 	runnable []*packet
+	// xout accumulates outgoing steers per destination worker while this
+	// worker drains its mailbox; xoutPend lists the dirty destinations in
+	// first-touch order. Flushed (one batch send per destination) whenever
+	// the mailbox runs dry — and always before blocking on it, so a
+	// buffered packet another worker needs can never be stranded.
+	xout     []*pktBatch
+	xoutPend []int
+	// outs collects streaming-mode egress outputs worker-privately (merged
+	// by Engine.Outputs after the join); egRecs collects (seq, id) egress
+	// records merged into the global order at Drain. Both replace the old
+	// engine-wide egress mutex.
+	outs   map[int64][]int64
+	egRecs []egRec
 	// seen and touched are per-visit scratch (dedup of (reg, clamped idx)
 	// within one stage execution, and the concrete indices touched per
 	// visit slot).
 	seen    map[[2]int]bool
 	touched [][]int
+	// obs is the access observer bound once at construction (a fresh
+	// closure per visit would put one heap allocation back on the hot
+	// path); obsP/obsV/obsT carry the current visit's context to it.
+	obs  func(reg int, idx int64, write bool)
+	obsP *packet
+	obsV *visit
+	obsT [][]int
 	// lat is the worker-private latency histogram, merged by the engine
 	// after the goroutine joins (the share-nothing stats.Histogram
 	// pattern).
@@ -88,21 +134,29 @@ func newWorker(e *Engine, id int) *worker {
 	if e.bc != nil {
 		vm = bytecode.NewVM(e.bc)
 	}
-	return &worker{
+	w := &worker{
 		id:      id,
 		e:       e,
 		regs:    banzai.NewRegFile(e.prog),
 		vm:      vm,
-		mailbox: make(chan *packet, e.cfg.Window),
+		mailbox: make(chan xbarMsg, e.cfg.Window),
+		xout:    make([]*pktBatch, e.cfg.Workers),
 		parked:  make(map[int64]*packet),
 		seen:    make(map[[2]int]bool),
 		touched: make([][]int, len(e.prog.Accesses)),
 		lat:     stats.NewHistogram(latLo, latHi, latBuckets),
 	}
+	if e.cfg.RecordOutputs {
+		w.outs = make(map[int64][]int64) // streaming mode; unused when Run preallocates e.outs
+	}
+	w.obs = w.observe
+	return w
 }
 
-// run is the worker loop: drain promoted packets first, then block on the
-// mailbox until the engine shuts down.
+// run is the worker loop: drain promoted packets first, then opportunistically
+// drain the mailbox (coalescing outgoing steers per destination the whole
+// while), and only after flushing those steers block on the mailbox until
+// the engine shuts down.
 func (w *worker) run() {
 	defer w.e.wg.Done()
 	for {
@@ -116,20 +170,85 @@ func (w *worker) run() {
 			}
 			w.process(p)
 		}
+		// Opportunistic non-blocking receive: as long as work keeps
+		// arriving, keep processing and let steers pile into xout. Total
+		// undelivered messages are bounded by the window, so this cannot
+		// starve the flush below.
 		select {
-		case p := <-w.mailbox:
-			if p.span != nil {
-				// The elapsed segment is the crossbar hop: mailbox
-				// queueing plus transit (initial dispatch or a steer).
-				p.span.Advance(StageCrossbar, w.id)
-			}
-			w.process(p)
+		case m := <-w.mailbox:
+			w.handle(m)
+			continue
+		default:
+		}
+		// Nothing runnable and the mailbox is dry: flush the coalesced
+		// steers (their holders may be the only packets able to make
+		// progress), then block.
+		w.flushSteers()
+		select {
+		case m := <-w.mailbox:
+			w.handle(m)
 		case <-w.e.quit:
 			return
 		case <-w.e.abort:
 			return
 		}
 	}
+}
+
+// handle processes one mailbox transfer: a coalesced batch in order (an
+// admission chunk or another worker's steer flush), or a single packet.
+// Promotions triggered by earlier batch members queue on runnable and
+// drain before the next mailbox receive.
+func (w *worker) handle(m xbarMsg) {
+	if m.batch != nil {
+		for _, p := range m.batch.items {
+			if p.span != nil {
+				p.span.Advance(StageCrossbar, w.id)
+			}
+			w.process(p)
+		}
+		w.e.putBatch(m.batch)
+		return
+	}
+	if m.p.span != nil {
+		// The elapsed segment is the crossbar hop: mailbox queueing plus
+		// transit (initial dispatch or a steer).
+		m.p.span.Advance(StageCrossbar, w.id)
+	}
+	w.process(m.p)
+}
+
+// bufferSteer parks an outgoing steer in the per-destination batch instead
+// of paying a channel send (and a scheduler wakeup) per packet; flushSteers
+// delivers every dirty destination's batch in one send each.
+func (w *worker) bufferSteer(dest int, p *packet) {
+	b := w.xout[dest]
+	if b == nil {
+		b = w.e.getBatch()
+		w.xout[dest] = b
+		w.xoutPend = append(w.xoutPend, dest)
+	}
+	b.items = append(b.items, p)
+}
+
+// flushSteers sends every buffered steer batch to its destination worker,
+// in first-touch order. Called whenever the mailbox runs dry and always
+// before blocking on it. On abort the engine is being torn down — the
+// remaining batches are abandoned like any other in-flight packet.
+func (w *worker) flushSteers() {
+	if len(w.xoutPend) == 0 {
+		return
+	}
+	for _, d := range w.xoutPend {
+		b := w.xout[d]
+		w.xout[d] = nil
+		select {
+		case w.e.workers[d].mailbox <- xbarMsg{batch: b}:
+		case <-w.e.abort:
+			return
+		}
+	}
+	w.xoutPend = w.xoutPend[:0]
 }
 
 // process advances the packet as far as it can go on this worker: stateless
@@ -170,13 +289,11 @@ func (w *worker) process(p *packet) {
 			e.met.Steers.Inc()
 			if p.span != nil {
 				// Close the exec segment before the handoff; the receiving
-				// worker stamps the crossbar hop.
+				// worker stamps the crossbar hop (which now includes any
+				// time the packet waits in the coalescing buffer).
 				p.span.Advance(StageExec, w.id)
 			}
-			select {
-			case e.workers[v.pipe].mailbox <- p:
-			case <-e.abort:
-			}
+			w.bufferSteer(v.pipe, p)
 			return
 		}
 		if !w.eligible(p, v) {
@@ -199,6 +316,32 @@ func (w *worker) process(p *packet) {
 		p.nextStage++
 	}
 	w.egress(p)
+}
+
+// observe is the access observer execVisit attaches to stage execution
+// (via the once-bound w.obs): it validates that every concrete register
+// access was covered by a ticket and records which indices each slot
+// ticket actually covered. Context arrives through obsP/obsV/obsT.
+func (w *worker) observe(reg int, idx int64, write bool) {
+	p, v, touched := w.obsP, w.obsV, w.obsT
+	ci := banzai.ClampIndex(int(idx), w.e.prog.Regs[reg].Size)
+	dk := [2]int{reg, ci}
+	if w.seen[dk] {
+		return
+	}
+	w.seen[dk] = true
+	ri := -1
+	for i, ref := range v.slots {
+		if ref.key.reg == reg && (ref.key.idx == ci || ref.key.idx < 0) {
+			ri = i
+			break
+		}
+	}
+	if ri < 0 {
+		panic(fmt.Sprintf("dataplane: packet %d accessed r%d[%d] in stage %d without a ticket",
+			p.id, reg, ci, v.stage))
+	}
+	touched[ri] = append(touched[ri], ci)
 }
 
 // eligible reports whether p holds the head ticket of every slot of the
@@ -224,33 +367,15 @@ func (w *worker) execVisit(p *packet, v *visit) {
 	for i := range touched {
 		touched[i] = touched[i][:0]
 	}
-	obs := func(reg int, idx int64, write bool) {
-		ci := banzai.ClampIndex(int(idx), e.prog.Regs[reg].Size)
-		dk := [2]int{reg, ci}
-		if w.seen[dk] {
-			return
-		}
-		w.seen[dk] = true
-		ri := -1
-		for i, ref := range v.slots {
-			if ref.key.reg == reg && (ref.key.idx == ci || ref.key.idx < 0) {
-				ri = i
-				break
-			}
-		}
-		if ri < 0 {
-			panic(fmt.Sprintf("dataplane: packet %d accessed r%d[%d] in stage %d without a ticket",
-				p.id, reg, ci, v.stage))
-		}
-		touched[ri] = append(touched[ri], ci)
-	}
+	w.obsP, w.obsV, w.obsT = p, v, touched
 	if w.vm != nil {
-		if err := w.vm.ExecStageObserved(&e.bc.Stages[v.stage], p.env, w.regs, obs); err != nil {
+		if err := w.vm.ExecStageObserved(&e.bc.Stages[v.stage], p.env, w.regs, w.obs); err != nil {
 			panic("dataplane: " + err.Error())
 		}
 	} else {
-		ir.ExecStageObserved(&e.prog.Stages[v.stage], p.env, w.regs, obs)
+		ir.ExecStageObserved(&e.prog.Stages[v.stage], p.env, w.regs, w.obs)
 	}
+	w.obsP, w.obsV, w.obsT = nil, nil, nil
 	record := e.cfg.RecordAccessOrder
 	for i, ref := range v.slots {
 		if len(touched[i]) == 0 {
@@ -268,9 +393,10 @@ func (w *worker) execVisit(p *packet, v *visit) {
 	}
 }
 
-// egress completes the packet: record outputs and egress order, notify the
-// OnEgress hook, release the window token, and close the engine's done gate
-// on the last packet.
+// egress completes the packet: record outputs and egress order (both into
+// worker-private shards — no lock on the egress path), notify the OnEgress
+// hook, recycle the packet, release the window token, and close the
+// engine's done gate on the last packet.
 func (w *worker) egress(p *packet) {
 	e := w.e
 	if p.span != nil {
@@ -281,16 +407,12 @@ func (w *worker) egress(p *packet) {
 	}
 	if e.outs != nil {
 		e.outs[p.id] = append([]int64(nil), p.env.Fields...)
-	} else if e.outsM != nil {
-		// Streaming mode: no preallocated slice, so record under egMu.
-		e.egMu.Lock()
-		e.outsM[p.id] = append([]int64(nil), p.env.Fields...)
-		e.egMu.Unlock()
+	} else if w.outs != nil {
+		// Streaming mode: worker-private map, merged by Engine.Outputs.
+		w.outs[p.id] = append([]int64(nil), p.env.Fields...)
 	}
 	if e.cfg.RecordEgressOrder {
-		e.egMu.Lock()
-		e.egressOrder = append(e.egressOrder, p.id)
-		e.egMu.Unlock()
+		w.egRecs = append(w.egRecs, egRec{seq: e.egSeq.Add(1), id: p.id})
 	}
 	w.lat.Add(float64(time.Since(p.start).Microseconds()))
 	w.egressedN.Add(1)
@@ -301,8 +423,14 @@ func (w *worker) egress(p *packet) {
 	if p.span != nil {
 		p.span.Advance(StageEgress, w.id)
 		e.trc.finish(p.span)
+		p.span = nil // the tracer owns (and recycles) the span now
 	}
-	<-e.window
+	// Every observer — outputs copy, access log (written at pop), egress
+	// record, span, OnEgress — is done with the packet: recycle it, then
+	// return the window token so the admitter can only reuse the id slot
+	// after the packet is safely on the free list.
+	e.putPacket(p)
+	e.releaseWindow()
 	c := e.completed.Add(1)
 	if t := e.total.Load(); t >= 0 && c == t {
 		e.closeDone()

@@ -43,6 +43,10 @@ const (
 	ExecInterp   = "interp"
 )
 
+// SubmitSingle marks a dataplane failure produced by the per-packet Submit
+// admission path (Failure.Submit); empty means the batched path.
+const SubmitSingle = "single"
+
 // DataplaneWorkers are the worker counts Run sweeps the concurrent dataplane
 // across: serial, minimal concurrency, and enough workers to exercise
 // steering, parking and remapping on programs with several stateful stages.
@@ -147,6 +151,10 @@ type Failure struct {
 	// written before the field existed. A "bytecode"-engine failure means
 	// the two executors disagreed outright on the serial machine.
 	Executor string `json:"executor,omitempty"`
+	// Submit records the dataplane admission path: SubmitSingle for the
+	// per-packet Submit loop, empty for the default coalesced SubmitBatch
+	// (which Run uses).
+	Submit string `json:"submit,omitempty"`
 	// Reason is "compile", "stall", "loss", "state" (equiv mismatch in
 	// registers or packet outputs), or "order" (C1 violation).
 	Reason string        `json:"reason"`
@@ -159,7 +167,11 @@ func (f *Failure) String() string {
 	var b strings.Builder
 	switch f.Engine {
 	case EngineDataplane:
-		fmt.Fprintf(&b, "dataplane(workers=%d): %s", f.Workers, f.Reason)
+		mode := ""
+		if f.Submit == SubmitSingle {
+			mode = ", submit=single"
+		}
+		fmt.Fprintf(&b, "dataplane(workers=%d%s): %s", f.Workers, mode, f.Reason)
 	case EngineSweep:
 		fmt.Fprintf(&b, "%v (full-sweep): %s", f.Arch, f.Reason)
 	case EngineBytecode:
@@ -295,16 +307,32 @@ func (r *reference) runBytecode() *Failure {
 // runDataplane executes the case on the concurrent goroutine dataplane with
 // the given worker count and holds it to the same oracles as the simulator:
 // liveness (no watchdog stall), loss-freedom, C1 per-slot access order, and
-// final registers plus packet outputs.
-func (r *reference) runDataplane(workers int) *Failure {
+// final registers plus packet outputs. single selects the per-packet Submit
+// admission path instead of Run's coalesced SubmitBatch, so both hot paths
+// (and the packet recycling both share) stay differentially checked.
+func (r *reference) runDataplane(workers int, single bool) *Failure {
 	fail := &Failure{Engine: EngineDataplane, Arch: core.ArchMP5, Workers: workers, Executor: r.execName()}
+	if single {
+		fail.Submit = SubmitSingle
+	}
 	eng := dataplane.New(r.prog, dataplane.Config{
 		Workers:           workers,
 		RecordOutputs:     true,
 		RecordAccessOrder: true,
 		Interpret:         r.interp,
 	})
-	res := eng.Run(r.arrivals)
+	var res *dataplane.Result
+	if single {
+		eng.Start()
+		for i := range r.arrivals {
+			if !eng.Submit(&r.arrivals[i]) {
+				break
+			}
+		}
+		res = eng.Drain()
+	} else {
+		res = eng.Run(r.arrivals)
+	}
 	if res.Stalled {
 		fail.Reason = "stall"
 		fail.Detail = fmt.Sprintf("%d of %d completed before the watchdog fired", res.Completed, res.Injected)
@@ -406,9 +434,15 @@ func Run(c *Case, archs []core.Arch) []*Failure {
 		fails = append(fails, f)
 	}
 	for _, w := range DataplaneWorkers {
-		if f := ref.runDataplane(w); f != nil {
+		if f := ref.runDataplane(w, false); f != nil {
 			fails = append(fails, f)
 		}
+	}
+	// One per-packet-Submit dataplane run: Run above exercises the batched
+	// admission path, so this leg keeps the single-packet path (and its
+	// distinct ticket/dispatch interleaving) under the same three oracles.
+	if f := ref.runDataplane(2, true); f != nil {
+		fails = append(fails, f)
 	}
 	// Cross-executor run: whatever executor the sweep above used, run the
 	// flagship architecture once with the other one, so both the compiled
@@ -447,7 +481,7 @@ func runLike(c *Case, like *Failure) *Failure {
 	case EngineSweep:
 		return ref.runCore(core.ArchMP5, c.WorkSeed, true)
 	case EngineDataplane:
-		return ref.runDataplane(like.Workers)
+		return ref.runDataplane(like.Workers, like.Submit == SubmitSingle)
 	default:
 		return ref.runCore(like.Arch, c.WorkSeed, false)
 	}

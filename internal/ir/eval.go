@@ -42,6 +42,23 @@ func NewEnv(p *Program) *Env {
 	}
 }
 
+// ResetFor re-initializes a recycled env for a new packet of the same
+// program: arrival fields are copied in (missing trailing fields zeroed)
+// and temps are cleared. The frame headroom beyond Fields+Temps is
+// deliberately left intact — it holds the bytecode VM's seed-once stage
+// pools and scratch slots, none of which carry packet state (the VM never
+// reads the discard slot and never writes the zero slot; see
+// internal/ir/bytecode) — so a recycled env also skips the pool reseed.
+func (e *Env) ResetFor(fields []int64) {
+	n := copy(e.Fields, fields)
+	for i := n; i < len(e.Fields); i++ {
+		e.Fields[i] = 0
+	}
+	for i := range e.Temps {
+		e.Temps[i] = 0
+	}
+}
+
 // Clone returns a deep copy of the environment, preserving the unified
 // frame (and the Fields/Temps views into it) when present.
 func (e *Env) Clone() *Env {

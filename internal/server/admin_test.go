@@ -174,8 +174,11 @@ func TestTracedSoakTCP(t *testing.T) {
 		SampleEvery: 8,
 		Registry:    reg,
 		Sink: func(sp *dataplane.Span) {
+			// Spans are recycled after the sink returns: keep a deep copy.
+			cp := *sp
+			cp.Stages = append([]dataplane.StageRec(nil), sp.Stages...)
 			mu.Lock()
-			spans = append(spans, sp)
+			spans = append(spans, &cp)
 			mu.Unlock()
 		},
 	})

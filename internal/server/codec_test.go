@@ -51,6 +51,37 @@ func TestDatagramRoundTrip(t *testing.T) {
 	}
 }
 
+// TestDatagramBufferReuse is the UDP read-buffer aliasing regression test:
+// udpLoop reuses one buffer across ReadFrom calls, so a decoded arrival
+// must own its field storage outright — overwriting the buffer with the
+// next datagram (as the kernel effectively does) must not corrupt arrivals
+// already decoded, even while they sit in the ingress queue.
+func TestDatagramBufferReuse(t *testing.T) {
+	buf := make([]byte, frameHeader+maxPayload)
+	decodeInto := func(a *core.Arrival) (core.Arrival, uint32) {
+		wire := appendFrame(nil, 9, a)
+		n := copy(buf, wire)
+		seq, got, err := decodeDatagram(buf[:n])
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		return got, seq
+	}
+	first := core.Arrival{Port: 1, Size: 100, Fields: []int64{11, 22, 33}}
+	second := core.Arrival{Port: 2, Size: 200, Fields: []int64{-7, -8, -9}}
+	gotFirst, _ := decodeInto(&first)
+	gotSecond, _ := decodeInto(&second) // clobbers buf where first decoded from
+	for i := range buf {
+		buf[i] = 0xFF // and then the next ReadFrom scribbles over everything
+	}
+	if !reflect.DeepEqual(gotFirst.Fields, first.Fields) {
+		t.Fatalf("earlier arrival corrupted by buffer reuse: %v != %v", gotFirst.Fields, first.Fields)
+	}
+	if !reflect.DeepEqual(gotSecond.Fields, second.Fields) {
+		t.Fatalf("arrival corrupted by buffer scribble: %v != %v", gotSecond.Fields, second.Fields)
+	}
+}
+
 func TestDecodeRejectsCorruption(t *testing.T) {
 	a := core.Arrival{Fields: []int64{1, 2}}
 	dg := appendFrame(nil, 1, &a)

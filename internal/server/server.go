@@ -336,30 +336,78 @@ func (s *Server) AdminAddr() string {
 // that egresses while Submit is still returning.
 func (s *Server) admitLoop() {
 	defer s.admitWg.Done()
-	for it := range s.ingress {
+	// Batch buffers, reused across rounds: one blocking receive starts a
+	// round, then whatever else is already queued (up to admitBatch) is
+	// drained non-blocking and submitted through the engine's amortized
+	// SubmitBatch path — one window acquisition, one ticket-queue lock per
+	// slot, one crossbar send per worker for the whole run.
+	const admitBatch = 256
+	items := make([]item, 0, admitBatch)
+	arrs := make([]core.Arrival, 0, admitBatch)
+	spans := make([]*dataplane.Span, 0, admitBatch)
+	for {
+		it, ok := <-s.ingress
+		if !ok {
+			return
+		}
+		items = append(items[:0], it)
+		closing := false
+		for len(items) < admitBatch {
+			select {
+			case it2, ok2 := <-s.ingress:
+				if !ok2 {
+					closing = true
+				} else {
+					items = append(items, it2)
+					continue
+				}
+			default:
+			}
+			break
+		}
+		s.admitItems(items, arrs[:0], spans[:0])
+		if closing {
+			return
+		}
+	}
+}
+
+// admitItems submits one coalesced batch: registers every packet's ack
+// target under the dense ids the engine will assign *before* submitting
+// (closing the race with a packet that egresses while SubmitBatch is still
+// returning), then unregisters the tail the engine refused (abort).
+func (s *Server) admitItems(items []item, arrs []core.Arrival, spans []*dataplane.Span) {
+	id0 := s.eng.NextID()
+	s.pendMu.Lock()
+	for i := range items {
 		// Close the sampled packet's first segment: everything since the
 		// decode stamp was time queued in the ingress channel.
-		it.sp.Advance(dataplane.StageIngressWait, -1)
-		id := s.eng.NextID()
-		if it.c != nil {
-			s.pendMu.Lock()
-			s.pending[id] = pendingAck{it.c, it.seq}
-			s.pendMu.Unlock()
+		items[i].sp.Advance(dataplane.StageIngressWait, -1)
+		if items[i].c != nil {
+			s.pending[id0+int64(i)] = pendingAck{items[i].c, items[i].seq}
 		}
-		if !s.eng.SubmitTraced(&it.arr, it.sp) {
-			// Engine aborted (watchdog stall): unregister and keep
-			// consuming so blocked producers can unwind to shutdown.
-			if it.c != nil {
-				s.pendMu.Lock()
-				delete(s.pending, id)
-				s.pendMu.Unlock()
+		arrs = append(arrs, items[i].arr)
+		spans = append(spans, items[i].sp)
+	}
+	s.pendMu.Unlock()
+	n := s.eng.SubmitBatch(arrs, spans)
+	if n < len(items) {
+		// Engine aborted (watchdog stall): unregister the refused tail and
+		// keep consuming so blocked producers can unwind to shutdown.
+		s.pendMu.Lock()
+		for i := n; i < len(items); i++ {
+			if items[i].c != nil {
+				delete(s.pending, id0+int64(i))
 			}
-			s.met.submitFail.Inc()
-			continue
 		}
-		if s.cfg.Verify {
-			it.arr.Cycle = int64(len(s.admitted))
-			s.admitted = append(s.admitted, it.arr)
+		s.pendMu.Unlock()
+		s.met.submitFail.Add(int64(len(items) - n))
+	}
+	if s.cfg.Verify {
+		for i := 0; i < n; i++ {
+			a := items[i].arr
+			a.Cycle = int64(len(s.admitted))
+			s.admitted = append(s.admitted, a)
 		}
 	}
 }

@@ -22,6 +22,15 @@ go test -race -count 1 ./internal/dataplane
 # egress acks, graceful drain, differential verification of the admitted
 # order) must stay race-clean too.
 go test -race -count 1 ./internal/server
+# Allocs-per-op regression gate: steady-state Submit must stay at exactly
+# zero heap allocations per packet and SubmitBatch at ~zero per chunk.
+# Deliberately NOT under -race (the race runtime allocates, which would
+# make AllocsPerRun meaningless — those tests self-skip under -race).
+go test -count 1 -run 'TestSubmitSteadyStateAllocs|TestSubmitBatchSteadyStateAllocs' ./internal/dataplane
+# Pooled-object lifecycle gate: the mp5debug build poisons every recycled
+# packet, so a use-after-recycle shows up as an oracle mismatch or a race.
+# Run the whole dataplane suite with poisoning AND the race detector on.
+go test -tags mp5debug -race -count 1 ./internal/dataplane
 # The bytecode compiler/VM is the shared per-stage executor under every
 # engine; its differential suites (interpreter vs canonical stack loop vs
 # quickened micro-ops, golden disassembly, exact MaxStack, corrupt-code
