@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet fmt-check test race race-core race-dataplane race-server race-bytecode allocs-gate race-poison serve-smoke trace-smoke check bench bench-guard bench-smoke bench-dataplane bench-server fuzz-smoke fuzz clean
+.PHONY: all build vet fmt-check test race race-core race-dataplane race-server race-tenant race-bytecode allocs-gate race-poison serve-smoke trace-smoke tenant-smoke check bench bench-guard bench-smoke bench-dataplane bench-server bench-tenant fuzz-smoke fuzz clean
 
 all: check
 
@@ -56,6 +56,12 @@ race-poison:
 race-server:
 	$(GO) test -race -count 1 ./internal/server
 
+# race-tenant focuses the race detector on the multi-tenant registry —
+# lock-free ByID/Active snapshots racing hot swaps and quota accounting are
+# exactly the interleavings the package exists to get right.
+race-tenant:
+	$(GO) test -race -count 1 ./internal/tenant
+
 # race-bytecode pins a race-enabled pass over the shared bytecode
 # compiler/VM — the per-stage executor under every engine — so its
 # differential and property suites can never silently leave the race gate.
@@ -69,6 +75,13 @@ race-bytecode:
 serve-smoke:
 	sh scripts/serve_smoke.sh
 
+# tenant-smoke is the end-to-end multi-tenant soak: two tenants with
+# different programs and quotas share one daemon, mp5load drives both
+# concurrently, alpha is hot-swapped via POST /programs/alpha mid-run, and
+# the SIGTERM drain must report per-tenant/per-version equivalence.
+tenant-smoke:
+	sh scripts/tenant_smoke.sh
+
 # trace-smoke is the end-to-end tracing soak: run the daemon with 1/16 wire
 # span sampling and a JSONL span stream, drive a fixed-seed TCP workload,
 # check the live trace surface (/stats, /metrics, mp5top), then validate
@@ -81,7 +94,7 @@ trace-smoke:
 # suite, the hot-path allocation gate, the poison-on-free lifecycle pass,
 # the deterministic differential-fuzzing smoke, the daemon and tracing
 # soaks, and the telemetry-overhead guard benchmark.
-check: vet race allocs-gate race-poison fuzz-smoke serve-smoke trace-smoke bench-guard
+check: vet race allocs-gate race-poison fuzz-smoke serve-smoke trace-smoke tenant-smoke bench-guard
 
 # fuzz-smoke is the deterministic, seeded, time-bounded slice of the
 # differential fuzzing harness: MP5_FUZZ_CASES fixed cases (program +
@@ -131,6 +144,13 @@ bench-dataplane:
 # BENCH_server.json; the gap to BENCH_dataplane.json prices the wire.
 bench-server:
 	$(GO) run ./cmd/mp5bench -server-bench -bench-out BENCH_server.json
+
+# bench-tenant refreshes just the noisy-neighbor section of
+# BENCH_server.json (victim tenant solo vs with a quota-capped flooding
+# co-tenant; the recorded degradation must stay under 10%), preserving the
+# -server-bench sections already in the file.
+bench-tenant:
+	$(GO) run ./cmd/mp5bench -tenant-bench -bench-out BENCH_server.json
 
 clean:
 	$(GO) clean ./...

@@ -49,7 +49,8 @@ func main() {
 	coreBench := flag.Bool("core-bench", false, "time the event-driven scheduler against the legacy full sweep (sparse and dense traces) and exit")
 	dataplaneBench := flag.Bool("dataplane-bench", false, "time the concurrent dataplane across worker counts against the simulator baseline and exit")
 	serverBench := flag.Bool("server-bench", false, "time the network daemon over loopback TCP across worker counts and exit")
-	benchOut := flag.String("bench-out", "", "with -core-bench, -dataplane-bench, or -server-bench: write the machine-readable results to this JSON file")
+	tenantBench := flag.Bool("tenant-bench", false, "measure the multi-tenant noisy-neighbor bar (victim pps solo vs with a quota-capped flood) and exit")
+	benchOut := flag.String("bench-out", "", "with -core-bench, -dataplane-bench, -server-bench, or -tenant-bench: write the machine-readable results to this JSON file")
 	flag.Parse()
 
 	if *coreBench {
@@ -62,6 +63,10 @@ func main() {
 	}
 	if *serverBench {
 		runServerBench(*benchOut)
+		return
+	}
+	if *tenantBench {
+		runTenantBenchOnly(*benchOut)
 		return
 	}
 

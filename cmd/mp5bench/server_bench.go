@@ -58,6 +58,11 @@ type srvBenchReport struct {
 	Scenarios        []srvScenario   `json:"scenarios"`
 	TraceScenarios   []traceScenario `json:"trace_scenarios"`
 	TraceOverheadPct float64         `json:"trace_overhead_pct"`
+	// The noisy-neighbor section (-tenant-bench, also run by -server-bench):
+	// the victim tenant's rate solo vs with a quota-capped flooding
+	// co-tenant, and the resulting degradation percentage (<10% bar).
+	TenantScenarios  []tenantScenario `json:"tenant_scenarios,omitempty"`
+	NoisyNeighborPct float64          `json:"noisy_neighbor_pct"`
 }
 
 // runServerBench times the full network path — mp5load's client against an
@@ -141,6 +146,7 @@ func runServerBench(outPath string) {
 	}
 	base := report.TraceScenarios[0].PktsPerSec
 	report.TraceOverheadPct = 100 * (base - report.TraceScenarios[1].PktsPerSec) / base
+	report.TenantScenarios, report.NoisyNeighborPct = runTenantBench()
 
 	out, _ := json.MarshalIndent(report, "", "  ")
 	out = append(out, '\n')
@@ -165,6 +171,7 @@ func runServerBench(outPath string) {
 			label, ts.PktsPerSec, ts.P50Micros, ts.P99Micros, ts.SpansSampled)
 	}
 	fmt.Printf("trace overhead   %.2f%% pps at default 1/1024 sampling\n", report.TraceOverheadPct)
+	printTenantRows(report.TenantScenarios, report.NoisyNeighborPct)
 	fmt.Println("wrote", outPath)
 }
 

@@ -8,6 +8,14 @@
 //	mp5d -app sequencer -workers 4
 //	mp5d -synthetic 4 -regsize 512 -listen-tcp 127.0.0.1:9590 -policy drop
 //	mp5d -program prog.domino -listen-tcp 127.0.0.1:0 -admin 127.0.0.1:0 -verify
+//	mp5d -tenant gold=conga.dm@64 -tenant bronze=wfq.dm -verify
+//
+// Multi-tenant mode (-tenant, repeatable) loads one program per tenant on
+// the shared engine: each tenant gets an isolated register namespace, a
+// dense wire id in declaration order (clients stamp it in the frame), an
+// optional admission quota (@N in-flight packets), and zero-downtime hot
+// swap over the admin plane (POST /programs/{tenant} with new Domino
+// source).
 //
 // The first line printed is machine-parseable ("mp5d: listening tcp=...
 // udp=... admin=...") so scripts can bind port 0 and discover the real
@@ -27,7 +35,17 @@ import (
 	"mp5/internal/ir"
 	"mp5/internal/server"
 	"mp5/internal/telemetry"
+	"mp5/internal/tenant"
 )
+
+// stringList collects a repeatable flag.
+type stringList []string
+
+func (l *stringList) String() string { return fmt.Sprint([]string(*l)) }
+func (l *stringList) Set(v string) error {
+	*l = append(*l, v)
+	return nil
+}
 
 func main() {
 	app := flag.String("app", "", "built-in application: flowlet, conga, wfq, sequencer")
@@ -46,9 +64,23 @@ func main() {
 	traceSample := flag.Int("trace-sample", 1024, "sample one packet in N for wire-to-wire spans (0 disables tracing)")
 	traceJSONL := flag.String("trace-jsonl", "", "stream sampled wire spans to this JSONL file")
 	statsInterval := flag.Duration("stats-interval", 0, "background gauge sampler period (0 = default 250ms)")
+	var tenantSpecs stringList
+	flag.Var(&tenantSpecs, "tenant", "tenant spec NAME=FILE[@quota] (repeatable; multi-tenant mode)")
 	flag.Parse()
 
-	prog := selectProgram(*app, *synthetic, *regSize, *programPath)
+	var tenants []server.TenantProgram
+	if len(tenantSpecs) > 0 {
+		if *app != "" || *synthetic > 0 || *programPath != "" {
+			fatal(fmt.Errorf("-tenant is exclusive with -app/-synthetic/-program"))
+		}
+		var err error
+		tenants, err = loadTenants(tenantSpecs, *window)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		tenants = []server.TenantProgram{{Name: "default", Prog: selectProgram(*app, *synthetic, *regSize, *programPath)}}
+	}
 	pol, err := server.ParsePolicy(*policy)
 	if err != nil {
 		fatal(err)
@@ -75,7 +107,7 @@ func main() {
 		trc = dataplane.NewTracer(tcfg)
 	}
 
-	s, err := server.New(prog, server.Config{
+	s, err := server.NewMulti(tenants, server.Config{
 		Engine: dataplane.Config{
 			Workers: *workers,
 			Window:  *window,
@@ -98,8 +130,16 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("mp5d: listening tcp=%s udp=%s admin=%s\n", s.TCPAddr(), s.UDPAddr(), s.AdminAddr())
-	fmt.Printf("mp5d: program %s (%d stages, %d registers), %d workers, policy %s\n",
-		prog.Name, prog.NumStages(), len(prog.Regs), s.Engine().Workers(), *policy)
+	for _, tn := range s.Tenants().Tenants() {
+		v := tn.Active()
+		quota := "unlimited"
+		if q := tn.Quota(); q != nil {
+			quota = fmt.Sprintf("%d in flight", q.Cap())
+		}
+		fmt.Printf("mp5d: tenant %s id=%d program %s (%d stages, %d registers) quota %s\n",
+			tn.Name(), tn.ID(), v.Prog.Name, v.Prog.NumStages(), len(v.Prog.Regs), quota)
+	}
+	fmt.Printf("mp5d: %d workers, policy %s\n", s.Engine().Workers(), *policy)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
@@ -140,6 +180,22 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		// Per-version detail first when more than one program version saw
+		// traffic; the aggregate line below stays the machine-parseable bar.
+		// The aggregate report is one version's, so the total packet count
+		// comes from summing the per-version verdicts.
+		total := rep.PacketsCompared
+		if tvs, err := s.VerifyTenants(); err == nil && len(tvs) > 1 {
+			total = 0
+			for _, tv := range tvs {
+				verdict := "OK"
+				if !tv.Report.Equivalent || !tv.OrderOK {
+					verdict = "FAILED"
+				}
+				fmt.Printf("  tenant %-12s v%d  %7d packets  %s\n", tv.Tenant, tv.Version, tv.Packets, verdict)
+				total += tv.Packets
+			}
+		}
 		switch {
 		case !rep.Equivalent:
 			fmt.Printf("equivalence        FAILED: %d mismatches, e.g. %v\n",
@@ -150,7 +206,7 @@ func main() {
 			os.Exit(1)
 		default:
 			fmt.Printf("equivalence        OK (%d packets, all registers, C1 order)\n",
-				rep.PacketsCompared)
+				total)
 		}
 	}
 }
@@ -185,6 +241,35 @@ func selectProgram(app string, synthetic, regSize int, programPath string) *ir.P
 	fmt.Fprintln(os.Stderr, "usage: mp5d (-app NAME | -synthetic N | -program FILE) [flags]")
 	os.Exit(2)
 	return nil
+}
+
+// loadTenants parses, validates, and compiles the -tenant specs up front —
+// every rejection is a one-line error before any listener binds.
+func loadTenants(specs []string, window int) ([]server.TenantProgram, error) {
+	parsed := make([]tenant.Spec, 0, len(specs))
+	for _, arg := range specs {
+		sp, err := tenant.ParseSpec(arg)
+		if err != nil {
+			return nil, err
+		}
+		parsed = append(parsed, sp)
+	}
+	if err := tenant.ValidateSpecs(parsed, window); err != nil {
+		return nil, err
+	}
+	out := make([]server.TenantProgram, 0, len(parsed))
+	for _, sp := range parsed {
+		data, err := os.ReadFile(sp.File)
+		if err != nil {
+			return nil, fmt.Errorf("tenant %q: %v", sp.Name, err)
+		}
+		prog, err := compiler.Compile(string(data), compiler.Options{Target: compiler.TargetMP5})
+		if err != nil {
+			return nil, fmt.Errorf("tenant %q: %s: %v", sp.Name, sp.File, err)
+		}
+		out = append(out, server.TenantProgram{Name: sp.Name, Prog: prog, Quota: sp.Quota})
+	}
+	return out, nil
 }
 
 func fatal(err error) {

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mp5/internal/apps"
+)
+
+// writeProg drops Domino source into the test dir and returns its path.
+func writeProg(t *testing.T, name, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestLoadTenants covers the up-front multi-program config validation:
+// every malformed spec, duplicate name, missing file, and unparsable
+// program is rejected with a one-line error before anything binds.
+func TestLoadTenants(t *testing.T) {
+	conga := writeProg(t, "conga.dm", apps.CongaSource)
+	wfq := writeProg(t, "wfq.dm", apps.WFQSource)
+	broken := writeProg(t, "broken.dm", "int x[4] = {")
+
+	tenants, err := loadTenants([]string{"gold=" + conga + "@64", "bronze=" + wfq}, 256)
+	if err != nil {
+		t.Fatalf("valid specs rejected: %v", err)
+	}
+	if len(tenants) != 2 || tenants[0].Name != "gold" || tenants[0].Quota != 64 ||
+		tenants[1].Name != "bronze" || tenants[1].Quota != 0 {
+		t.Fatalf("loaded tenants wrong: %+v", tenants)
+	}
+	if tenants[0].Prog == nil || tenants[1].Prog == nil {
+		t.Fatal("programs not compiled")
+	}
+
+	cases := []struct {
+		name  string
+		specs []string
+		want  string
+	}{
+		{"malformed spec", []string{"noequals"}, "want NAME=FILE"},
+		{"empty name", []string{"=" + conga}, "empty tenant name"},
+		{"empty file", []string{"gold="}, "empty program file"},
+		{"bad quota", []string{"gold=" + conga + "@zero"}, "not a positive integer"},
+		{"duplicate names", []string{"gold=" + conga, "gold=" + wfq}, "duplicate tenant name"},
+		{"quota at window", []string{"gold=" + conga + "@256"}, "never bind"},
+		{"missing file", []string{"gold=" + filepath.Join(t.TempDir(), "nope.dm")}, "no such file"},
+		{"unparsable program", []string{"gold=" + broken}, broken},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := loadTenants(tc.specs, 256)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("loadTenants(%v): want error containing %q, got %v", tc.specs, tc.want, err)
+			}
+			if err != nil && strings.Contains(err.Error(), "\n") {
+				t.Fatalf("error is not one line: %q", err)
+			}
+		})
+	}
+}

@@ -40,7 +40,13 @@ func main() {
 	pattern := flag.String("pattern", "uniform", "access pattern for -synthetic: uniform or skewed")
 	rate := flag.Float64("rate", 0, "target send rate in packets/sec (0 = as fast as the transport admits)")
 	window := flag.Int("window", 256, "closed-loop window: max unacked packets on TCP")
+	tenantID := flag.Int("tenant", 0, "tenant wire id stamped on every frame (0 = the daemon's first tenant)")
 	flag.Parse()
+
+	if *tenantID < 0 || *tenantID > 0xFFFF {
+		fmt.Fprintln(os.Stderr, "mp5load: -tenant must be a uint16 wire id")
+		os.Exit(2)
+	}
 
 	if (*tcpAddr == "") == (*udpAddr == "") {
 		fmt.Fprintln(os.Stderr, "usage: mp5load (-tcp ADDR | -udp ADDR) (-app NAME | -synthetic N | -program FILE) [flags]")
@@ -52,14 +58,14 @@ func main() {
 	}
 
 	prog, trace := buildTrace(*app, *synthetic, *regSize, *programPath, *packets, *k, *seed, *pattern)
-	fmt.Printf("mp5load: %s → %s %s (%d packets, seed %d)\n", prog.Name, network, addr, len(trace), *seed)
+	fmt.Printf("mp5load: %s → %s %s (%d packets, seed %d, tenant %d)\n", prog.Name, network, addr, len(trace), *seed, *tenantID)
 
 	c, err := server.Dial(network, addr)
 	if err != nil {
 		fatal(err)
 	}
 	defer c.Close()
-	rep, runErr := c.Run(trace, server.LoadOptions{Window: *window, RatePPS: *rate})
+	rep, runErr := c.Run(trace, server.LoadOptions{Tenant: uint16(*tenantID), Window: *window, RatePPS: *rate})
 
 	fmt.Printf("sent               %d packets in %.2f ms\n", rep.Sent, float64(rep.Elapsed.Microseconds())/1000)
 	if network == "tcp" {

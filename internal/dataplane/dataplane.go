@@ -128,6 +128,7 @@ type Metrics struct {
 	Wasted     *telemetry.Counter
 	ShardMoves *telemetry.Counter
 	Stalls     *telemetry.Counter
+	QuotaShed  *telemetry.Counter
 }
 
 // NewMetrics registers the engine's counters on r (nil r yields all-nil
@@ -141,6 +142,7 @@ func NewMetrics(r *telemetry.Registry) *Metrics {
 		Wasted:     r.NewCounter("dataplane_wasted_visits_total", "conservative tickets whose predicate was false at execution"),
 		ShardMoves: r.NewCounter("dataplane_shard_moves_total", "register indices migrated between workers"),
 		Stalls:     r.NewCounter("dataplane_stalls_total", "runs aborted by the liveness watchdog"),
+		QuotaShed:  r.NewCounter("dataplane_quota_shed_total", "packets shed because the tenant admission quota was exhausted"),
 	}
 }
 

@@ -1,7 +1,6 @@
 package dataplane
 
 import (
-	"math/rand"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -10,7 +9,6 @@ import (
 	"mp5/internal/banzai"
 	"mp5/internal/core"
 	"mp5/internal/ir"
-	"mp5/internal/ir/bytecode"
 	"mp5/internal/stats"
 )
 
@@ -29,36 +27,40 @@ type regShard struct {
 	count []int64
 }
 
-// Engine runs one compiled MP5 program on a real goroutine topology (see
-// the package comment for the architecture map). It executes either a
-// pre-materialized trace (Run) or an open-ended packet stream
-// (Start/Submit/Drain — Run is implemented on top of the streaming mode).
-// An Engine is single-use: construct with New, drive one trace or stream,
-// then read Outputs/FinalRegs/AccessOrders/EgressOrder.
+// Engine runs compiled MP5 programs on a real goroutine topology (see the
+// package comment for the architecture map). The topology — workers,
+// crossbar mailboxes, the admission-window semaphore — is shared; every
+// loaded program gets its own isolated Handle (registers, ticket queues,
+// shard map, frame pool, optional admission quota), so one engine can serve
+// N tenant programs side by side and hot-add new program versions while
+// traffic flows.
+//
+// It executes either a pre-materialized trace (Run) or an open-ended packet
+// stream (Start/Submit/Drain — Run is implemented on top of the streaming
+// mode). An Engine is single-use: construct with New (one program) or
+// NewMulti+AddProgram, drive one trace or stream, then read the post-run
+// accessors. The single-program accessors (Submit, Outputs, FinalRegs,
+// AccessOrders, ShardMap, …) operate on the default handle — the first
+// program added — so a one-program engine behaves exactly as before the
+// multi-tenant refactor.
 type Engine struct {
-	prog       *ir.Program
-	cfg        Config
-	k          int
-	accByStage [][]int
-	workers    []*worker
-	// slots maps every placeable state unit to its ticket queue. Built in
-	// New and never mutated afterwards, so workers may read it freely
-	// (they reach slots through resolved visit references anyway).
-	slots map[slotKey]*slotState
-	shard []regShard
-	// admRegs backs resolution-stage execution in the admitter: those
-	// stages are stateless by construction (ir.Program.Validate), so only
-	// its read-only match tables are ever consulted.
-	admRegs *banzai.RegFile
-	// bc is the bytecode-compiled program shared by the admitter and
-	// every worker (read-only after New); nil when cfg.Interpret pins the
-	// tree-walking interpreter. admVM is the admitter goroutine's operand
-	// stack — VMs are not goroutine-safe, so each worker carries its own.
-	bc    *bytecode.Program
-	admVM *bytecode.VM
+	cfg Config
+	k   int
+
+	workers []*worker
+
+	// hMu guards the handle list: AddProgram publishes (possibly mid-run,
+	// from any goroutine — the hot-swap path), the admitter snapshots it
+	// for remap, samplers for TicketDepths. def is the first handle added;
+	// immutable once set.
+	hMu      sync.Mutex
+	handles  []*Handle
+	hScratch []*Handle // admitter-only remap snapshot buffer
+	def      *Handle
 
 	// winCap/winUsed/winAvail form the admission-control semaphore: one
-	// token per in-flight packet. The serial admitter takes tokens with one
+	// token per in-flight packet, shared by every handle (per-tenant limits
+	// layer on top as Quotas). The serial admitter takes tokens with one
 	// atomic CAS per batch (not per packet); egressing workers return them
 	// with an atomic decrement plus a non-blocking signal on winAvail. The
 	// single-slot signal channel cannot lose a wakeup: the admitter is the
@@ -91,8 +93,9 @@ type Engine struct {
 	// running (workers poll it to detect the last egress).
 	total     atomic.Int64
 	completed atomic.Int64
-	// submitted counts admissions. Written only by the (serial) admitter,
-	// read atomically by the watchdog and health probes.
+	// submitted counts admissions across all handles — the dense global
+	// packet-id space. Written only by the (serial) admitter, read
+	// atomically by the watchdog and health probes.
 	submitted atomic.Int64
 	steers    atomic.Int64
 	wasted    atomic.Int64
@@ -120,16 +123,6 @@ type Engine struct {
 	egSeq       atomic.Int64
 	egressOrder []int64
 
-	// free is the packet free list: egressing workers return packets here
-	// — after every oracle (outputs, access log, egress order, span) has
-	// observed them — and the admitter reuses them, so steady-state
-	// admission allocates nothing. At most Window packets are ever live
-	// (each is created under a held window token), so the list is bounded.
-	// A mutex-guarded stack rather than a sync.Pool: the zero-alloc
-	// guarantee must not be voided by a GC cycle emptying the pool.
-	freeMu sync.Mutex
-	free   []*packet
-
 	// Admitter-only scratch, reused across SubmitBatch chunks and remap
 	// passes so the hot path allocates nothing. chunk holds the packets of
 	// the batch being admitted, tkSlots the slots with buffered tickets
@@ -156,30 +149,22 @@ type Engine struct {
 	testAfterTicket func()
 }
 
-// New builds an engine for prog. The program must carry MP5 resolution
-// metadata (compile with TargetMP5): state accesses without resolution
-// stages cannot be ticketed preemptively.
-func New(prog *ir.Program, cfg Config) *Engine {
+// NewMulti builds an engine with no programs loaded. Call AddProgram at
+// least once before Start; the first program added becomes the default
+// handle behind the single-program API (Submit, Outputs, …).
+func NewMulti(cfg Config) *Engine {
 	cfg = cfg.withDefaults()
-	if len(prog.Accesses) > 0 && prog.ResolutionStages == 0 {
-		panic("dataplane: program has state accesses but no resolution stages (compile for TargetMP5)")
-	}
 	e := &Engine{
-		prog:       prog,
-		cfg:        cfg,
-		k:          cfg.Workers,
-		accByStage: prog.AccessesByStage(),
-		slots:      make(map[slotKey]*slotState),
-		admRegs:    banzai.NewRegFile(prog),
-		winCap:     int64(cfg.Window),
-		winAvail:   make(chan struct{}, 1),
-		quit:       make(chan struct{}),
-		abort:      make(chan struct{}),
-		done:       make(chan struct{}),
-		met:        cfg.Metrics,
-		trc:        cfg.Tracer,
+		cfg:      cfg,
+		k:        cfg.Workers,
+		winCap:   int64(cfg.Window),
+		winAvail: make(chan struct{}, 1),
+		quit:     make(chan struct{}),
+		abort:    make(chan struct{}),
+		done:     make(chan struct{}),
+		met:      cfg.Metrics,
+		trc:      cfg.Tracer,
 	}
-	e.free = make([]*packet, 0, cfg.Window)
 	e.chunk = make([]*packet, 0, cfg.Window)
 	e.xbuf = make([]*pktBatch, cfg.Workers)
 	e.remapAgg = make([]int64, cfg.Workers)
@@ -187,59 +172,67 @@ func New(prog *ir.Program, cfg Config) *Engine {
 	if e.met == nil {
 		e.met = &Metrics{} // all-nil counters: every update is a no-op
 	}
-	if !cfg.Interpret {
-		e.bc = bytecode.MustCompile(prog)
-		e.admVM = bytecode.NewVM(e.bc)
-	}
-	// Seed != 0 selects the seeded placement policy: the balanced
-	// round-robin assignment, deterministically shuffled per array. Same
-	// seed, same placement; the default (0) keeps plain round-robin,
-	// matching the simulator's MP5 default.
-	var placeRng *rand.Rand
-	if cfg.Seed != 0 {
-		placeRng = rand.New(rand.NewSource(cfg.Seed))
-	}
-	e.shard = make([]regShard, len(prog.Regs))
-	for r := range prog.Regs {
-		info := &prog.Regs[r]
-		sh := &e.shard[r]
-		sh.sharded = info.Sharded
-		sh.size = info.Size
-		if sh.sharded {
-			sh.owner = make([]int, info.Size)
-			sh.count = make([]int64, info.Size)
-			for i := range sh.owner {
-				sh.owner[i] = i % e.k // round-robin, like sharding.PolicyRoundRobin
-			}
-			if placeRng != nil {
-				placeRng.Shuffle(len(sh.owner), func(i, j int) {
-					sh.owner[i], sh.owner[j] = sh.owner[j], sh.owner[i]
-				})
-			}
-			for i := 0; i < info.Size; i++ {
-				e.slots[slotKey{r, i}] = &slotState{}
-			}
-		} else {
-			home := 0
-			if info.Stage >= 0 {
-				home = info.Stage % e.k
-			}
-			sh.owner = []int{home}
-			sh.count = make([]int64, 1)
-			e.slots[slotKey{r, -1}] = &slotState{}
-		}
-	}
 	for i := 0; i < e.k; i++ {
 		e.workers = append(e.workers, newWorker(e, i))
 	}
 	return e
 }
 
-// Run drives the whole trace through the topology and blocks until every
-// packet egressed (or the watchdog aborted a stall). The admitter runs on
-// the calling goroutine: execute the resolution stages, resolve visits,
-// issue tickets in arrival order, dispatch, and periodically remap. Run is
-// the batch shorthand for Start + SubmitBatch + Drain.
+// New builds a single-program engine for prog — NewMulti plus one unlimited
+// default handle. The program must carry MP5 resolution metadata (compile
+// with TargetMP5): state accesses without resolution stages cannot be
+// ticketed preemptively.
+func New(prog *ir.Program, cfg Config) *Engine {
+	e := NewMulti(cfg)
+	e.AddProgram("default", prog, nil)
+	return e
+}
+
+// AddProgram loads a program onto the engine under its own isolated Handle
+// (registers, ticket queues, shard placement, frame pool) with an optional
+// admission quota (nil = unlimited). Safe to call while the engine is
+// running and serving other handles — the hot-swap path: the handle is
+// fully built before it is published, in-flight packets of other handles
+// are untouched, and the new handle's state starts from the program's
+// declared initial values. The first AddProgram sets the default handle.
+func (e *Engine) AddProgram(name string, prog *ir.Program, quota *Quota) *Handle {
+	e.hMu.Lock()
+	version := len(e.handles)
+	e.hMu.Unlock()
+	h := newHandle(e, name, version, prog, quota)
+	e.hMu.Lock()
+	// Re-read under the lock: concurrent AddProgram calls may have raced
+	// the unlocked version draw above (versions stay unique either way).
+	h.version = len(e.handles)
+	e.handles = append(e.handles, h)
+	if e.def == nil {
+		e.def = h
+	}
+	e.hMu.Unlock()
+	return h
+}
+
+// Default returns the default handle (the first program added; nil on an
+// empty NewMulti engine).
+func (e *Engine) Default() *Handle {
+	e.hMu.Lock()
+	defer e.hMu.Unlock()
+	return e.def
+}
+
+// Handles snapshots the loaded handles in registration order (any
+// goroutine).
+func (e *Engine) Handles() []*Handle {
+	e.hMu.Lock()
+	defer e.hMu.Unlock()
+	return append([]*Handle(nil), e.handles...)
+}
+
+// Run drives the whole trace through the default handle and blocks until
+// every packet egressed (or the watchdog aborted a stall). The admitter
+// runs on the calling goroutine: execute the resolution stages, resolve
+// visits, issue tickets in arrival order, dispatch, and periodically remap.
+// Run is the batch shorthand for Start + SubmitBatch + Drain.
 func (e *Engine) Run(arrivals []core.Arrival) *Result {
 	if e.cfg.RecordOutputs {
 		// Sized by the trace so workers can record outputs without a lock;
@@ -274,24 +267,38 @@ func (e *Engine) Start() {
 	go e.watchdog(e.wdStop, &e.wdWg)
 }
 
-// Submit admits one packet: block until the admission window has room (the
-// live admission-control point), resolve and ticket the packet, and
-// dispatch it to its first worker. Returns false when the engine aborted
-// (watchdog stall) — the stream is dead and the caller should Drain.
-// Admitter-serial: never call Submit concurrently.
-func (e *Engine) Submit(a *core.Arrival) bool { return e.SubmitTraced(a, nil) }
+// Submit admits one packet on the default handle: block until the admission
+// window has room (the live admission-control point), resolve and ticket
+// the packet, and dispatch it to its first worker. Returns false when the
+// engine aborted (watchdog stall) — the stream is dead and the caller
+// should Drain. Admitter-serial: never call Submit concurrently.
+func (e *Engine) Submit(a *core.Arrival) bool { return e.SubmitTo(e.def, a, nil) }
 
 // SubmitTraced is Submit for a sampled packet: sp (started by the caller
 // at decode — see Tracer.Sample) rides the packet and accrues
 // window-wait, admit, crossbar, exec, ticket-wait, and egress segments
 // until the tracer collects it at egress. A nil sp is a plain Submit.
-func (e *Engine) SubmitTraced(a *core.Arrival, sp *Span) bool {
+func (e *Engine) SubmitTraced(a *core.Arrival, sp *Span) bool { return e.SubmitTo(e.def, a, sp) }
+
+// SubmitTo admits one packet on handle h. On top of Submit's contract it
+// enforces h's admission quota: when the tenant's tokens are exhausted the
+// packet is shed — counted on the handle, no id consumed, the admit loop
+// never blocked — and SubmitTo returns false. Admitter-serial.
+func (e *Engine) SubmitTo(h *Handle, a *core.Arrival, sp *Span) bool {
 	select {
 	case <-e.abort:
 		return false // dead engine: refuse before consuming an id
 	default:
 	}
+	if h.quota != nil && h.quota.tryAcquire(1) == 0 {
+		h.shed.Add(1)
+		e.met.QuotaShed.Inc()
+		return false
+	}
 	if e.acquireWindow(1) == 0 {
+		if h.quota != nil {
+			h.quota.release(1)
+		}
 		return false
 	}
 	id := e.submitted.Load()
@@ -299,7 +306,7 @@ func (e *Engine) SubmitTraced(a *core.Arrival, sp *Span) bool {
 		sp.Advance(StageWindowWait, -1)
 		sp.ID = id
 	}
-	p := e.prepare(id, a)
+	p := e.prepare(h, id, a)
 	e.submitted.Add(1)
 	if sp != nil {
 		sp.Advance(StageAdmit, -1)
@@ -337,20 +344,27 @@ func (e *Engine) SubmitTraced(a *core.Arrival, sp *Span) bool {
 	return true
 }
 
-// SubmitBatch admits a run of packets, amortizing the per-packet costs of
-// Submit across the batch: one window acquisition per chunk, one ticket
-// queue lock per touched slot per chunk, and one crossbar mailbox send per
-// destination worker per chunk. Ticket order — hence C1 — is still exactly
-// arrival order: packets are resolved serially in slice order, every
-// ticket of the chunk is enqueued before any packet dispatches, and
-// per-slot ticket runs flush in admission order.
+// SubmitBatch admits a run of packets on the default handle — see
+// SubmitBatchTo.
+func (e *Engine) SubmitBatch(arrs []core.Arrival, spans []*Span) int {
+	return e.SubmitBatchTo(e.def, arrs, spans)
+}
+
+// SubmitBatchTo admits a run of packets on handle h, amortizing the
+// per-packet costs of SubmitTo across the batch: one window acquisition per
+// chunk, one ticket queue lock per touched slot per chunk, and one crossbar
+// mailbox send per destination worker per chunk. Ticket order — hence C1 —
+// is still exactly arrival order: packets are resolved serially in slice
+// order, every ticket of the chunk is enqueued before any packet
+// dispatches, and per-slot ticket runs flush in admission order.
 //
 // spans is either nil or parallel to arrs (nil entries for unsampled
 // packets). Returns how many packets were admitted; fewer than len(arrs)
-// means the engine aborted (packets admitted after the abort are retired
-// in place and will never egress — the run is already dead). Admitter-
-// serial, like Submit.
-func (e *Engine) SubmitBatch(arrs []core.Arrival, spans []*Span) int {
+// means either the engine aborted (the run is dead) or h's quota ran out —
+// in the quota case the entire unadmitted tail is shed (counted on the
+// handle) rather than blocking the admit loop, so the admitted count is
+// always a dense prefix of arrs. Admitter-serial, like Submit.
+func (e *Engine) SubmitBatchTo(h *Handle, arrs []core.Arrival, spans []*Span) int {
 	admitted := 0
 	for admitted < len(arrs) {
 		select {
@@ -368,9 +382,29 @@ func (e *Engine) SubmitBatch(arrs []core.Arrival, spans []*Span) int {
 				want = until
 			}
 		}
+		if h.quota != nil {
+			q := h.quota.tryAcquire(want)
+			if q == 0 {
+				// Quota exhausted: shed the whole remaining tail. Retrying
+				// inside this call would either spin or block the (shared)
+				// admit loop on one tenant — exactly what quotas exist to
+				// prevent.
+				shed := int64(len(arrs) - admitted)
+				h.shed.Add(shed)
+				e.met.QuotaShed.Add(shed)
+				return admitted
+			}
+			want = q
+		}
 		got := int(e.acquireWindow(want))
 		if got == 0 {
+			if h.quota != nil {
+				h.quota.release(want)
+			}
 			return admitted
+		}
+		if h.quota != nil && int64(got) < want {
+			h.quota.release(want - int64(got))
 		}
 		for i := 0; i < got; i++ {
 			a := &arrs[admitted+i]
@@ -386,7 +420,7 @@ func (e *Engine) SubmitBatch(arrs []core.Arrival, spans []*Span) int {
 				sp.Advance(StageWindowWait, -1)
 				sp.ID = id
 			}
-			p := e.prepare(id, a)
+			p := e.prepare(h, id, a)
 			if sp != nil {
 				sp.Advance(StageAdmit, -1)
 				p.span = sp
@@ -443,7 +477,7 @@ func (e *Engine) dispatchChunk() bool {
 	aborted := false
 	select {
 	case <-e.abort:
-		aborted = true // deterministic pre-check, as in SubmitTraced
+		aborted = true // deterministic pre-check, as in SubmitTo
 	default:
 	}
 	for w := 0; w < e.k; w++ {
@@ -473,7 +507,9 @@ func (e *Engine) dispatchChunk() bool {
 }
 
 // destOf returns the packet's first-hop worker: the owner of its first
-// visit, or the D1 spray target for stateless packets (admitter-serial).
+// visit, or the D1 spray target for stateless packets (admitter-serial; the
+// spray counter is shared across handles, keeping the stateless load
+// uniform whatever the tenant mix).
 func (e *Engine) destOf(p *packet) int {
 	if len(p.visits) > 0 {
 		return p.visits[0].pipe
@@ -484,10 +520,10 @@ func (e *Engine) destOf(p *packet) int {
 }
 
 // retire un-admits a packet on the abort path: cancel its tickets, return
-// its window token, and recycle it. The packet's id stays consumed
-// (submitted is not rolled back — ids must stay dense) but it will never
-// egress; that is fine because retire only runs on a dead engine, whose
-// results are already discarded as Stalled/incomplete.
+// its window and quota tokens, and recycle it. The packet's id stays
+// consumed (submitted is not rolled back — ids must stay dense) but it will
+// never egress; that is fine because retire only runs on a dead engine,
+// whose results are already discarded as Stalled/incomplete.
 func (e *Engine) retire(p *packet) {
 	for vi := range p.visits {
 		for _, ref := range p.visits[vi].slots {
@@ -495,14 +531,18 @@ func (e *Engine) retire(p *packet) {
 		}
 	}
 	p.span = nil
-	e.putPacket(p)
+	h := p.h
+	h.putPacket(p)
+	if h.quota != nil {
+		h.quota.release(1)
+	}
 	e.releaseWindow()
 }
 
-// NextID returns the packet id the next Submit will assign (ids are dense,
-// starting at 0). Admitter-serial, like Submit: callers that need to index
-// per-packet bookkeeping before the packet can possibly egress read it
-// immediately before the Submit it predicts.
+// NextID returns the packet id the next Submit will assign (ids are dense
+// across all handles, starting at 0). Admitter-serial, like Submit: callers
+// that need to index per-packet bookkeeping before the packet can possibly
+// egress read it immediately before the Submit it predicts.
 func (e *Engine) NextID() int64 { return e.submitted.Load() }
 
 // Drain ends admission and blocks until every in-flight packet egressed
@@ -553,29 +593,34 @@ func (e *Engine) mergeEgressOrder() {
 }
 
 // prepare readies one packet on the admitter: take a recycled packet from
-// the free list (or build one), reset its env for the new arrival, execute
-// the stateless resolution stages, and resolve every state access to a
-// (stage, worker, slots) visit list. Ticket issue is the caller's job —
-// Submit enqueues directly, SubmitBatch buffers and flushes per chunk.
-func (e *Engine) prepare(id int64, a *core.Arrival) *packet {
-	p := e.getPacket()
+// the handle's free list (or build one), reset its env for the new arrival,
+// execute the handle's stateless resolution stages, and resolve every state
+// access to a (stage, worker, slots) visit list. Ticket issue is the
+// caller's job — SubmitTo enqueues directly, SubmitBatchTo buffers and
+// flushes per chunk.
+func (e *Engine) prepare(h *Handle, id int64, a *core.Arrival) *packet {
+	p := h.getPacket()
 	p.id = id
 	p.env.ResetFor(a.Fields)
 	p.visits = p.visits[:0]
 	p.vi = 0
 	p.span = nil
 	p.start = time.Now()
-	for si := 0; si < e.prog.ResolutionStages; si++ {
-		if e.bc != nil {
-			if err := e.admVM.ExecStage(&e.bc.Stages[si], p.env, e.admRegs); err != nil {
+	for si := 0; si < h.prog.ResolutionStages; si++ {
+		if h.bc != nil {
+			if err := h.admVM.ExecStage(&h.bc.Stages[si], p.env, h.admRegs); err != nil {
 				panic("dataplane: " + err.Error()) // compiled code is never corrupt
 			}
 			continue
 		}
-		ir.ExecStage(&e.prog.Stages[si], p.env, e.admRegs)
+		ir.ExecStage(&h.prog.Stages[si], p.env, h.admRegs)
 	}
-	p.nextStage = e.prog.ResolutionStages
-	e.resolve(p)
+	p.nextStage = h.prog.ResolutionStages
+	e.resolve(h, p)
+	if h.record {
+		h.idSeq = append(h.idSeq, id)
+	}
+	h.submitted.Add(1)
 	e.met.Admitted.Inc()
 	return p
 }
@@ -615,36 +660,10 @@ func (e *Engine) releaseWindow() {
 	}
 }
 
-// getPacket pops a recycled packet (env, visit plan capacity and all) off
-// the free list, or builds a fresh one. Admitter-only.
-func (e *Engine) getPacket() *packet {
-	e.freeMu.Lock()
-	if n := len(e.free); n > 0 {
-		p := e.free[n-1]
-		e.free[n-1] = nil
-		e.free = e.free[:n-1]
-		e.freeMu.Unlock()
-		return p
-	}
-	e.freeMu.Unlock()
-	return &packet{env: ir.NewEnv(e.prog)}
-}
-
-// putPacket recycles a packet after its last observer is done with it
-// (worker-side at egress, admitter-side at abort-retirement). poisonPacket
-// is a no-op in release builds; under the mp5debug tag it clobbers the
-// packet so any use-after-recycle fails loudly.
-func (e *Engine) putPacket(p *packet) {
-	poisonPacket(p)
-	e.freeMu.Lock()
-	e.free = append(e.free, p)
-	e.freeMu.Unlock()
-}
-
 // getBatch/putBatch recycle the packet batches riding coalesced xbarMsg
-// sends. A sync.Pool is fine here (unlike the packet free list): losing a
-// batch to GC costs one amortized allocation per chunk, not the packet
-// zero-alloc guarantee.
+// sends. A sync.Pool is fine here (unlike the per-handle packet free
+// lists): losing a batch to GC costs one amortized allocation per chunk,
+// not the packet zero-alloc guarantee.
 func (e *Engine) getBatch() *pktBatch {
 	if v := e.batchPool.Get(); v != nil {
 		return v.(*pktBatch)
@@ -660,23 +679,24 @@ func (e *Engine) putBatch(b *pktBatch) {
 	e.batchPool.Put(b)
 }
 
-// resolve performs preemptive address resolution (§3.3): evaluate resolvable
-// predicates, clamp indices, look up slot owners, and build the visit list.
-// Same-stage accesses form one visit and must co-locate (the code generator
-// guarantees multi-array stages hold only unsharded, same-home arrays).
-// Duplicate same-stage references to one slot collapse to a single ticket.
-func (e *Engine) resolve(p *packet) {
-	for stage, bucket := range e.accByStage {
+// resolve performs preemptive address resolution (§3.3) against the
+// handle's shard placement: evaluate resolvable predicates, clamp indices,
+// look up slot owners, and build the visit list. Same-stage accesses form
+// one visit and must co-locate (the code generator guarantees multi-array
+// stages hold only unsharded, same-home arrays). Duplicate same-stage
+// references to one slot collapse to a single ticket.
+func (e *Engine) resolve(h *Handle, p *packet) {
+	for stage, bucket := range h.accByStage {
 		var v *visit
 		for _, ai := range bucket {
-			a := &e.prog.Accesses[ai]
+			a := &h.prog.Accesses[ai]
 			if a.PredResolvable && !a.Pred.IsNone() {
 				truth := p.env.Load(a.Pred) != 0
 				if truth == a.PredNeg {
 					continue // resolved: this access will not happen
 				}
 			}
-			sh := &e.shard[a.Reg]
+			sh := &h.shard[a.Reg]
 			key := slotKey{a.Reg, -1}
 			pos := 0
 			if sh.sharded {
@@ -709,21 +729,33 @@ func (e *Engine) resolve(p *packet) {
 				}
 			}
 			if !dup {
-				v.slots = append(v.slots, slotRef{key: key, st: e.slots[key]})
+				v.slots = append(v.slots, slotRef{key: key, st: h.slots[key]})
 			}
 		}
 	}
 }
 
-// remap runs one Figure-6 iteration per sharded array (admitter-only): find
-// the heaviest (H) and lightest (L) workers by windowed access count, pick
-// the hottest index on H counting less than half the gap, and migrate it to
-// L — but only if its ticket queue is empty, checked and copied under the
-// slot mutex so no in-flight or future access can observe a torn value.
-// Window counters reset afterwards.
+// remap runs one Figure-6 iteration over every handle (admitter-only). The
+// handle list is snapshotted under hMu so a concurrent AddProgram (hot
+// swap) neither blocks admission nor tears the iteration.
 func (e *Engine) remap() {
-	for reg := range e.shard {
-		sh := &e.shard[reg]
+	e.hMu.Lock()
+	e.hScratch = append(e.hScratch[:0], e.handles...)
+	e.hMu.Unlock()
+	for _, h := range e.hScratch {
+		e.remapHandle(h)
+	}
+}
+
+// remapHandle runs one Figure-6 iteration per sharded array of one handle:
+// find the heaviest (H) and lightest (L) workers by windowed access count,
+// pick the hottest index on H counting less than half the gap, and migrate
+// it to L — but only if its ticket queue is empty, checked and copied under
+// the slot mutex so no in-flight or future access can observe a torn value.
+// Window counters reset afterwards.
+func (e *Engine) remapHandle(h *Handle) {
+	for reg := range h.shard {
+		sh := &h.shard[reg]
 		if !sh.sharded {
 			continue
 		}
@@ -734,20 +766,20 @@ func (e *Engine) remap() {
 		for i, o := range sh.owner {
 			agg[o] += sh.count[i]
 		}
-		h, l := 0, 0
+		hi, lo := 0, 0
 		for w := 1; w < e.k; w++ {
-			if agg[w] > agg[h] {
-				h = w
+			if agg[w] > agg[hi] {
+				hi = w
 			}
-			if agg[w] < agg[l] {
-				l = w
+			if agg[w] < agg[lo] {
+				lo = w
 			}
 		}
-		if h != l && agg[h] != agg[l] {
-			c := (agg[h] - agg[l]) / 2
+		if hi != lo && agg[hi] != agg[lo] {
+			c := (agg[hi] - agg[lo]) / 2
 			best := -1
 			for i, o := range sh.owner {
-				if o != h || sh.count[i] >= c || sh.count[i] == 0 {
+				if o != hi || sh.count[i] >= c || sh.count[i] == 0 {
 					continue
 				}
 				if best < 0 || sh.count[i] > sh.count[best] {
@@ -755,7 +787,7 @@ func (e *Engine) remap() {
 				}
 			}
 			if best >= 0 {
-				st := e.slots[slotKey{reg, best}]
+				st := h.slots[slotKey{reg, best}]
 				st.mu.Lock()
 				if st.head >= len(st.queue) {
 					// No pending tickets: nobody is touching (or will
@@ -763,9 +795,9 @@ func (e *Engine) remap() {
 					// issued after owner[] is updated below — the slot
 					// mutex carries the value to the new owner. placeMu
 					// publishes the new owner to ShardMap snapshots.
-					e.workers[l].regs.Array(reg)[best] = e.workers[h].regs.Array(reg)[best]
+					h.wregs[lo].Array(reg)[best] = h.wregs[hi].Array(reg)[best]
 					e.placeMu.Lock()
-					sh.owner[best] = l
+					sh.owner[best] = lo
 					e.placeMu.Unlock()
 					e.shardMoves++
 					e.met.ShardMoves.Inc()
@@ -848,9 +880,11 @@ func (e *Engine) result(injected int64, elapsed time.Duration) *Result {
 }
 
 // Outputs returns each completed packet's final header fields, keyed by
-// packet id — the shape equiv.CheckState consumes. Only valid after
-// Run/Drain, and only when Config.RecordOutputs was set. Streaming-mode
-// outputs live in per-worker maps until this merge (no egress lock).
+// global packet id — the shape equiv.CheckState consumes on a
+// single-program engine (where global ids coincide with arrival indices).
+// Only valid after Run/Drain, and only when Config.RecordOutputs was set.
+// Streaming-mode outputs live in per-worker maps until this merge (no
+// egress lock). Multi-program engines verify per handle with OutputsFor.
 func (e *Engine) Outputs() map[int64][]int64 {
 	if e.outs == nil {
 		if !e.cfg.RecordOutputs {
@@ -877,33 +911,83 @@ func (e *Engine) Outputs() map[int64][]int64 {
 	return out
 }
 
-// FinalRegs returns the final register state, assembling each index from
-// the worker owning its live copy. Only valid after Run.
-func (e *Engine) FinalRegs() [][]int64 {
-	out := make([][]int64, len(e.shard))
-	for r := range e.shard {
-		sh := &e.shard[r]
+// OutputsFor returns handle h's completed packets' final header fields,
+// keyed by the handle's dense per-program arrival index (0..n-1 in h's
+// admission order) — the shape the single-pipeline reference keys by, so
+// each tenant verifies against its own independent reference. Only valid
+// after Drain with Config.RecordOutputs set.
+func (e *Engine) OutputsFor(h *Handle) map[int64][]int64 {
+	all := e.Outputs()
+	if all == nil {
+		return nil
+	}
+	out := make(map[int64][]int64, len(h.idSeq))
+	for i, gid := range h.idSeq {
+		if f, ok := all[gid]; ok {
+			out[int64(i)] = f
+		}
+	}
+	return out
+}
+
+// FinalRegs returns the default handle's final register state — see
+// FinalRegsFor. Only valid after Run/Drain.
+func (e *Engine) FinalRegs() [][]int64 { return e.FinalRegsFor(e.def) }
+
+// FinalRegsFor returns handle h's final register state, assembling each
+// index from the worker register file owning its live copy. Only valid
+// after Drain.
+func (e *Engine) FinalRegsFor(h *Handle) [][]int64 {
+	out := make([][]int64, len(h.shard))
+	for r := range h.shard {
+		sh := &h.shard[r]
 		a := make([]int64, sh.size)
 		if sh.sharded {
 			for i := range a {
-				a[i] = e.workers[sh.owner[i]].regs.Array(r)[i]
+				a[i] = h.wregs[sh.owner[i]].Array(r)[i]
 			}
 		} else {
-			copy(a, e.workers[sh.owner[0]].regs.Array(r))
+			copy(a, h.wregs[sh.owner[0]].Array(r))
 		}
 		out[r] = a
 	}
 	return out
 }
 
-// AccessOrders returns the per-slot effective access order, keyed like the
-// simulator's EvAccess stream and banzai's indexed log ("r<reg>[<idx>]").
-// Only valid after Run, with Config.RecordAccessOrder set.
+// AccessOrders returns the default handle's per-slot effective access
+// order in global packet ids, keyed like the simulator's EvAccess stream
+// and banzai's indexed log ("r<reg>[<idx>]"). On a single-program engine
+// global ids coincide with arrival indices, so this is directly comparable
+// to equiv.ReferenceOrder. Only valid after Run/Drain, with
+// Config.RecordAccessOrder set. Multi-program engines use AccessOrdersFor.
 func (e *Engine) AccessOrders() map[string][]int64 {
 	out := make(map[string][]int64)
-	for key, st := range e.slots {
+	for key, st := range e.def.slots {
 		for ci, seq := range st.log {
 			out[banzai.AccessKey(key.reg, ci)] = seq
+		}
+	}
+	return out
+}
+
+// AccessOrdersFor returns handle h's per-slot effective access order with
+// every global packet id remapped to the handle's dense per-program arrival
+// index — directly comparable to equiv.ReferenceOrder over the handle's own
+// admission trace. Only valid after Drain, with Config.RecordAccessOrder
+// set.
+func (e *Engine) AccessOrdersFor(h *Handle) map[string][]int64 {
+	idx := make(map[int64]int64, len(h.idSeq))
+	for i, gid := range h.idSeq {
+		idx[gid] = int64(i)
+	}
+	out := make(map[string][]int64)
+	for key, st := range h.slots {
+		for ci, seq := range st.log {
+			m := make([]int64, len(seq))
+			for j, gid := range seq {
+				m[j] = idx[gid]
+			}
+			out[banzai.AccessKey(key.reg, ci)] = m
 		}
 	}
 	return out
@@ -920,7 +1004,8 @@ func (e *Engine) Stalled() bool { return e.stalled.Load() }
 // Workers returns the resolved worker count k.
 func (e *Engine) Workers() int { return e.k }
 
-// Submitted returns the number of packets admitted so far (any goroutine).
+// Submitted returns the number of packets admitted so far across all
+// handles (any goroutine).
 func (e *Engine) Submitted() int64 { return e.submitted.Load() }
 
 // Completed returns the number of packets egressed so far (any goroutine).
@@ -975,11 +1060,22 @@ func (e *Engine) WorkerStats() []WorkerStat {
 }
 
 // TicketDepths sums the pending (issued-but-unretired) tickets across
-// every slot queue and reports the deepest single queue — the live D4
-// backlog. It takes each slot's mutex briefly; meant for the admin plane's
-// background sampler, not the per-packet path.
+// every slot queue of every handle and reports the deepest single queue —
+// the live D4 backlog. It takes each slot's mutex briefly; meant for the
+// admin plane's background sampler, not the per-packet path.
 func (e *Engine) TicketDepths() (pending, maxDepth int64) {
-	for _, st := range e.slots {
+	for _, h := range e.Handles() {
+		p, m := e.ticketDepthsFor(h)
+		pending += p
+		if m > maxDepth {
+			maxDepth = m
+		}
+	}
+	return pending, maxDepth
+}
+
+func (e *Engine) ticketDepthsFor(h *Handle) (pending, maxDepth int64) {
+	for _, st := range h.slots {
 		st.mu.Lock()
 		d := int64(len(st.queue) - st.head)
 		st.mu.Unlock()
@@ -1002,19 +1098,23 @@ type ShardEntry struct {
 	Owners []int `json:"owners"`
 }
 
-// ShardMap snapshots the live index→worker ownership of every register
-// array. Safe from any goroutine while the engine runs: remap publishes
-// owner changes under the same lock the snapshot takes.
-func (e *Engine) ShardMap() []ShardEntry {
-	out := make([]ShardEntry, len(e.shard))
+// ShardMap snapshots the default handle's live index→worker ownership —
+// see ShardMapFor.
+func (e *Engine) ShardMap() []ShardEntry { return e.ShardMapFor(e.def) }
+
+// ShardMapFor snapshots the live index→worker ownership of every register
+// array of handle h. Safe from any goroutine while the engine runs: remap
+// publishes owner changes under the same lock the snapshot takes.
+func (e *Engine) ShardMapFor(h *Handle) []ShardEntry {
+	out := make([]ShardEntry, len(h.shard))
 	e.placeMu.Lock()
 	defer e.placeMu.Unlock()
-	for r := range e.shard {
+	for r := range h.shard {
 		out[r] = ShardEntry{
 			Reg:     r,
-			Name:    e.prog.Regs[r].Name,
-			Sharded: e.shard[r].sharded,
-			Owners:  append([]int(nil), e.shard[r].owner...),
+			Name:    h.prog.Regs[r].Name,
+			Sharded: h.shard[r].sharded,
+			Owners:  append([]int(nil), h.shard[r].owner...),
 		}
 	}
 	return out

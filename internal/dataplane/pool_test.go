@@ -177,9 +177,9 @@ func TestSubmitAbortRetiresTickets(t *testing.T) {
 	if got := e.WindowInUse(); got != 0 {
 		t.Fatalf("aborted Submit leaked %d window tokens", got)
 	}
-	e.freeMu.Lock()
-	freed := len(e.free)
-	e.freeMu.Unlock()
+	e.def.freeMu.Lock()
+	freed := len(e.def.free)
+	e.def.freeMu.Unlock()
 	if freed != 1 {
 		t.Fatalf("aborted Submit did not recycle the packet (free list has %d)", freed)
 	}
@@ -222,9 +222,9 @@ func TestSubmitBatchAbortRetiresTickets(t *testing.T) {
 	if got := e.WindowInUse(); got != 0 {
 		t.Fatalf("aborted SubmitBatch leaked %d window tokens", got)
 	}
-	e.freeMu.Lock()
-	freed := len(e.free)
-	e.freeMu.Unlock()
+	e.def.freeMu.Lock()
+	freed := len(e.def.free)
+	e.def.freeMu.Unlock()
 	if freed != n {
 		t.Fatalf("aborted SubmitBatch recycled %d of %d packets", freed, n)
 	}
@@ -245,10 +245,10 @@ func TestPoisonOnFree(t *testing.T) {
 		t.Fatal(err)
 	}
 	e := New(prog, Config{Workers: 1})
-	p := e.getPacket()
+	p := e.def.getPacket()
 	p.id = 42
 	p.env.Fields[0] = 7
-	e.putPacket(p)
+	e.def.putPacket(p)
 	if p.id != -1 {
 		t.Fatalf("freed packet id = %d, want poisoned -1", p.id)
 	}

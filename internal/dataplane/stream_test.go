@@ -114,9 +114,9 @@ func seededOwners(t *testing.T, seed int64, k int) [][]int {
 	}
 	e := New(prog, Config{Workers: k, Seed: seed})
 	var out [][]int
-	for r := range e.shard {
-		if e.shard[r].sharded {
-			out = append(out, append([]int(nil), e.shard[r].owner...))
+	for r := range e.def.shard {
+		if e.def.shard[r].sharded {
+			out = append(out, append([]int(nil), e.def.shard[r].owner...))
 		}
 	}
 	if len(out) == 0 {

@@ -7,7 +7,6 @@ import (
 
 	"mp5/internal/banzai"
 	"mp5/internal/ir"
-	"mp5/internal/ir/bytecode"
 	"mp5/internal/stats"
 )
 
@@ -17,7 +16,13 @@ import (
 // worker holds it), handed off over mailbox channels — so none of its
 // fields need locking.
 type packet struct {
-	id  int64
+	id int64
+	// h is the handle (program namespace) the packet was admitted under:
+	// workers reach the program, its per-worker register files/VMs, and its
+	// quota exclusively through the packet, so mixed-tenant traffic needs no
+	// per-worker program lookup and the mailbox handoff publishes a
+	// freshly-added handle to the worker (hot swap).
+	h   *Handle
 	env *ir.Env
 	// visits is the admission-time resolution of every stateful stage the
 	// packet will visit; vi indexes the next unperformed one.
@@ -73,19 +78,18 @@ type egRec struct {
 	id  int64
 }
 
-// worker is one pipeline mapped onto one goroutine. It owns a full private
-// register file — only the indices the sharding map assigns to it hold the
-// live copy — plus the park bench for packets waiting on a head ticket.
-// All pops and head tests of a slot happen on the slot's owning worker, so
-// the park-or-proceed decision and the promotion after a pop are serialized
-// on one goroutine and cannot lose a wakeup.
+// worker is one pipeline mapped onto one goroutine. For every loaded
+// handle it owns one private register file (h.wregs[w.id]) — only the
+// indices the handle's sharding map assigns to it hold the live copy —
+// plus the park bench for packets waiting on a head ticket. All pops and
+// head tests of a slot happen on the slot's owning worker, so the
+// park-or-proceed decision and the promotion after a pop are serialized on
+// one goroutine and cannot lose a wakeup. Program state (stages, bytecode,
+// VMs, register files) is reached through p.h, never stored on the worker:
+// a worker is pure topology.
 type worker struct {
-	id   int
-	e    *Engine
-	regs *banzai.RegFile
-	// vm is this worker's operand stack for the shared compiled program
-	// e.bc (VMs are not goroutine-safe); nil under Config.Interpret.
-	vm      *bytecode.VM
+	id      int
+	e       *Engine
 	mailbox chan xbarMsg
 	// parked holds packets that reached their visit before holding every
 	// head ticket; runnable holds packets promoted by a pop and drained
@@ -107,7 +111,9 @@ type worker struct {
 	egRecs []egRec
 	// seen and touched are per-visit scratch (dedup of (reg, clamped idx)
 	// within one stage execution, and the concrete indices touched per
-	// visit slot).
+	// visit slot). touched grows on demand to the widest visit seen —
+	// bounded by the largest per-stage slot count across loaded programs,
+	// so it stops allocating after warmup.
 	seen    map[[2]int]bool
 	touched [][]int
 	// obs is the access observer bound once at construction (a fresh
@@ -130,20 +136,13 @@ type worker struct {
 }
 
 func newWorker(e *Engine, id int) *worker {
-	var vm *bytecode.VM
-	if e.bc != nil {
-		vm = bytecode.NewVM(e.bc)
-	}
 	w := &worker{
 		id:      id,
 		e:       e,
-		regs:    banzai.NewRegFile(e.prog),
-		vm:      vm,
 		mailbox: make(chan xbarMsg, e.cfg.Window),
 		xout:    make([]*pktBatch, e.cfg.Workers),
 		parked:  make(map[int64]*packet),
 		seen:    make(map[[2]int]bool),
-		touched: make([][]int, len(e.prog.Accesses)),
 		lat:     stats.NewHistogram(latLo, latHi, latBuckets),
 	}
 	if e.cfg.RecordOutputs {
@@ -265,7 +264,9 @@ func (w *worker) process(p *packet) {
 		t0 := time.Now()
 		defer func() { w.busyNs.Add(time.Since(t0).Nanoseconds()) }()
 	}
-	for p.nextStage < len(e.prog.Stages) {
+	h := p.h
+	regs := h.wregs[w.id]
+	for p.nextStage < len(h.prog.Stages) {
 		var v *visit
 		if p.vi < len(p.visits) && p.visits[p.vi].stage == p.nextStage {
 			v = &p.visits[p.vi]
@@ -274,12 +275,12 @@ func (w *worker) process(p *packet) {
 			// No ticket here: any stateful instruction in this stage has a
 			// (resolution-time) false predicate, so executing the stage
 			// touches only the packet environment and read-only tables.
-			if w.vm != nil {
-				if err := w.vm.ExecStage(&e.bc.Stages[p.nextStage], p.env, w.regs); err != nil {
+			if h.bc != nil {
+				if err := h.wvms[w.id].ExecStage(&h.bc.Stages[p.nextStage], p.env, regs); err != nil {
 					panic("dataplane: " + err.Error()) // compiled code is never corrupt
 				}
 			} else {
-				ir.ExecStage(&e.prog.Stages[p.nextStage], p.env, w.regs)
+				ir.ExecStage(&h.prog.Stages[p.nextStage], p.env, regs)
 			}
 			p.nextStage++
 			continue
@@ -324,7 +325,7 @@ func (w *worker) process(p *packet) {
 // ticket actually covered. Context arrives through obsP/obsV/obsT.
 func (w *worker) observe(reg int, idx int64, write bool) {
 	p, v, touched := w.obsP, w.obsV, w.obsT
-	ci := banzai.ClampIndex(int(idx), w.e.prog.Regs[reg].Size)
+	ci := banzai.ClampIndex(int(idx), p.h.prog.Regs[reg].Size)
 	dk := [2]int{reg, ci}
 	if w.seen[dk] {
 		return
@@ -362,18 +363,23 @@ func (w *worker) eligible(p *packet, v *visit) bool {
 // promotes any parked packet that now holds a head ticket.
 func (w *worker) execVisit(p *packet, v *visit) {
 	e := w.e
+	h := p.h
 	clear(w.seen)
+	for len(w.touched) < len(v.slots) {
+		w.touched = append(w.touched, nil)
+	}
 	touched := w.touched[:len(v.slots)]
 	for i := range touched {
 		touched[i] = touched[i][:0]
 	}
 	w.obsP, w.obsV, w.obsT = p, v, touched
-	if w.vm != nil {
-		if err := w.vm.ExecStageObserved(&e.bc.Stages[v.stage], p.env, w.regs, w.obs); err != nil {
+	regs := h.wregs[w.id]
+	if h.bc != nil {
+		if err := h.wvms[w.id].ExecStageObserved(&h.bc.Stages[v.stage], p.env, regs, w.obs); err != nil {
 			panic("dataplane: " + err.Error())
 		}
 	} else {
-		ir.ExecStageObserved(&e.prog.Stages[v.stage], p.env, w.regs, w.obs)
+		ir.ExecStageObserved(&h.prog.Stages[v.stage], p.env, regs, w.obs)
 	}
 	w.obsP, w.obsV, w.obsT = nil, nil, nil
 	record := e.cfg.RecordAccessOrder
@@ -427,9 +433,14 @@ func (w *worker) egress(p *packet) {
 	}
 	// Every observer — outputs copy, access log (written at pop), egress
 	// record, span, OnEgress — is done with the packet: recycle it, then
-	// return the window token so the admitter can only reuse the id slot
-	// after the packet is safely on the free list.
-	e.putPacket(p)
+	// return the quota and window tokens so the admitter can only reuse the
+	// id slot after the packet is safely on the free list.
+	h := p.h
+	h.putPacket(p)
+	if h.quota != nil {
+		h.quota.release(1)
+	}
+	h.completed.Add(1)
 	e.releaseWindow()
 	c := e.completed.Add(1)
 	if t := e.total.Load(); t >= 0 && c == t {

@@ -33,7 +33,19 @@ const (
 	EngineSweep     = "core-sweep"
 	EngineDataplane = "dataplane"
 	EngineBytecode  = "bytecode"
+	// EngineMultiTenant is the multi-tenant dataplane differential: K
+	// generated programs interleaved on ONE engine, each held to its own
+	// independent single-pipeline reference — the tenant-isolation oracle.
+	EngineMultiTenant = "dataplane-mt"
 )
+
+// MultiTenantPrograms is how many programs the multi-tenant leg loads side
+// by side: the case's own program plus derived-seed siblings.
+const MultiTenantPrograms = 3
+
+// mtPacketCap bounds each tenant's trace in the multi-tenant leg so the
+// K-program run stays smoke-grade.
+const mtPacketCap = 400
 
 // Executor names select (Case.Executor) and record (Failure.Executor) which
 // stage executor an engine ran: the compiled bytecode VM (the default) or
@@ -155,6 +167,10 @@ type Failure struct {
 	// per-packet Submit loop, empty for the default coalesced SubmitBatch
 	// (which Run uses).
 	Submit string `json:"submit,omitempty"`
+	// Tenant names the diverging tenant of an EngineMultiTenant failure
+	// ("t0" is the case's own program, "t1".. the derived siblings); empty
+	// for single-program engines and for whole-engine failures (stall/loss).
+	Tenant string `json:"tenant,omitempty"`
 	// Reason is "compile", "stall", "loss", "state" (equiv mismatch in
 	// registers or packet outputs), or "order" (C1 violation).
 	Reason string        `json:"reason"`
@@ -172,6 +188,12 @@ func (f *Failure) String() string {
 			mode = ", submit=single"
 		}
 		fmt.Fprintf(&b, "dataplane(workers=%d%s): %s", f.Workers, mode, f.Reason)
+	case EngineMultiTenant:
+		who := "engine"
+		if f.Tenant != "" {
+			who = "tenant " + f.Tenant
+		}
+		fmt.Fprintf(&b, "dataplane-mt(workers=%d, %s): %s", f.Workers, who, f.Reason)
 	case EngineSweep:
 		fmt.Fprintf(&b, "%v (full-sweep): %s", f.Arch, f.Reason)
 	case EngineBytecode:
@@ -356,6 +378,150 @@ func (r *reference) runDataplane(workers int, single bool) *Failure {
 	return nil
 }
 
+// mtTenant is one tenant of the multi-tenant differential leg: its own
+// program, its own deterministic trace, and its own reference order.
+type mtTenant struct {
+	name  string
+	prog  *ir.Program
+	arrs  []core.Arrival
+	order map[string][]int64
+}
+
+// multiTenantSetup expands the case into the K tenants the multi-tenant leg
+// interleaves: tenant t0 runs the case's own program on (a capped prefix
+// of) the case's workload knobs, t1.. run sibling programs generated from
+// derived seeds with derived workloads. Fully deterministic in the case, so
+// runLike reproduces the exact run.
+func multiTenantSetup(c *Case) ([]mtTenant, *Failure) {
+	tenants := make([]mtTenant, 0, MultiTenantPrograms)
+	for i := 0; i < MultiTenantPrograms; i++ {
+		name := fmt.Sprintf("t%d", i)
+		sub := *c
+		sub.WorkSeed = c.WorkSeed + int64(i)*7919
+		if sub.Packets > mtPacketCap {
+			sub.Packets = mtPacketCap
+		}
+		if i > 0 {
+			sub.ProgSeed = c.ProgSeed + int64(i)*104729
+			sub.Source = "" // siblings always regenerate from the derived seed
+		}
+		prog, err := compiler.Compile(sub.SourceText(), compiler.Options{Target: compiler.TargetMP5})
+		if err != nil {
+			return nil, &Failure{Engine: EngineMultiTenant, Arch: core.ArchMP5,
+				Tenant: name, Reason: "compile", Detail: err.Error()}
+		}
+		arrs := sub.Arrivals(prog)
+		if len(arrs) == 0 {
+			continue
+		}
+		tenants = append(tenants, mtTenant{
+			name:  name,
+			prog:  prog,
+			arrs:  arrs,
+			order: equiv.ReferenceOrder(prog, arrs),
+		})
+	}
+	return tenants, nil
+}
+
+// runMultiTenant interleaves the K tenant programs on one multi-program
+// engine in round-robin batches and holds every tenant to its own
+// single-pipeline reference: the engine as a whole must not stall or lose
+// packets, and each tenant's namespace must match its reference on final
+// registers, packet outputs, and per-slot C1 access order — exactly as if
+// it had run alone.
+func runMultiTenant(c *Case, workers int) []*Failure {
+	tenants, cfail := multiTenantSetup(c)
+	if cfail != nil {
+		cfail.Workers = workers
+		return []*Failure{cfail}
+	}
+	interp := c.Executor == ExecInterp
+	exec := ExecBytecode
+	if interp {
+		exec = ExecInterp
+	}
+	eng := dataplane.NewMulti(dataplane.Config{
+		Workers:           workers,
+		RecordOutputs:     true,
+		RecordAccessOrder: true,
+		Interpret:         interp,
+	})
+	handles := make([]*dataplane.Handle, len(tenants))
+	for i, tn := range tenants {
+		handles[i] = eng.AddProgram(tn.name, tn.prog, nil)
+	}
+	eng.Start()
+	total := 0
+	offs := make([]int, len(tenants))
+	const chunk = 61
+	for {
+		idle := true
+		for i := range tenants {
+			if offs[i] >= len(tenants[i].arrs) {
+				continue
+			}
+			idle = false
+			end := offs[i] + chunk
+			if end > len(tenants[i].arrs) {
+				end = len(tenants[i].arrs)
+			}
+			got := eng.SubmitBatchTo(handles[i], tenants[i].arrs[offs[i]:end], nil)
+			offs[i] += got
+			total += got
+			if got == 0 { // unlimited tenants: a refusal means the engine died
+				idle = true
+				break
+			}
+		}
+		if idle {
+			break
+		}
+	}
+	res := eng.Drain()
+	fail := func(tenant string) *Failure {
+		return &Failure{Engine: EngineMultiTenant, Arch: core.ArchMP5,
+			Workers: workers, Executor: exec, Tenant: tenant}
+	}
+	if res.Stalled {
+		f := fail("")
+		f.Reason = "stall"
+		f.Detail = fmt.Sprintf("%d of %d completed before the watchdog fired", res.Completed, res.Injected)
+		return []*Failure{f}
+	}
+	if res.Completed != int64(total) || total != totalArrivals(tenants) {
+		f := fail("")
+		f.Reason = "loss"
+		f.Detail = fmt.Sprintf("%d of %d completed (%d admitted)", res.Completed, totalArrivals(tenants), total)
+		return []*Failure{f}
+	}
+	var fails []*Failure
+	for i, tn := range tenants {
+		if divs := diffOrders(tn.order, eng.AccessOrdersFor(handles[i])); len(divs) > 0 {
+			f := fail(tn.name)
+			f.Reason = "order"
+			f.Order = divs
+			fails = append(fails, f)
+			continue
+		}
+		if rep := equiv.CheckState(tn.prog, eng.FinalRegsFor(handles[i]), eng.OutputsFor(handles[i]), tn.arrs); !rep.Equivalent {
+			f := fail(tn.name)
+			f.Reason = "state"
+			f.Report = rep
+			fails = append(fails, f)
+		}
+	}
+	return fails
+}
+
+func totalArrivals(tenants []mtTenant) int {
+	n := 0
+	for _, tn := range tenants {
+		n += len(tn.arrs)
+	}
+	return n
+}
+
 // diffOrders compares every state's observed access sequence against the
 // reference, returning the first divergence per state (capped). Keys are
 // compared in both directions so spurious and missing states both surface.
@@ -444,6 +610,9 @@ func Run(c *Case, archs []core.Arch) []*Failure {
 	if f := ref.runDataplane(2, true); f != nil {
 		fails = append(fails, f)
 	}
+	// Multi-tenant leg: the case's program plus derived siblings interleaved
+	// on one engine, each tenant against its own reference.
+	fails = append(fails, runMultiTenant(c, 4)...)
 	// Cross-executor run: whatever executor the sweep above used, run the
 	// flagship architecture once with the other one, so both the compiled
 	// path and the interpreter path stay exercised on every case.
@@ -482,6 +651,21 @@ func runLike(c *Case, like *Failure) *Failure {
 		return ref.runCore(core.ArchMP5, c.WorkSeed, true)
 	case EngineDataplane:
 		return ref.runDataplane(like.Workers, like.Submit == SubmitSingle)
+	case EngineMultiTenant:
+		workers := like.Workers
+		if workers <= 0 {
+			workers = 4
+		}
+		fails := runMultiTenant(c, workers)
+		for _, f := range fails {
+			if f.Tenant == like.Tenant {
+				return f
+			}
+		}
+		if len(fails) > 0 {
+			return fails[0]
+		}
+		return nil
 	default:
 		return ref.runCore(like.Arch, c.WorkSeed, false)
 	}

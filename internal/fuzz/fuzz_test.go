@@ -172,9 +172,45 @@ func TestShrinkFailureNonCore(t *testing.T) {
 		{Engine: EngineDataplane, Arch: core.ArchMP5, Workers: 2},
 		{Engine: EngineBytecode, Arch: core.ArchMP5},
 		{Engine: EngineCore, Arch: core.ArchMP5, Executor: ExecInterp},
+		{Engine: EngineMultiTenant, Arch: core.ArchMP5, Workers: 4, Tenant: "t1"},
 	} {
 		if _, f := ShrinkFailure(c, like, 6); f != nil {
 			t.Fatalf("%s failed a smoke-grade case during shrink: %v", like.Engine, f)
+		}
+	}
+}
+
+// TestMultiTenantLeg pins the multi-tenant differential's own mechanics:
+// the setup is deterministic (same case → same K programs and traces, so
+// shrink reproduction is exact), tenant t0 is the case's own program, and a
+// clean case passes the leg at several worker counts.
+func TestMultiTenantLeg(t *testing.T) {
+	c := &Case{ProgSeed: 5, Size: 4, WorkSeed: 9, Packets: 500, Pipelines: 4}
+	a, fa := multiTenantSetup(c)
+	b, fb := multiTenantSetup(c)
+	if fa != nil || fb != nil {
+		t.Fatalf("setup failed: %v / %v", fa, fb)
+	}
+	if len(a) != MultiTenantPrograms || len(b) != MultiTenantPrograms {
+		t.Fatalf("setup built %d/%d tenants, want %d", len(a), len(b), MultiTenantPrograms)
+	}
+	for i := range a {
+		if a[i].prog.Name != b[i].prog.Name || len(a[i].arrs) != len(b[i].arrs) {
+			t.Fatalf("tenant %d not deterministic", i)
+		}
+		if len(a[i].arrs) > mtPacketCap {
+			t.Fatalf("tenant %d trace %d exceeds the cap %d", i, len(a[i].arrs), mtPacketCap)
+		}
+	}
+	if got := c.SourceText(); a[0].prog == nil || got == "" {
+		t.Fatal("tenant t0 must be the case's own program")
+	}
+	if Generate(c.ProgSeed, c.Size) != c.SourceText() {
+		t.Fatal("case source drifted")
+	}
+	for _, workers := range []int{1, 4} {
+		for _, f := range runMultiTenant(c, workers) {
+			t.Errorf("workers=%d: %v", workers, f)
 		}
 	}
 }

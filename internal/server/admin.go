@@ -2,8 +2,13 @@ package server
 
 import (
 	"encoding/json"
+	"fmt"
+	"io"
 	"net/http"
 	"net/http/pprof"
+	"strings"
+
+	"mp5/internal/compiler"
 )
 
 // healthz is the /healthz response body. Status is "ok" while the engine
@@ -25,7 +30,14 @@ type healthz struct {
 //	/metrics   Prometheus text from the shared registry
 //	/healthz   watchdog-backed liveness (503 + Retry-After when stalled)
 //	/shardmap  live D2 index→pipeline ownership as JSON
-//	/stats     the full StatsSnapshot (mp5top's poll target)
+//	           (?tenant=NAME selects a tenant's active version; default is
+//	           the first tenant's)
+//	/stats     the full StatsSnapshot (mp5top's poll target), including the
+//	           per-tenant section
+//	/programs  GET lists tenants and their active versions;
+//	/programs/{tenant}  POST hot-swaps that tenant to the Domino program in
+//	           the request body — zero downtime, C1-preserving (see
+//	           internal/tenant)
 //	/debug/pprof/*  the standard Go profiler surface
 func (s *Server) adminMux() *http.ServeMux {
 	mux := http.NewServeMux()
@@ -56,13 +68,29 @@ func (s *Server) adminMux() *http.ServeMux {
 		json.NewEncoder(w).Encode(h)
 	})
 	mux.HandleFunc("/shardmap", func(w http.ResponseWriter, r *http.Request) {
+		h := s.eng.Default()
+		if name := r.URL.Query().Get("tenant"); name != "" {
+			tn := s.reg.ByName(name)
+			if tn == nil {
+				w.Header().Set("Content-Type", "application/json")
+				w.WriteHeader(http.StatusNotFound)
+				json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf("unknown tenant %q", name)})
+				return
+			}
+			h = tn.Active().Handle
+		}
 		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(s.eng.ShardMap())
+		json.NewEncoder(w).Encode(s.eng.ShardMapFor(h))
 	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(s.statsSnapshot())
 	})
+	mux.HandleFunc("/programs", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(s.tenantStats())
+	})
+	mux.HandleFunc("/programs/", s.swapHandler)
 	// The net/http/pprof handlers normally self-register on
 	// http.DefaultServeMux; mount them explicitly so the daemon's private
 	// mux (and only the admin listener) serves them.
@@ -72,4 +100,54 @@ func (s *Server) adminMux() *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// swapResult is the POST /programs/{tenant} response body.
+type swapResult struct {
+	Tenant  string `json:"tenant"`
+	Version int    `json:"version"`
+	Program string `json:"program"`
+}
+
+// swapHandler serves POST /programs/{tenant}: compile the Domino source in
+// the request body for MP5 and hot-swap the named tenant to it. The swap is
+// zero-downtime — the new version is fully built and registered on the live
+// engine before the tenant's active pointer flips; packets admitted before
+// the flip finish on the old version, packets after start on the new one,
+// and no traffic is drained (see internal/tenant).
+func (s *Server) swapHandler(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fail := func(code int, format string, args ...any) {
+		w.WriteHeader(code)
+		json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+	}
+	name := strings.TrimPrefix(r.URL.Path, "/programs/")
+	if name == "" || strings.Contains(name, "/") {
+		fail(http.StatusNotFound, "want /programs/{tenant}")
+		return
+	}
+	if r.Method != http.MethodPost {
+		fail(http.StatusMethodNotAllowed, "hot swap is POST /programs/{tenant} with the Domino source as the body")
+		return
+	}
+	src, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		fail(http.StatusBadRequest, "reading program body: %v", err)
+		return
+	}
+	prog, err := compiler.Compile(string(src), compiler.Options{Target: compiler.TargetMP5})
+	if err != nil {
+		fail(http.StatusUnprocessableEntity, "compile: %v", err)
+		return
+	}
+	v, err := s.reg.Swap(name, prog)
+	if err != nil {
+		code := http.StatusConflict
+		if strings.Contains(err.Error(), "unknown tenant") {
+			code = http.StatusNotFound
+		}
+		fail(code, "%v", err)
+		return
+	}
+	json.NewEncoder(w).Encode(swapResult{Tenant: name, Version: v.Seq, Program: prog.Name})
 }

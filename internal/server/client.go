@@ -47,6 +47,9 @@ func (c *Client) Close() error { return c.conn.Close() }
 
 // LoadOptions shapes a Run.
 type LoadOptions struct {
+	// Tenant is the wire id stamped on every frame (0 = the daemon's
+	// first/default tenant).
+	Tenant uint16
 	// Window caps outstanding unacked packets on TCP — the closed-loop
 	// knob (default 256). Ignored on UDP.
 	Window int
@@ -101,7 +104,7 @@ func (c *Client) runUDP(arrivals []core.Arrival, opt LoadOptions) (*LoadReport, 
 	start := time.Now()
 	for i := range arrivals {
 		c.pace(start, int64(i), opt.RatePPS)
-		buf = appendFrame(buf[:0], uint32(i), &arrivals[i])
+		buf = appendFrame(buf[:0], uint32(i), opt.Tenant, &arrivals[i])
 		if _, err := c.conn.Write(buf); err != nil {
 			rep.finish(start)
 			return rep, err
@@ -165,7 +168,7 @@ send:
 		mu.Lock()
 		times[seq] = time.Now()
 		mu.Unlock()
-		buf = appendFrame(buf[:0], seq, &arrivals[i])
+		buf = appendFrame(buf[:0], seq, opt.Tenant, &arrivals[i])
 		if _, err := c.conn.Write(buf); err != nil {
 			sendErr = err
 			break send

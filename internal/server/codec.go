@@ -15,6 +15,7 @@ import (
 //
 //	uint32  payload length (big-endian, excludes the prefix itself)
 //	uint32  seq      client-chosen sequence number, echoed in the ack
+//	uint16  tenant   tenant wire id (0 = the first/default tenant)
 //	uint16  port     input port (bookkeeping only)
 //	uint16  size     wire size in bytes (bookkeeping only)
 //	uint16  nfields  header field count — must match the daemon's program
@@ -24,7 +25,7 @@ import (
 // written back on the same connection when the packet egresses the engine.
 const (
 	frameHeader  = 4
-	payloadFixed = 4 + 2 + 2 + 2
+	payloadFixed = 4 + 2 + 2 + 2 + 2
 	// maxFields bounds a frame's field count so a corrupt or hostile
 	// length prefix cannot make the server allocate unboundedly.
 	maxFields  = 1 << 12
@@ -38,10 +39,11 @@ var (
 )
 
 // appendFrame encodes one arrival as a length-prefixed frame onto dst.
-func appendFrame(dst []byte, seq uint32, a *core.Arrival) []byte {
+func appendFrame(dst []byte, seq uint32, tenant uint16, a *core.Arrival) []byte {
 	n := len(a.Fields)
 	dst = binary.BigEndian.AppendUint32(dst, uint32(payloadFixed+8*n))
 	dst = binary.BigEndian.AppendUint32(dst, seq)
+	dst = binary.BigEndian.AppendUint16(dst, tenant)
 	dst = binary.BigEndian.AppendUint16(dst, uint16(a.Port))
 	dst = binary.BigEndian.AppendUint16(dst, uint16(a.Size))
 	dst = binary.BigEndian.AppendUint16(dst, uint16(n))
@@ -54,43 +56,44 @@ func appendFrame(dst []byte, seq uint32, a *core.Arrival) []byte {
 // decodePayload decodes the frame payload (everything after the length
 // prefix) into an arrival. The arrival's Cycle is left zero — arrival order
 // is assigned by the admitter, not carried on the wire.
-func decodePayload(p []byte) (seq uint32, a core.Arrival, err error) {
+func decodePayload(p []byte) (seq uint32, tenant uint16, a core.Arrival, err error) {
 	if len(p) < payloadFixed {
-		return 0, a, errShortFrame
+		return 0, 0, a, errShortFrame
 	}
 	seq = binary.BigEndian.Uint32(p)
-	a.Port = int(binary.BigEndian.Uint16(p[4:]))
-	a.Size = int(binary.BigEndian.Uint16(p[6:]))
-	n := int(binary.BigEndian.Uint16(p[8:]))
+	tenant = binary.BigEndian.Uint16(p[4:])
+	a.Port = int(binary.BigEndian.Uint16(p[6:]))
+	a.Size = int(binary.BigEndian.Uint16(p[8:]))
+	n := int(binary.BigEndian.Uint16(p[10:]))
 	if n > maxFields {
-		return 0, a, fmt.Errorf("server: frame claims %d fields (max %d)", n, maxFields)
+		return 0, 0, a, fmt.Errorf("server: frame claims %d fields (max %d)", n, maxFields)
 	}
 	if len(p) != payloadFixed+8*n {
-		return 0, a, errBadLength
+		return 0, 0, a, errBadLength
 	}
 	a.Fields = make([]int64, n)
 	for i := range a.Fields {
 		a.Fields[i] = int64(binary.BigEndian.Uint64(p[payloadFixed+8*i:]))
 	}
-	return seq, a, nil
+	return seq, tenant, a, nil
 }
 
 // readFrame reads one length-prefixed frame from a TCP byte stream. An
 // io.EOF on the length prefix is a clean half-close; any other error (or a
 // hostile length) poisons the stream — the caller must drop the connection
 // because frame boundaries are lost.
-func readFrame(r io.Reader) (seq uint32, a core.Arrival, err error) {
+func readFrame(r io.Reader) (seq uint32, tenant uint16, a core.Arrival, err error) {
 	var hdr [frameHeader]byte
 	if _, err = io.ReadFull(r, hdr[:]); err != nil {
-		return 0, a, err
+		return 0, 0, a, err
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n < payloadFixed || n > maxPayload {
-		return 0, a, fmt.Errorf("server: frame length %d out of range", n)
+		return 0, 0, a, fmt.Errorf("server: frame length %d out of range", n)
 	}
 	p := make([]byte, n)
 	if _, err = io.ReadFull(r, p); err != nil {
-		return 0, a, err
+		return 0, 0, a, err
 	}
 	return decodePayload(p)
 }
@@ -98,12 +101,12 @@ func readFrame(r io.Reader) (seq uint32, a core.Arrival, err error) {
 // decodeDatagram decodes one UDP datagram, which must hold exactly one
 // frame — a truncated or coalesced datagram is a decode error, not a
 // resynchronization problem.
-func decodeDatagram(b []byte) (seq uint32, a core.Arrival, err error) {
+func decodeDatagram(b []byte) (seq uint32, tenant uint16, a core.Arrival, err error) {
 	if len(b) < frameHeader {
-		return 0, a, errShortFrame
+		return 0, 0, a, errShortFrame
 	}
 	if int(binary.BigEndian.Uint32(b)) != len(b)-frameHeader {
-		return 0, a, errBadLength
+		return 0, 0, a, errBadLength
 	}
 	return decodePayload(b[frameHeader:])
 }

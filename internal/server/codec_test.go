@@ -16,16 +16,19 @@ func TestFrameRoundTrip(t *testing.T) {
 	}
 	var wire []byte
 	for i := range arrs {
-		wire = appendFrame(wire, uint32(100+i), &arrs[i])
+		wire = appendFrame(wire, uint32(100+i), uint16(i%3), &arrs[i])
 	}
 	r := bytes.NewReader(wire)
 	for i := range arrs {
-		seq, got, err := readFrame(r)
+		seq, tenant, got, err := readFrame(r)
 		if err != nil {
 			t.Fatalf("frame %d: %v", i, err)
 		}
 		if seq != uint32(100+i) {
 			t.Fatalf("frame %d: seq %d", i, seq)
+		}
+		if tenant != uint16(i%3) {
+			t.Fatalf("frame %d: tenant %d", i, tenant)
 		}
 		if got.Port != arrs[i].Port || got.Size != arrs[i].Size {
 			t.Fatalf("frame %d: port/size %d/%d", i, got.Port, got.Size)
@@ -44,10 +47,10 @@ func TestFrameRoundTrip(t *testing.T) {
 
 func TestDatagramRoundTrip(t *testing.T) {
 	a := core.Arrival{Port: 2, Size: 200, Fields: []int64{7, 8, 9}}
-	dg := appendFrame(nil, 55, &a)
-	seq, got, err := decodeDatagram(dg)
-	if err != nil || seq != 55 || !reflect.DeepEqual(got.Fields, a.Fields) {
-		t.Fatalf("seq=%d got=%+v err=%v", seq, got, err)
+	dg := appendFrame(nil, 55, 7, &a)
+	seq, tenant, got, err := decodeDatagram(dg)
+	if err != nil || seq != 55 || tenant != 7 || !reflect.DeepEqual(got.Fields, a.Fields) {
+		t.Fatalf("seq=%d tenant=%d got=%+v err=%v", seq, tenant, got, err)
 	}
 }
 
@@ -59,9 +62,9 @@ func TestDatagramRoundTrip(t *testing.T) {
 func TestDatagramBufferReuse(t *testing.T) {
 	buf := make([]byte, frameHeader+maxPayload)
 	decodeInto := func(a *core.Arrival) (core.Arrival, uint32) {
-		wire := appendFrame(nil, 9, a)
+		wire := appendFrame(nil, 9, 0, a)
 		n := copy(buf, wire)
-		seq, got, err := decodeDatagram(buf[:n])
+		seq, _, got, err := decodeDatagram(buf[:n])
 		if err != nil {
 			t.Fatalf("decode: %v", err)
 		}
@@ -84,21 +87,21 @@ func TestDatagramBufferReuse(t *testing.T) {
 
 func TestDecodeRejectsCorruption(t *testing.T) {
 	a := core.Arrival{Fields: []int64{1, 2}}
-	dg := appendFrame(nil, 1, &a)
+	dg := appendFrame(nil, 1, 0, &a)
 	cases := map[string][]byte{
 		"truncated datagram":  dg[:len(dg)-3],
 		"short header":        dg[:2],
 		"length mismatch":     append(append([]byte(nil), dg...), 0xff),
-		"field count too big": {0, 0, 0, 10, 0, 0, 0, 1, 0, 0, 0, 0, 0xff, 0xff},
+		"field count too big": {0, 0, 0, 12, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0xff, 0xff},
 	}
 	for name, b := range cases {
-		if _, _, err := decodeDatagram(b); err == nil {
+		if _, _, _, err := decodeDatagram(b); err == nil {
 			t.Errorf("%s: decoded without error", name)
 		}
 	}
 	// Hostile stream length: must refuse before allocating.
 	bad := []byte{0xff, 0xff, 0xff, 0xff}
-	if _, _, err := readFrame(bytes.NewReader(bad)); err == nil {
+	if _, _, _, err := readFrame(bytes.NewReader(bad)); err == nil {
 		t.Error("oversized frame length accepted")
 	}
 }

@@ -41,6 +41,10 @@ func (s *Server) registerGauges(r *telemetry.Registry) {
 	s.mailboxG = r.NewGaugeVec("dataplane_mailbox_depth", "crossbar mailbox occupancy per worker", "worker")
 	s.parkedG = r.NewGaugeVec("dataplane_parked_packets", "packets parked waiting for head tickets, per worker", "worker")
 	s.ticketG = r.NewGaugeVec("dataplane_ticket_queue_depth", "issued-but-unretired D4 tickets (pending = sum over slots, max = deepest slot)", "agg")
+	s.tenantSubG = r.NewGaugeVec("tenant_submitted_packets", "packets admitted per tenant, summed over its versions", "tenant")
+	s.tenantDoneG = r.NewGaugeVec("tenant_completed_packets", "packets egressed per tenant, summed over its versions", "tenant")
+	s.tenantShedG = r.NewGaugeVec("tenant_quota_shed_packets", "packets shed per tenant because its admission quota was exhausted", "tenant")
+	s.tenantQG = r.NewGaugeVec("tenant_quota_inuse", "admission-quota tokens held per tenant (0 for unlimited tenants)", "tenant")
 	s.rxPPS = r.NewGauge("server_rx_pps", "decoded frames per second over the last sampler interval")
 	s.ackPPS = r.NewGauge("server_ack_pps", "egress acks per second over the last sampler interval")
 	s.egPPS = r.NewGauge("dataplane_egress_pps", "packets egressed per second over the last sampler interval")
@@ -82,6 +86,13 @@ func (s *Server) samplerLoop() {
 			s.ticketG.Set(float64(pending), "pending")
 			s.ticketG.Set(float64(maxDepth), "max")
 
+			for _, ts := range s.tenantStats() {
+				s.tenantSubG.Set(float64(ts.Submitted), ts.Name)
+				s.tenantDoneG.Set(float64(ts.Completed), ts.Name)
+				s.tenantShedG.Set(float64(ts.QuotaShed), ts.Name)
+				s.tenantQG.Set(float64(ts.QuotaInUse), ts.Name)
+			}
+
 			if ticks++; ticks%rotateTicks == 0 {
 				s.trc.Rotate()
 			}
@@ -93,6 +104,54 @@ func (s *Server) samplerLoop() {
 type QueueStat struct {
 	Depth int `json:"depth"`
 	Cap   int `json:"cap"`
+}
+
+// TenantStat is one tenant's live view in /stats and /programs: identity,
+// quota occupancy, counters summed across versions, and the per-version
+// handle stats (superseded versions stay listed while they drain and after
+// — their final counters are part of the run's story).
+type TenantStat struct {
+	Name          string `json:"name"`
+	ID            uint16 `json:"id"`
+	ActiveVersion int    `json:"active_version"`
+	ActiveProgram string `json:"active_program"`
+
+	Submitted  int64 `json:"submitted"`
+	Completed  int64 `json:"completed"`
+	QuotaShed  int64 `json:"quota_shed"`
+	QuotaCap   int64 `json:"quota_cap"` // 0 = unlimited
+	QuotaInUse int64 `json:"quota_inuse"`
+
+	Versions []dataplane.HandleStats `json:"versions"`
+}
+
+// tenantStats assembles the per-tenant section — every source is an atomic
+// or a copy-on-write snapshot, safe at any point in the daemon's life.
+func (s *Server) tenantStats() []TenantStat {
+	tns := s.reg.Tenants()
+	out := make([]TenantStat, 0, len(tns))
+	for _, tn := range tns {
+		av := tn.Active()
+		ts := TenantStat{
+			Name:          tn.Name(),
+			ID:            tn.ID(),
+			ActiveVersion: av.Seq,
+			ActiveProgram: av.Prog.Name,
+		}
+		if q := tn.Quota(); q != nil {
+			ts.QuotaCap = q.Cap()
+			ts.QuotaInUse = q.InUse()
+		}
+		for _, v := range tn.Versions() {
+			hs := v.Handle.Stats()
+			ts.Submitted += hs.Submitted
+			ts.Completed += hs.Completed
+			ts.QuotaShed += hs.Shed
+			ts.Versions = append(ts.Versions, hs)
+		}
+		out = append(out, ts)
+	}
+	return out
 }
 
 // StatsSnapshot is the /stats response: one JSON object holding every
@@ -134,6 +193,7 @@ type StatsSnapshot struct {
 
 	WorkerStats []dataplane.WorkerStat `json:"worker_stats"`
 	Stages      []dataplane.StageStat  `json:"stages"`
+	Tenants     []TenantStat           `json:"tenants"`
 
 	TraceSampled int64 `json:"trace_sampled"`
 	TraceDropped int64 `json:"trace_dropped"`
@@ -176,6 +236,7 @@ func (s *Server) statsSnapshot() StatsSnapshot {
 
 		WorkerStats: eng.WorkerStats(),
 		Stages:      s.trc.StageStats(),
+		Tenants:     s.tenantStats(),
 
 		TraceSampled: s.trc.Sampled(),
 		TraceDropped: s.trc.Dropped(),

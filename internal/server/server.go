@@ -41,6 +41,7 @@ import (
 	"mp5/internal/equiv"
 	"mp5/internal/ir"
 	"mp5/internal/telemetry"
+	"mp5/internal/tenant"
 )
 
 // Policy selects what a UDP producer does when the ingress queue is full.
@@ -140,9 +141,12 @@ func newSrvMetrics(r *telemetry.Registry) *srvMetrics {
 }
 
 // item is one decoded packet queued for admission; c is nil for UDP, sp is
-// nil for unsampled packets.
+// nil for unsampled packets. tn is the tenant the frame addressed —
+// resolved at decode time, so the admitter never touches the registry's
+// name table.
 type item struct {
 	arr core.Arrival
+	tn  *tenant.Tenant
 	c   *tcpConn
 	seq uint32
 	sp  *dataplane.Span
@@ -159,8 +163,9 @@ type pendingAck struct {
 // Start → (serve traffic) → Shutdown, each exactly once.
 type Server struct {
 	cfg    Config
-	prog   *ir.Program
+	prog   *ir.Program // the first tenant's boot program (single-tenant surface)
 	eng    *dataplane.Engine
+	reg    *tenant.Registry
 	met    *srvMetrics
 	engMet *dataplane.Metrics
 	trc    *dataplane.Tracer
@@ -172,6 +177,10 @@ type Server struct {
 	mailboxG    *telemetry.GaugeVec
 	parkedG     *telemetry.GaugeVec
 	ticketG     *telemetry.GaugeVec
+	tenantSubG  *telemetry.GaugeVec
+	tenantDoneG *telemetry.GaugeVec
+	tenantShedG *telemetry.GaugeVec
+	tenantQG    *telemetry.GaugeVec
 	rxPPS       *telemetry.Gauge
 	ackPPS      *telemetry.Gauge
 	egPPS       *telemetry.Gauge
@@ -192,9 +201,12 @@ type Server struct {
 	pendMu  sync.Mutex
 	pending map[int64]pendingAck
 
-	// admitted is the recorded admission-order trace (Verify only);
-	// admitter-owned during the run, read after Shutdown joins it.
-	admitted []core.Arrival
+	// verify holds the per-version recorded admission-order traces (Verify
+	// only); admitter-owned during the run, read after Shutdown joins it.
+	// verifySeen lists the versions in first-traffic order so reports come
+	// out deterministically.
+	verify     map[*tenant.Version][]core.Arrival
+	verifySeen []*tenant.Version
 
 	readerWg sync.WaitGroup // accept loop, per-conn readers, UDP reader
 	writerWg sync.WaitGroup // per-conn ack writers
@@ -204,22 +216,46 @@ type Server struct {
 	res      *dataplane.Result
 }
 
-// New builds a server for prog (compiled for TargetMP5, like any dataplane
-// program). Nothing is bound until Start.
+// TenantProgram is one tenant's boot configuration for NewMulti: a
+// compiled program (TargetMP5) plus an optional admission quota in
+// in-flight packets (0 = unlimited).
+type TenantProgram struct {
+	Name  string
+	Prog  *ir.Program
+	Quota int
+}
+
+// New builds a single-tenant server for prog (compiled for TargetMP5, like
+// any dataplane program): one tenant named "default" with wire id 0 and no
+// quota — clients that never set the frame's tenant field land on it, so
+// the pre-multi-tenant wire behavior is preserved. Nothing is bound until
+// Start.
 func New(prog *ir.Program, cfg Config) (*Server, error) {
+	return NewMulti([]TenantProgram{{Name: "default", Prog: prog}}, cfg)
+}
+
+// NewMulti builds a multi-tenant server: every tenant gets its own isolated
+// program namespace on one shared engine, addressed by the codec frame's
+// tenant field (wire ids are assigned in slice order, starting at 0).
+// Nothing is bound until Start.
+func NewMulti(tenants []TenantProgram, cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	if cfg.TCPAddr == "" && cfg.UDPAddr == "" {
 		return nil, fmt.Errorf("server: no data-plane listener configured (set TCPAddr and/or UDPAddr)")
 	}
+	if len(tenants) == 0 {
+		return nil, fmt.Errorf("server: no tenant programs configured")
+	}
 	s := &Server{
 		cfg:     cfg,
-		prog:    prog,
+		prog:    tenants[0].Prog,
 		met:     newSrvMetrics(cfg.Registry),
 		trc:     cfg.Tracer,
 		ingress: make(chan item, cfg.IngressCap),
 		closed:  make(chan struct{}),
 		conns:   make(map[*tcpConn]struct{}),
 		pending: make(map[int64]pendingAck),
+		verify:  make(map[*tenant.Version][]core.Arrival),
 	}
 	engCfg := cfg.Engine
 	if cfg.Verify {
@@ -234,7 +270,13 @@ func New(prog *ir.Program, cfg Config) (*Server, error) {
 		engCfg.Tracer = cfg.Tracer
 	}
 	engCfg.OnEgress = s.onEgress
-	s.eng = dataplane.New(prog, engCfg)
+	s.eng = dataplane.NewMulti(engCfg)
+	s.reg = tenant.NewRegistry(s.eng)
+	for _, tp := range tenants {
+		if _, err := s.reg.Add(tp.Name, tp.Prog, tp.Quota); err != nil {
+			return nil, err
+		}
+	}
 	s.registerGauges(cfg.Registry)
 	return s, nil
 }
@@ -365,18 +407,35 @@ func (s *Server) admitLoop() {
 			}
 			break
 		}
-		s.admitItems(items, arrs[:0], spans[:0])
+		// Split the drained batch into consecutive same-tenant runs: each
+		// run admits on one version snapshot, so the per-tenant ticket
+		// order — hence C1 within a version — is exactly ingress order.
+		for lo := 0; lo < len(items); {
+			hi := lo + 1
+			for hi < len(items) && items[hi].tn == items[lo].tn {
+				hi++
+			}
+			s.admitItems(items[lo:hi], arrs[:0], spans[:0])
+			lo = hi
+		}
 		if closing {
 			return
 		}
 	}
 }
 
-// admitItems submits one coalesced batch: registers every packet's ack
-// target under the dense ids the engine will assign *before* submitting
-// (closing the race with a packet that egresses while SubmitBatch is still
-// returning), then unregisters the tail the engine refused (abort).
+// admitItems submits one coalesced same-tenant run: snapshots the tenant's
+// active version ONCE — the swap epoch; everything in this run is admitted
+// on that version even if a hot swap lands mid-run — registers every
+// packet's ack target under the dense ids the engine will assign *before*
+// submitting (closing the race with a packet that egresses while
+// SubmitBatch is still returning), then unregisters the tail the engine
+// refused. A refusal is either an engine abort (watchdog stall, counted as
+// a submit abort) or a tenant-quota shed (counted by the engine); either
+// way a refused TCP frame is never acked — the client's ack timeout is the
+// shed signal in lossless mode.
 func (s *Server) admitItems(items []item, arrs []core.Arrival, spans []*dataplane.Span) {
+	v := items[0].tn.Active()
 	id0 := s.eng.NextID()
 	s.pendMu.Lock()
 	for i := range items {
@@ -390,10 +449,8 @@ func (s *Server) admitItems(items []item, arrs []core.Arrival, spans []*dataplan
 		spans = append(spans, items[i].sp)
 	}
 	s.pendMu.Unlock()
-	n := s.eng.SubmitBatch(arrs, spans)
+	n := s.eng.SubmitBatchTo(v.Handle, arrs, spans)
 	if n < len(items) {
-		// Engine aborted (watchdog stall): unregister the refused tail and
-		// keep consuming so blocked producers can unwind to shutdown.
 		s.pendMu.Lock()
 		for i := n; i < len(items); i++ {
 			if items[i].c != nil {
@@ -401,14 +458,21 @@ func (s *Server) admitItems(items []item, arrs []core.Arrival, spans []*dataplan
 			}
 		}
 		s.pendMu.Unlock()
-		s.met.submitFail.Add(int64(len(items) - n))
+		if s.eng.Stalled() {
+			s.met.submitFail.Add(int64(len(items) - n))
+		}
 	}
 	if s.cfg.Verify {
+		trace, seen := s.verify[v]
+		if !seen {
+			s.verifySeen = append(s.verifySeen, v)
+		}
 		for i := 0; i < n; i++ {
 			a := items[i].arr
-			a.Cycle = int64(len(s.admitted))
-			s.admitted = append(s.admitted, a)
+			a.Cycle = int64(len(trace))
+			trace = append(trace, a)
 		}
+		s.verify[v] = trace
 	}
 }
 
@@ -446,14 +510,19 @@ func (s *Server) udpLoop() {
 			s.met.decodeErr.Inc()
 			continue
 		}
-		seq, arr, err := decodeDatagram(buf[:n])
-		if err != nil || len(arr.Fields) != len(s.prog.Fields) {
+		seq, tid, arr, err := decodeDatagram(buf[:n])
+		if err != nil {
+			s.met.decodeErr.Inc()
+			continue
+		}
+		tn := s.reg.ByID(tid)
+		if tn == nil || len(arr.Fields) != len(tn.Active().Prog.Fields) {
 			s.met.decodeErr.Inc()
 			continue
 		}
 		_ = seq // UDP is ackless; seq is carried for symmetry only
 		s.met.rx.Inc("udp")
-		it := item{arr: arr}
+		it := item{arr: arr, tn: tn}
 		if sp := s.trc.Sample(); sp != nil {
 			sp.Proto = "udp"
 			it.sp = sp
@@ -503,16 +572,17 @@ func (s *Server) readLoop(tc *tcpConn) {
 	defer s.readerWg.Done()
 	br := bufio.NewReaderSize(tc.c, 1<<16)
 	for {
-		seq, arr, err := readFrame(br)
+		seq, tid, arr, err := readFrame(br)
 		if err != nil {
 			return
 		}
-		if len(arr.Fields) != len(s.prog.Fields) {
+		tn := s.reg.ByID(tid)
+		if tn == nil || len(arr.Fields) != len(tn.Active().Prog.Fields) {
 			s.met.decodeErr.Inc()
 			continue
 		}
 		s.met.rx.Inc("tcp")
-		it := item{arr: arr, c: tc, seq: seq}
+		it := item{arr: arr, tn: tn, c: tc, seq: seq}
 		if sp := s.trc.Sample(); sp != nil {
 			sp.Proto = "tcp"
 			it.sp = sp
@@ -614,29 +684,100 @@ func (s *Server) Shutdown() *dataplane.Result {
 	return s.res
 }
 
-// Admitted returns the recorded admission-order trace (Verify mode only;
-// valid after Shutdown).
-func (s *Server) Admitted() []core.Arrival { return s.admitted }
+// Admitted returns the recorded admission-order trace of the first
+// tenant's boot version (Verify mode only; valid after Shutdown) — the
+// whole trace on a single-tenant daemon that never swapped.
+func (s *Server) Admitted() []core.Arrival {
+	if t := s.reg.ByID(0); t != nil {
+		if vs := t.Versions(); len(vs) > 0 {
+			return s.verify[vs[0]]
+		}
+	}
+	return nil
+}
 
-// VerifyRecorded holds the network path to the repo's differential bar:
-// replay the recorded admission order through the single-pipeline reference
-// and compare final registers, per-packet outputs, and per-slot C1 access
-// order against what the engine actually did. Valid after Shutdown of a
-// Verify-mode server.
-func (s *Server) VerifyRecorded() (*equiv.Report, bool, error) {
+// TenantVerify is one program version's wire-differential verdict: its
+// recorded admission trace replayed through the single-pipeline reference
+// against what the engine actually did on that version's namespace.
+type TenantVerify struct {
+	Tenant  string
+	Version int
+	Packets int
+	Report  *equiv.Report
+	OrderOK bool
+}
+
+// VerifyTenants holds every program version that saw traffic to the
+// differential bar, independently: per-version final registers, per-packet
+// outputs, and per-slot C1 access order, each against the version's own
+// reference — the tenant-isolation and hot-swap correctness oracle. Valid
+// after Shutdown of a Verify-mode server.
+func (s *Server) VerifyTenants() ([]TenantVerify, error) {
 	if !s.cfg.Verify {
-		return nil, false, fmt.Errorf("server: not started in Verify mode")
+		return nil, fmt.Errorf("server: not started in Verify mode")
 	}
 	if s.res == nil {
-		return nil, false, fmt.Errorf("server: VerifyRecorded before Shutdown")
+		return nil, fmt.Errorf("server: VerifyTenants before Shutdown")
 	}
-	rep := equiv.CheckState(s.prog, s.eng.FinalRegs(), s.eng.Outputs(), s.admitted)
-	orderOK := reflect.DeepEqual(equiv.ReferenceOrder(s.prog, s.admitted), s.eng.AccessOrders())
+	// Versions carry no back-pointer to their tenant; resolve owner names
+	// through the registry so reports say "alpha v2", not the internal
+	// handle name "alpha@v2".
+	owner := make(map[*tenant.Version]string)
+	for _, tn := range s.reg.Tenants() {
+		for _, v := range tn.Versions() {
+			owner[v] = tn.Name()
+		}
+	}
+	out := make([]TenantVerify, 0, len(s.verifySeen))
+	for _, v := range s.verifySeen {
+		trace := s.verify[v]
+		name := owner[v]
+		if name == "" {
+			name = v.Handle.Name()
+		}
+		tv := TenantVerify{
+			Tenant:  name,
+			Version: v.Seq,
+			Packets: len(trace),
+			Report:  equiv.CheckState(v.Prog, s.eng.FinalRegsFor(v.Handle), s.eng.OutputsFor(v.Handle), trace),
+		}
+		tv.OrderOK = reflect.DeepEqual(equiv.ReferenceOrder(v.Prog, trace), s.eng.AccessOrdersFor(v.Handle))
+		out = append(out, tv)
+	}
+	return out, nil
+}
+
+// VerifyRecorded is the aggregate differential verdict across every
+// version that saw traffic: the first failing version's report (or the
+// last report when all pass), plus whether every version's C1 access order
+// matched its reference. On a single-tenant daemon that never swapped this
+// is exactly the pre-multi-tenant behavior. Valid after Shutdown of a
+// Verify-mode server.
+func (s *Server) VerifyRecorded() (*equiv.Report, bool, error) {
+	tvs, err := s.VerifyTenants()
+	if err != nil {
+		return nil, false, err
+	}
+	if len(tvs) == 0 {
+		// No traffic: trivially equivalent against an empty trace.
+		rep := equiv.CheckState(s.prog, s.eng.FinalRegs(), s.eng.Outputs(), nil)
+		return rep, true, nil
+	}
+	rep, orderOK := tvs[len(tvs)-1].Report, true
+	for _, tv := range tvs {
+		if !tv.Report.Equivalent {
+			rep = tv.Report
+		}
+		orderOK = orderOK && tv.OrderOK
+	}
 	return rep, orderOK, nil
 }
 
 // Engine exposes the wrapped dataplane engine (health probes, shard map).
 func (s *Server) Engine() *dataplane.Engine { return s.eng }
+
+// Tenants exposes the tenant registry (admin plane, hot swap, tests).
+func (s *Server) Tenants() *tenant.Registry { return s.reg }
 
 // Dropped returns the ingress-queue drop count (the PolicyDrop counter).
 func (s *Server) Dropped() int64 { return s.met.dropped.Value() }

@@ -1,0 +1,65 @@
+package tenant
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Spec is one tenant's boot configuration, parsed from the mp5d command
+// line (`-tenant NAME=FILE[@quota]`, repeatable).
+type Spec struct {
+	// Name is the tenant's registry name (must be unique across specs).
+	Name string
+	// File is the path of the tenant's Domino program source.
+	File string
+	// Quota is the tenant's admission quota in in-flight packets;
+	// 0 = unlimited.
+	Quota int
+}
+
+// ParseSpec parses one NAME=FILE[@quota] tenant argument. The quota suffix
+// is split on the LAST '@' so file paths containing '@' still parse when a
+// quota is present.
+func ParseSpec(arg string) (Spec, error) {
+	eq := strings.Index(arg, "=")
+	if eq < 0 {
+		return Spec{}, fmt.Errorf("tenant spec %q: want NAME=FILE[@quota]", arg)
+	}
+	sp := Spec{Name: strings.TrimSpace(arg[:eq])}
+	rest := arg[eq+1:]
+	if at := strings.LastIndex(rest, "@"); at >= 0 {
+		q, err := strconv.Atoi(rest[at+1:])
+		if err != nil || q <= 0 {
+			return Spec{}, fmt.Errorf("tenant spec %q: quota %q is not a positive integer", arg, rest[at+1:])
+		}
+		sp.Quota = q
+		rest = rest[:at]
+	}
+	sp.File = strings.TrimSpace(rest)
+	if sp.Name == "" {
+		return Spec{}, fmt.Errorf("tenant spec %q: empty tenant name", arg)
+	}
+	if sp.File == "" {
+		return Spec{}, fmt.Errorf("tenant spec %q: empty program file", arg)
+	}
+	return sp, nil
+}
+
+// ValidateSpecs rejects inconsistent tenant sets up front, before anything
+// is compiled or bound: duplicate names, and (when window > 0) any single
+// quota at or above the shared admission window — such a quota can never
+// bind, which almost certainly means the operator misunderstood the unit.
+func ValidateSpecs(specs []Spec, window int) error {
+	seen := make(map[string]bool, len(specs))
+	for _, sp := range specs {
+		if seen[sp.Name] {
+			return fmt.Errorf("duplicate tenant name %q", sp.Name)
+		}
+		seen[sp.Name] = true
+		if window > 0 && sp.Quota >= window && sp.Quota > 0 {
+			return fmt.Errorf("tenant %q: quota %d >= window %d (quota would never bind)", sp.Name, sp.Quota, window)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,197 @@
+// Package tenant is the multi-tenant control plane over one shared
+// dataplane engine: a registry of named tenants, each running its own
+// compiled program in an isolated dataplane.Handle namespace (registers,
+// ticket queues, shard map, frame pool) behind a stable uint16 wire id,
+// with an optional admission quota that outlives program versions, and a
+// versioned zero-downtime hot-swap protocol.
+//
+// The swap protocol is epoch-by-admission, not drain-and-restart: Swap
+// builds the new version's handle completely (fresh register state at the
+// program's declared initial values), registers it on the running engine,
+// and then flips the tenant's active pointer atomically. The admitter
+// snapshots the active version per admission run, so every packet is
+// admitted on exactly one version; packets admitted before the flip finish
+// on the old version's registers and ticket queues, packets after start on
+// the new ones, and the C1 per-slot access-order contract holds within
+// each version because each version has its own admission-ordered ticket
+// queues. No traffic is drained, paused, or reordered.
+package tenant
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"mp5/internal/dataplane"
+	"mp5/internal/ir"
+)
+
+// Version is one immutable program version of a tenant: the compiled
+// program and its live dataplane handle. Seq starts at 1 and increments
+// per swap (per tenant).
+type Version struct {
+	Seq    int
+	Prog   *ir.Program
+	Handle *dataplane.Handle
+}
+
+// Tenant is one named tenant: a stable wire id, an admission quota shared
+// by all its versions (in-flight packets of a superseded version still
+// hold — and return — the same quota's tokens), and the atomically
+// swappable active version. All versions are retained: a superseded
+// version keeps draining its in-flight packets on its own handle, and its
+// final state stays inspectable after the run.
+type Tenant struct {
+	id    uint16
+	name  string
+	quota *dataplane.Quota
+
+	active atomic.Pointer[Version]
+
+	mu       sync.Mutex
+	versions []*Version
+}
+
+// ID returns the tenant's wire id (the codec frame's tenant field).
+func (t *Tenant) ID() uint16 { return t.id }
+
+// Name returns the tenant's registry name.
+func (t *Tenant) Name() string { return t.name }
+
+// Quota returns the tenant's admission quota (nil = unlimited).
+func (t *Tenant) Quota() *dataplane.Quota { return t.quota }
+
+// Active returns the tenant's current version (any goroutine; the
+// admitter's per-run snapshot point — one load defines the swap epoch for
+// everything admitted in that run).
+func (t *Tenant) Active() *Version { return t.active.Load() }
+
+// Versions snapshots all versions in swap order, oldest first.
+func (t *Tenant) Versions() []*Version {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]*Version(nil), t.versions...)
+}
+
+// Registry maps tenant names and wire ids to live tenants on one engine.
+// Add and Swap are safe to call while the engine serves traffic (the hot
+// paths — ByID, Active — are lock-free).
+type Registry struct {
+	eng *dataplane.Engine
+
+	mu     sync.Mutex
+	byName map[string]*Tenant
+	// byID[id] is the tenant with wire id id; ids are dense registration
+	// indices. The slice is copy-on-write behind an atomic pointer so the
+	// per-packet decode path resolves ids without a lock.
+	byID atomic.Pointer[[]*Tenant]
+}
+
+// NewRegistry builds an empty registry over eng. The engine may already be
+// running — tenants can be added to a live daemon.
+func NewRegistry(eng *dataplane.Engine) *Registry {
+	r := &Registry{eng: eng, byName: make(map[string]*Tenant)}
+	empty := make([]*Tenant, 0)
+	r.byID.Store(&empty)
+	return r
+}
+
+// Engine returns the shared dataplane engine.
+func (r *Registry) Engine() *dataplane.Engine { return r.eng }
+
+// Add registers a new tenant running prog with an admission quota of quota
+// packets (<= 0 = unlimited), assigning the next wire id. Fails on a
+// duplicate name or an exhausted id space.
+func (r *Registry) Add(name string, prog *ir.Program, quota int) (*Tenant, error) {
+	if name == "" {
+		return nil, fmt.Errorf("tenant: empty name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.byName[name]; ok {
+		return nil, fmt.Errorf("tenant: duplicate name %q", name)
+	}
+	cur := *r.byID.Load()
+	if len(cur) > 0xFFFF {
+		return nil, fmt.Errorf("tenant: id space exhausted (65536 tenants)")
+	}
+	t := &Tenant{
+		id:    uint16(len(cur)),
+		name:  name,
+		quota: dataplane.NewQuota(quota),
+	}
+	v := &Version{
+		Seq:    1,
+		Prog:   prog,
+		Handle: r.eng.AddProgram(handleName(name, 1), prog, t.quota),
+	}
+	t.versions = []*Version{v}
+	t.active.Store(v)
+	r.byName[name] = t
+	next := append(append(make([]*Tenant, 0, len(cur)+1), cur...), t)
+	r.byID.Store(&next)
+	return t, nil
+}
+
+// Swap hot-swaps tenant name to prog with zero downtime: the new version's
+// handle is fully built and registered on the live engine before the
+// active pointer flips, so admissions that snapshot the old version keep
+// flowing on it while later admissions start on the new one. The new
+// program must declare the same number of header fields as the old one —
+// the wire frame layout is the tenant's external contract and cannot
+// change under live clients.
+func (r *Registry) Swap(name string, prog *ir.Program) (*Version, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("tenant: unknown tenant %q", name)
+	}
+	old := t.active.Load()
+	if len(prog.Fields) != len(old.Prog.Fields) {
+		return nil, fmt.Errorf("tenant: swap for %q changes field count %d -> %d (wire contract)",
+			name, len(old.Prog.Fields), len(prog.Fields))
+	}
+	v := &Version{
+		Seq:    old.Seq + 1,
+		Prog:   prog,
+		Handle: r.eng.AddProgram(handleName(name, old.Seq+1), prog, t.quota),
+	}
+	t.mu.Lock()
+	t.versions = append(t.versions, v)
+	t.mu.Unlock()
+	t.active.Store(v) // the swap epoch: admission runs after this load the new version
+	return v, nil
+}
+
+// ByID resolves a wire id to its tenant (nil if unassigned). Lock-free —
+// the per-packet decode path.
+func (r *Registry) ByID(id uint16) *Tenant {
+	cur := *r.byID.Load()
+	if int(id) >= len(cur) {
+		return nil
+	}
+	return cur[id]
+}
+
+// ByName resolves a tenant name (nil if unknown).
+func (r *Registry) ByName(name string) *Tenant {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.byName[name]
+}
+
+// Tenants snapshots all tenants in wire-id order.
+func (r *Registry) Tenants() []*Tenant {
+	cur := *r.byID.Load()
+	return append([]*Tenant(nil), cur...)
+}
+
+// handleName is the engine-side name of one tenant version's handle —
+// distinct per version so engine-level stats tell versions apart.
+func handleName(name string, seq int) string {
+	if seq == 1 {
+		return name
+	}
+	return fmt.Sprintf("%s@v%d", name, seq)
+}

@@ -31,6 +31,10 @@ go test -count 1 -run 'TestSubmitSteadyStateAllocs|TestSubmitBatchSteadyStateAll
 # packet, so a use-after-recycle shows up as an oracle mismatch or a race.
 # Run the whole dataplane suite with poisoning AND the race detector on.
 go test -tags mp5debug -race -count 1 ./internal/dataplane
+# The multi-tenant registry's claims are about lock-free snapshots racing
+# hot swaps and shared-quota accounting; its suite gets a pinned
+# race-enabled pass.
+go test -race -count 1 ./internal/tenant
 # The bytecode compiler/VM is the shared per-stage executor under every
 # engine; its differential suites (interpreter vs canonical stack loop vs
 # quickened micro-ops, golden disassembly, exact MaxStack, corrupt-code
@@ -49,6 +53,11 @@ MP5_FUZZ_CASES=40 MP5_FUZZ_EXECUTOR=bytecode go test -count 1 -run TestDifferent
 # fixed seed; zero loss, a live admin plane, and a clean SIGTERM drain with
 # reference equivalence are all required.
 sh scripts/serve_smoke.sh
+# End-to-end multi-tenant soak: two tenants with different programs and
+# quotas share one daemon under concurrent load; one is hot-swapped via the
+# admin plane mid-run, and the drain must report per-tenant/per-version
+# equivalence with zero loss.
+sh scripts/tenant_smoke.sh
 # End-to-end tracing soak: the daemon with 1/16 wire-span sampling and a
 # JSONL span stream; the live trace surface (/stats, /metrics, mp5top)
 # must serve, and mp5trace must reconcile every exported span's stage sums
