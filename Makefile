@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet fmt-check test race race-core race-dataplane race-server race-tenant race-bytecode allocs-gate race-poison serve-smoke trace-smoke tenant-smoke check bench bench-guard bench-smoke bench-dataplane bench-server bench-tenant fuzz-smoke fuzz clean
+.PHONY: all build vet fmt-check test race race-core race-dataplane race-screp race-server race-tenant race-bytecode allocs-gate race-poison serve-smoke trace-smoke tenant-smoke check bench bench-guard bench-smoke bench-dataplane bench-server bench-tenant fuzz-smoke fuzz clean
 
 all: check
 
@@ -49,6 +49,14 @@ allocs-gate:
 race-poison:
 	$(GO) test -tags mp5debug -race -count 1 ./internal/dataplane
 
+# race-screp focuses the race detector on the state-compute-replication
+# engine — its coherence story is a lock-free stamp-chained replay ring
+# shared by all replicas plus a mutex-free order log written inside the
+# globally-serialized stateful span; exactly the kind of claim only the
+# race detector can falsify.
+race-screp:
+	$(GO) test -race -count 1 ./internal/screp
+
 # race-server focuses the race detector on the network daemon — listeners,
 # the bounded ingress queue, the serial admitter, and the egress-ack path
 # all interleave; the loopback soak with differential verification must
@@ -94,7 +102,7 @@ trace-smoke:
 # suite, the hot-path allocation gate, the poison-on-free lifecycle pass,
 # the deterministic differential-fuzzing smoke, the daemon and tracing
 # soaks, and the telemetry-overhead guard benchmark.
-check: vet race allocs-gate race-poison fuzz-smoke serve-smoke trace-smoke tenant-smoke bench-guard
+check: vet race race-screp allocs-gate race-poison fuzz-smoke serve-smoke trace-smoke tenant-smoke bench-guard
 
 # fuzz-smoke is the deterministic, seeded, time-bounded slice of the
 # differential fuzzing harness: MP5_FUZZ_CASES fixed cases (program +
@@ -105,6 +113,7 @@ check: vet race allocs-gate race-poison fuzz-smoke serve-smoke trace-smoke tenan
 fuzz-smoke:
 	MP5_FUZZ_CASES=40 $(GO) test -run 'TestDifferentialSmoke|FuzzDifferential' ./internal/fuzz
 	MP5_FUZZ_CASES=40 MP5_FUZZ_EXECUTOR=bytecode $(GO) test -count 1 -run TestDifferentialSmoke ./internal/fuzz
+	MP5_FUZZ_CASES=40 MP5_FUZZ_ENGINE=screp $(GO) test -count 1 -run TestDifferentialSmoke ./internal/fuzz
 
 # fuzz runs open-ended coverage-guided differential fuzzing (ctrl-C to stop;
 # see also cmd/mp5fuzz for long offline sweeps with JSONL artifacts).

@@ -37,6 +37,7 @@ import (
 	"mp5/internal/experiments"
 	"mp5/internal/ir"
 	"mp5/internal/ir/bytecode"
+	"mp5/internal/screp"
 	"mp5/internal/workload"
 )
 
@@ -347,9 +348,24 @@ func timeScenario(prog *ir.Program, name string, trace []core.Arrival) coreScena
 	}
 }
 
-// dpScenario is one row of BENCH_dataplane.json: the same dense trace timed
-// on the concurrent dataplane at one worker count.
+// Execution strategy names recorded on dpScenario rows. Both are omitempty
+// additions, so BENCH_dataplane.json files written before the replication
+// engine existed still decode: a row with no strategy is a sharded run of
+// the original (sole) workload.
+const (
+	strategySharded    = "sharded"
+	strategyReplicated = "screp"
+)
+
+// dpScenario is one row of BENCH_dataplane.json: one (workload, strategy,
+// worker count) cell, timed on the same dense trace.
 type dpScenario struct {
+	// Workload names the trace/program pair; Strategy the engine that ran it
+	// (sharded = internal/dataplane's D2 index sharding, screp =
+	// internal/screp's state-compute replication). Empty values mean the
+	// pre-replication schema: the write-heavy workload on the sharded engine.
+	Workload      string  `json:"workload,omitempty"`
+	Strategy      string  `json:"strategy,omitempty"`
 	Workers       int     `json:"workers"`
 	NsPerRun      int64   `json:"ns_per_run"`
 	PktsPerSec    float64 `json:"pkts_per_sec"`
@@ -398,32 +414,119 @@ func warnSingleCPU(bench string) bool {
 	return true
 }
 
-// runDataplaneBench times the concurrent dataplane on a dense line-rate
-// trace at worker counts {1, 2, GOMAXPROCS}, against the event-driven
-// simulator on the same program and trace as the baseline. Every worker
-// count is first cross-checked against the single-pipeline reference
-// (state, outputs, C1 order) in a recording run; the timed runs disable
-// recording.
-func runDataplaneBench(outPath string) {
-	prog, err := apps.Synthetic(4, 512, 16)
+// dpWorkload is one program/trace pair the strategy sweep times. The two
+// committed workloads are chosen to put the sharded-vs-replicated trade on
+// the record: heavy per-packet state writes make the replicated engine
+// re-apply every store on all replicas (sharding's home turf), while a
+// steering-hostile workload whose packets each touch several different
+// register arrays makes the sharded admitter resolve and steer every packet
+// across owners (replication's home turf — it sprays and pays nothing at
+// admission).
+type dpWorkload struct {
+	name  string
+	prog  *ir.Program
+	trace []core.Arrival
+}
+
+func dpWorkloads() []dpWorkload {
+	write, err := apps.Synthetic(4, 512, 16)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mp5bench:", err)
 		os.Exit(1)
 	}
-	trace := workload.Synthetic(prog, workload.Spec{Packets: 20000, Pipelines: 4, Seed: 1}, 4, 512)
-	n := float64(len(trace))
-	refOrder := equiv.ReferenceOrder(prog, trace)
+	// Many small arrays with skewed access: resolution + crossbar steering
+	// dominate the sharded engine's per-packet cost, while the deltas the
+	// replicated engine must replay stay tiny.
+	scatter, err := apps.Synthetic(8, 8, 16)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mp5bench:", err)
+		os.Exit(1)
+	}
+	return []dpWorkload{
+		{
+			name:  "write-heavy",
+			prog:  write,
+			trace: workload.Synthetic(write, workload.Spec{Packets: 20000, Pipelines: 4, Seed: 1}, 4, 512),
+		},
+		{
+			name: "scatter",
+			prog: scatter,
+			trace: workload.Synthetic(scatter, workload.Spec{
+				Packets: 20000, Pipelines: 4, Seed: 1, Pattern: workload.Skewed,
+			}, 8, 8),
+		},
+	}
+}
 
+// dpStrategyRun abstracts one engine strategy for the bench loop: a
+// recording cross-check run and an untimed-construction timed run.
+type dpStrategyRun struct {
+	name string
+	// check runs once with recording on and reports whether all three
+	// oracles held; run constructs a fresh engine and processes the trace
+	// (the timed/alloc-counted body).
+	check func(prog *ir.Program, trace []core.Arrival, w int, refOrder map[string][]int64) bool
+	run   func(prog *ir.Program, trace []core.Arrival, w int)
+}
+
+func dpStrategies() []dpStrategyRun {
+	return []dpStrategyRun{
+		{
+			name: strategySharded,
+			check: func(prog *ir.Program, trace []core.Arrival, w int, refOrder map[string][]int64) bool {
+				eng := dataplane.New(prog, dataplane.Config{
+					Workers: w, RecordOutputs: true, RecordAccessOrder: true,
+				})
+				res := eng.Run(trace)
+				return !res.Stalled && res.Completed == res.Injected &&
+					equiv.CheckState(prog, eng.FinalRegs(), eng.Outputs(), trace).Equivalent &&
+					reflect.DeepEqual(refOrder, eng.AccessOrders())
+			},
+			run: func(prog *ir.Program, trace []core.Arrival, w int) {
+				dataplane.New(prog, dataplane.Config{Workers: w}).Run(trace)
+			},
+		},
+		{
+			name: strategyReplicated,
+			check: func(prog *ir.Program, trace []core.Arrival, w int, refOrder map[string][]int64) bool {
+				eng := screp.New(prog, screp.Config{
+					Workers: w, RecordOutputs: true, RecordAccessOrder: true,
+				})
+				res := eng.Run(trace)
+				return !res.Stalled && res.Completed == res.Injected &&
+					equiv.CheckState(prog, eng.FinalRegs(), eng.Outputs(), trace).Equivalent &&
+					reflect.DeepEqual(refOrder, eng.AccessOrders())
+			},
+			run: func(prog *ir.Program, trace []core.Arrival, w int) {
+				screp.New(prog, screp.Config{Workers: w}).Run(trace)
+			},
+		},
+	}
+}
+
+// runDataplaneBench times both concurrent execution strategies — D2 index
+// sharding (internal/dataplane) and state-compute replication
+// (internal/screp) — on dense line-rate traces at worker counts
+// {1, 2, 4, GOMAXPROCS}, against the event-driven simulator on the primary
+// workload as the baseline. Every (workload, strategy, workers) cell is
+// first cross-checked against the single-pipeline reference (state,
+// outputs, C1 order) in a recording run; the timed runs disable recording.
+func runDataplaneBench(outPath string) {
+	workloads := dpWorkloads()
+	strategies := dpStrategies()
+
+	// Core baseline on the primary workload, as before the strategy sweep.
+	primary := workloads[0]
 	coreBest := time.Duration(1<<63 - 1)
 	for rep := 0; rep < 8; rep++ { // rep 0 is warmup
-		sim := core.NewSimulator(prog, core.Config{Arch: core.ArchMP5, Pipelines: 4, Seed: 1})
+		sim := core.NewSimulator(primary.prog, core.Config{Arch: core.ArchMP5, Pipelines: 4, Seed: 1})
 		start := time.Now()
-		sim.Run(trace)
+		sim.Run(primary.trace)
 		if d := time.Since(start); rep > 0 && d < coreBest {
 			coreBest = d
 		}
 	}
-	corePPS := n / coreBest.Seconds()
+	corePPS := float64(len(primary.trace)) / coreBest.Seconds()
 
 	counts := []int{1, 2, 4, runtime.GOMAXPROCS(0)}
 	sort.Ints(counts)
@@ -434,44 +537,44 @@ func runDataplaneBench(outPath string) {
 		NumCPU:         runtime.NumCPU(),
 		GoMaxProcs:     runtime.GOMAXPROCS(0),
 		SingleCPU:      warnSingleCPU("dataplane-bench"),
-		Packets:        len(trace),
+		Packets:        len(primary.trace),
 		CorePktsPerSec: corePPS,
 	}
-	var pps1 float64
-	for i, w := range counts {
-		if i > 0 && w == counts[i-1] {
-			continue // GOMAXPROCS collides with 1 or 2 on small boxes
-		}
-		check := dataplane.New(prog, dataplane.Config{
-			Workers: w, RecordOutputs: true, RecordAccessOrder: true,
-		})
-		cres := check.Run(trace)
-		matched := !cres.Stalled && cres.Completed == cres.Injected &&
-			equiv.CheckState(prog, check.FinalRegs(), check.Outputs(), trace).Equivalent &&
-			reflect.DeepEqual(refOrder, check.AccessOrders())
-
-		best := time.Duration(1<<63 - 1)
-		for rep := 0; rep < 8; rep++ { // rep 0 is warmup
-			eng := dataplane.New(prog, dataplane.Config{Workers: w})
-			start := time.Now()
-			eng.Run(trace)
-			if d := time.Since(start); rep > 0 && d < best {
-				best = d
+	for _, wl := range workloads {
+		n := float64(len(wl.trace))
+		refOrder := equiv.ReferenceOrder(wl.prog, wl.trace)
+		for _, st := range strategies {
+			var pps1 float64
+			for i, w := range counts {
+				if i > 0 && w == counts[i-1] {
+					continue // GOMAXPROCS collides with 1 or 2 on small boxes
+				}
+				matched := st.check(wl.prog, wl.trace, w, refOrder)
+				best := time.Duration(1<<63 - 1)
+				for rep := 0; rep < 8; rep++ { // rep 0 is warmup
+					start := time.Now()
+					st.run(wl.prog, wl.trace, w)
+					if d := time.Since(start); rep > 0 && d < best {
+						best = d
+					}
+				}
+				pps := n / best.Seconds()
+				if pps1 == 0 {
+					pps1 = pps
+				}
+				report.Scenarios = append(report.Scenarios, dpScenario{
+					Workload:      wl.name,
+					Strategy:      st.name,
+					Workers:       w,
+					NsPerRun:      best.Nanoseconds(),
+					PktsPerSec:    pps,
+					SpeedupVs1:    pps / pps1,
+					SpeedupVsCore: pps / corePPS,
+					AllocsPerPkt:  measureDpAllocs(wl.prog, wl.trace, w, st.run),
+					Matched:       matched,
+				})
 			}
 		}
-		pps := n / best.Seconds()
-		if pps1 == 0 {
-			pps1 = pps
-		}
-		report.Scenarios = append(report.Scenarios, dpScenario{
-			Workers:       w,
-			NsPerRun:      best.Nanoseconds(),
-			PktsPerSec:    pps,
-			SpeedupVs1:    pps / pps1,
-			SpeedupVsCore: pps / corePPS,
-			AllocsPerPkt:  measureDpAllocs(prog, trace, w),
-			Matched:       matched,
-		})
 	}
 	out, _ := json.MarshalIndent(report, "", "  ")
 	out = append(out, '\n')
@@ -483,31 +586,63 @@ func runDataplaneBench(outPath string) {
 		fmt.Fprintln(os.Stderr, "mp5bench:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("core baseline    %10.0f pkts/s\n", corePPS)
+	fmt.Printf("core baseline    %10.0f pkts/s (%s)\n", corePPS, primary.name)
 	for _, sc := range report.Scenarios {
-		fmt.Printf("workers=%-2d       %10.0f pkts/s  vs1 %.2fx  vs core %.2fx  allocs/pkt %.3f  matched=%v\n",
-			sc.Workers, sc.PktsPerSec, sc.SpeedupVs1, sc.SpeedupVsCore, sc.AllocsPerPkt, sc.Matched)
+		fmt.Printf("%-12s %-8s workers=%-2d %10.0f pkts/s  vs1 %.2fx  vs core %.2fx  allocs/pkt %.3f  matched=%v\n",
+			sc.Workload, sc.Strategy, sc.Workers, sc.PktsPerSec, sc.SpeedupVs1,
+			sc.SpeedupVsCore, sc.AllocsPerPkt, sc.Matched)
+	}
+	for _, wl := range workloads {
+		fmt.Printf("winner %-12s %s\n", wl.name, dpWinners(report.Scenarios, wl.name))
 	}
 	fmt.Println("wrote", outPath)
 }
 
-// measureDpAllocs measures the dataplane's marginal heap allocations per
+// dpWinners names the faster strategy per worker count for a workload —
+// the strategies are only comparable at matched parallelism (the replicated
+// engine's one-worker row is a near-overhead-free serial loop, the sharded
+// engine's multi-worker rows are where partitioned state pays off).
+func dpWinners(rows []dpScenario, workload string) string {
+	best := map[int]dpScenario{}
+	var order []int
+	for _, sc := range rows {
+		if sc.Workload != workload {
+			continue
+		}
+		if prev, ok := best[sc.Workers]; !ok {
+			best[sc.Workers] = sc
+			order = append(order, sc.Workers)
+		} else if sc.PktsPerSec > prev.PktsPerSec {
+			best[sc.Workers] = sc
+		}
+	}
+	sort.Ints(order)
+	var b strings.Builder
+	for i, w := range order {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		fmt.Fprintf(&b, "w%d:%s", w, best[w].Strategy)
+	}
+	return b.String()
+}
+
+// measureDpAllocs measures an engine's marginal heap allocations per
 // packet at steady state: the malloc-count delta between a double-length
 // and a single-length run, divided by the extra packets — the fixed costs
 // (engine construction, worker startup, free-list and scratch warmup)
 // cancel out of the subtraction.
-func measureDpAllocs(prog *ir.Program, trace []core.Arrival, workers int) float64 {
-	run := func(tr []core.Arrival) uint64 {
-		eng := dataplane.New(prog, dataplane.Config{Workers: workers})
+func measureDpAllocs(prog *ir.Program, trace []core.Arrival, workers int, run func(*ir.Program, []core.Arrival, int)) float64 {
+	count := func(tr []core.Arrival) uint64 {
 		runtime.GC()
 		var m0, m1 runtime.MemStats
 		runtime.ReadMemStats(&m0)
-		eng.Run(tr)
+		run(prog, tr, workers)
 		runtime.ReadMemStats(&m1)
 		return m1.Mallocs - m0.Mallocs
 	}
 	double := append(append(make([]core.Arrival, 0, 2*len(trace)), trace...), trace...)
-	d := float64(run(double)) - float64(run(trace))
+	d := float64(count(double)) - float64(count(trace))
 	if d < 0 {
 		d = 0
 	}

@@ -61,6 +61,7 @@ func main() {
 	shrinkBudget := flag.Int("shrink", 80, "shrink budget in candidate runs per failure (0 disables)")
 	repro := flag.String("repro", "", "replay failure artifacts from this JSONL file instead of sweeping")
 	executor := flag.String("executor", "", "force the engine sweep's stage executor: bytecode or interp (empty: bytecode, plus the built-in cross-executor runs)")
+	engine := flag.String("engine", "", "restrict the sweep (or -repro replay) to one engine family: core, core-sweep, bytecode, dataplane, dataplane-mt, or screp (empty: all)")
 	verbose := flag.Bool("v", false, "log every Nth case")
 	flag.Parse()
 
@@ -68,6 +69,12 @@ func main() {
 	case "", fuzz.ExecBytecode, fuzz.ExecInterp:
 	default:
 		fatal(fmt.Errorf("unknown executor %q (want %q or %q)", *executor, fuzz.ExecBytecode, fuzz.ExecInterp))
+	}
+	switch *engine {
+	case "", fuzz.EngineCore, fuzz.EngineSweep, fuzz.EngineBytecode,
+		fuzz.EngineDataplane, fuzz.EngineMultiTenant, fuzz.EngineScrep:
+	default:
+		fatal(fmt.Errorf("unknown engine %q", *engine))
 	}
 
 	var archs []core.Arch
@@ -90,7 +97,7 @@ func main() {
 	}
 
 	if *repro != "" {
-		os.Exit(reproduce(*repro, archs))
+		os.Exit(reproduce(*repro, archs, *engine))
 	}
 
 	failures := 0
@@ -104,7 +111,7 @@ func main() {
 			Pipelines: pick(*k, []int{2, 4, 8}[s%3]),
 			Executor:  *executor,
 		}
-		fails := fuzz.Run(c, archs)
+		fails := fuzz.RunEngines(c, archs, *engine)
 		if *verbose && i%100 == 0 {
 			fmt.Fprintf(os.Stderr, "mp5fuzz: case %d/%d, %d failures\n", i, *cases, failures)
 		}
@@ -139,7 +146,9 @@ func main() {
 
 // reproduce replays every artifact in path and reports whether each still
 // fails; exit status 1 if any does (the bug is still live), 0 if all pass.
-func reproduce(path string, fallback []core.Arch) int {
+// A non-empty engine restricts each replay to that engine family (e.g.
+// -engine=screp re-checks only the replication legs of each artifact).
+func reproduce(path string, fallback []core.Arch, engine string) int {
 	f, err := os.Open(path)
 	if err != nil {
 		fatal(err)
@@ -166,7 +175,7 @@ func reproduce(path string, fallback []core.Arch) int {
 			archs = []core.Arch{a}
 		}
 		total++
-		fails := fuzz.Run(rec.Case, archs)
+		fails := fuzz.RunEngines(rec.Case, archs, engine)
 		if len(fails) > 0 {
 			live++
 			fmt.Printf("artifact %d: still failing\n%v\n", total, fails[0])

@@ -23,6 +23,7 @@ import (
 	"mp5/internal/dataplane"
 	"mp5/internal/equiv"
 	"mp5/internal/ir"
+	"mp5/internal/screp"
 	"mp5/internal/telemetry"
 	"mp5/internal/viz"
 	"mp5/internal/workload"
@@ -58,12 +59,12 @@ func main() {
 	sampleInterval := flag.Int64("sample-interval", 0, "time-series sampling interval in cycles (0 disables; defaults to 1000 when -trace-jsonl or -metrics-out is set)")
 	topIndices := flag.Int("top-indices", 0, "print the N hottest register indices (by resolution count) after the run")
 	fullSweep := flag.Bool("full-sweep", false, "use the legacy per-cycle scheduler instead of the event-driven one (debugging aid; observable behaviour is identical, sparse traces run slower)")
-	engineName := flag.String("engine", "sim", "execution engine: sim (cycle-accurate simulator) or dataplane (concurrent goroutine engine; ignores -arch and the event-stream flags)")
-	workers := flag.Int("workers", 0, "dataplane worker count for -engine=dataplane (0 = GOMAXPROCS)")
+	engineName := flag.String("engine", "sim", "execution engine: sim (cycle-accurate simulator), dataplane (concurrent sharded engine), or screp (state-compute replication; both concurrent engines ignore -arch and the event-stream flags)")
+	workers := flag.Int("workers", 0, "worker count for -engine=dataplane or -engine=screp (0 = GOMAXPROCS)")
 	flag.Parse()
 
-	if *engineName != "sim" && *engineName != "dataplane" {
-		fatal(fmt.Errorf("unknown engine %q (want sim or dataplane)", *engineName))
+	if *engineName != "sim" && *engineName != "dataplane" && *engineName != "screp" {
+		fatal(fmt.Errorf("unknown engine %q (want sim, dataplane or screp)", *engineName))
 	}
 	arch, ok := archNames[*archName]
 	if !ok {
@@ -113,6 +114,9 @@ func main() {
 
 	if *engineName == "dataplane" {
 		os.Exit(runDataplane(prog, trace, *workers, *verify, *metricsOut))
+	}
+	if *engineName == "screp" {
+		os.Exit(runScrep(prog, trace, *workers, *verify, *metricsOut))
 	}
 
 	cfg := core.Config{
@@ -328,6 +332,77 @@ func runDataplane(prog *ir.Program, trace []core.Arrival, workers int, verify bo
 	}
 	if res.Stalled {
 		fmt.Fprintf(os.Stderr, "mp5sim: dataplane stalled (%d of %d packets completed)\n",
+			res.Completed, res.Injected)
+		return 3
+	}
+	if verify {
+		if res.Completed != res.Injected {
+			fmt.Println("equivalence        skipped (packet loss)")
+			return 0
+		}
+		rep := equiv.CheckState(prog, eng.FinalRegs(), eng.Outputs(), trace)
+		if !rep.Equivalent {
+			fmt.Printf("equivalence        FAILED: %d mismatches, e.g. %v\n",
+				len(rep.Mismatches), rep.Mismatches[0])
+			return 1
+		}
+		if !reflect.DeepEqual(equiv.ReferenceOrder(prog, trace), eng.AccessOrders()) {
+			fmt.Println("equivalence        FAILED: C1 access order diverges from the reference")
+			return 1
+		}
+		fmt.Printf("equivalence        OK (%d packets, all registers, C1 order)\n", rep.PacketsCompared)
+	}
+	return 0
+}
+
+// runScrep executes the trace on the state-compute-replication engine and
+// prints the analogous summary; in place of the sharded engine's crossbar
+// columns it reports the replication overhead (published deltas, replayed
+// writes). Verify holds it to the same state/output and C1-order oracles.
+func runScrep(prog *ir.Program, trace []core.Arrival, workers int, verify bool, metricsOut string) int {
+	cfg := screp.Config{
+		Workers:           workers,
+		RecordOutputs:     verify,
+		RecordAccessOrder: verify,
+		RecordEgressOrder: true,
+	}
+	var reg *telemetry.Registry
+	if metricsOut != "" {
+		reg = telemetry.NewRegistry()
+		cfg.Metrics = screp.NewMetrics(reg)
+	}
+	eng := screp.New(prog, cfg)
+	res := eng.Run(trace)
+
+	fmt.Printf("program            %s (%d stages, %d resolution, %d registers)\n",
+		prog.Name, prog.NumStages(), prog.ResolutionStages, len(prog.Regs))
+	fmt.Printf("engine             screp (state-compute replication), %d replicas (GOMAXPROCS %d)\n",
+		res.Workers, runtime.GOMAXPROCS(0))
+	fmt.Printf("packets            %d injected, %d completed\n", res.Injected, res.Completed)
+	fmt.Printf("throughput         %.0f packets/sec (%.2f ms elapsed)\n",
+		res.PktsPerSec, float64(res.Elapsed.Microseconds())/1000)
+	fmt.Printf("replication        %d deltas published, %d writes replayed (%.2f per packet)\n",
+		res.DeltasPublished, res.WritesReplayed,
+		float64(res.WritesReplayed)/float64(max64(res.Injected, 1)))
+	fmt.Printf("reordered egress   %d packets\n", res.Reordered)
+	if res.Latency != nil && res.Latency.Total() > 0 {
+		fmt.Printf("latency            p50 %.0f µs, p99 %.0f µs\n",
+			res.Latency.Quantile(0.5), res.Latency.Quantile(0.99))
+	}
+	if metricsOut != "" {
+		f, err := os.Create(metricsOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := reg.WriteProm(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	if res.Stalled {
+		fmt.Fprintf(os.Stderr, "mp5sim: screp stalled (%d of %d packets completed)\n",
 			res.Completed, res.Injected)
 		return 3
 	}

@@ -60,6 +60,12 @@ const (
 	// StageTicketWait is time parked on the owning worker waiting to hold
 	// the head ticket of every slot of a visit (D4 ordering wait).
 	StageTicketWait
+	// StageReplayWait is time a state-compute-replication worker
+	// (internal/screp) spends waiting for earlier packets' write deltas to
+	// be published before its own stateful span may run — the replication
+	// engine's analogue of the D4 ticket wait. Never stamped by this
+	// package's sharded engine.
+	StageReplayWait
 	// StageEgress is egress bookkeeping: output recording plus the
 	// OnEgress hook (on the server path, the TCP ack enqueue).
 	StageEgress
@@ -68,7 +74,7 @@ const (
 )
 
 var stageNames = [numTraceStages]string{
-	"ingress_wait", "window_wait", "admit", "crossbar", "exec", "ticket_wait", "egress",
+	"ingress_wait", "window_wait", "admit", "crossbar", "exec", "ticket_wait", "replay_wait", "egress",
 }
 
 // String returns the stage's JSONL/metrics name.
@@ -122,7 +128,7 @@ func (sp *Span) Advance(st TraceStage, pipe int) {
 // StageTotals sums the span's segment durations per stage (and overall) —
 // the folded view the collector feeds into histograms and checkers use to
 // reconcile against TotalNs.
-func (sp *Span) StageTotals() (per [7]int64, sum int64) {
+func (sp *Span) StageTotals() (per [numTraceStages]int64, sum int64) {
 	for _, r := range sp.Stages {
 		if int(r.code) < len(per) {
 			per[r.code] += r.Ns
@@ -264,6 +270,12 @@ func (t *Tracer) finish(sp *Span) {
 		t.pool.Put(sp)
 	}
 }
+
+// Finish seals sp and hands it to the collector — the exported entry point
+// for engines outside this package (internal/screp shares the tracer so
+// both parallelization strategies feed one span pipeline). Never blocks;
+// same drop-when-full contract as the internal finish.
+func (t *Tracer) Finish(sp *Span) { t.finish(sp) }
 
 // collect is the off-hot-path merge loop: fold each finished span into the
 // per-stage histograms and stream it to the sink.

@@ -11,6 +11,7 @@ import (
 	"mp5/internal/dataplane"
 	"mp5/internal/equiv"
 	"mp5/internal/ir"
+	"mp5/internal/screp"
 	"mp5/internal/workload"
 )
 
@@ -37,6 +38,10 @@ const (
 	// generated programs interleaved on ONE engine, each held to its own
 	// independent single-pipeline reference — the tenant-isolation oracle.
 	EngineMultiTenant = "dataplane-mt"
+	// EngineScrep is the state-compute-replication engine (internal/screp):
+	// full-state replicas with round-robin spray and sequenced write-delta
+	// replay, held to the same three oracles as the sharded dataplane.
+	EngineScrep = "screp"
 )
 
 // MultiTenantPrograms is how many programs the multi-tenant leg loads side
@@ -194,6 +199,12 @@ func (f *Failure) String() string {
 			who = "tenant " + f.Tenant
 		}
 		fmt.Fprintf(&b, "dataplane-mt(workers=%d, %s): %s", f.Workers, who, f.Reason)
+	case EngineScrep:
+		mode := ""
+		if f.Submit == SubmitSingle {
+			mode = ", submit=single"
+		}
+		fmt.Fprintf(&b, "screp(workers=%d%s): %s", f.Workers, mode, f.Reason)
 	case EngineSweep:
 		fmt.Fprintf(&b, "%v (full-sweep): %s", f.Arch, f.Reason)
 	case EngineBytecode:
@@ -344,6 +355,58 @@ func (r *reference) runDataplane(workers int, single bool) *Failure {
 		Interpret:         r.interp,
 	})
 	var res *dataplane.Result
+	if single {
+		eng.Start()
+		for i := range r.arrivals {
+			if !eng.Submit(&r.arrivals[i]) {
+				break
+			}
+		}
+		res = eng.Drain()
+	} else {
+		res = eng.Run(r.arrivals)
+	}
+	if res.Stalled {
+		fail.Reason = "stall"
+		fail.Detail = fmt.Sprintf("%d of %d completed before the watchdog fired", res.Completed, res.Injected)
+		return fail
+	}
+	if res.Completed != res.Injected {
+		fail.Reason = "loss"
+		fail.Detail = fmt.Sprintf("%d of %d completed", res.Completed, res.Injected)
+		return fail
+	}
+	if divs := diffOrders(r.order, eng.AccessOrders()); len(divs) > 0 {
+		fail.Reason = "order"
+		fail.Order = divs
+		return fail
+	}
+	if rep := equiv.CheckState(r.prog, eng.FinalRegs(), eng.Outputs(), r.arrivals); !rep.Equivalent {
+		fail.Reason = "state"
+		fail.Report = rep
+		return fail
+	}
+	return nil
+}
+
+// runScrep executes the case on the state-compute-replication engine with
+// the given replica count and holds it to the same oracles as the sharded
+// dataplane: liveness, loss-freedom, C1 per-slot access order, and final
+// registers plus packet outputs. Since every replica holds the full state,
+// an order or state divergence here means the delta replay chain broke —
+// the exact failure mode replication trades the shard map away for.
+func (r *reference) runScrep(workers int, single bool) *Failure {
+	fail := &Failure{Engine: EngineScrep, Arch: core.ArchMP5, Workers: workers, Executor: r.execName()}
+	if single {
+		fail.Submit = SubmitSingle
+	}
+	eng := screp.New(r.prog, screp.Config{
+		Workers:           workers,
+		RecordOutputs:     true,
+		RecordAccessOrder: true,
+		Interpret:         r.interp,
+	})
+	var res *screp.Result
 	if single {
 		eng.Start()
 		for i := range r.arrivals {
@@ -567,13 +630,23 @@ func diffOrders(want, got map[string][]int64) []OrderDiv {
 // reference on every engine configuration: the direct bytecode-vs-interpreter
 // differential on the serial machine, each architecture in archs on the
 // event-driven simulator, ArchMP5 on the simulator's legacy full-sweep
-// scheduler, the concurrent goroutine dataplane at every DataplaneWorkers
-// count, and one cross-executor ArchMP5 run (the sweep's executor flipped) —
-// so one seed cross-checks every engine and both stage executors. It
-// returns one Failure per diverging configuration. A compile error returns a
-// single "compile" failure (the generator aims for 100% compilable output, so
-// this is itself a finding).
+// scheduler, the concurrent goroutine dataplane and the state-compute-
+// replication engine at every DataplaneWorkers count, and one cross-executor
+// ArchMP5 run (the sweep's executor flipped) — so one seed cross-checks every
+// engine and both stage executors. It returns one Failure per diverging
+// configuration. A compile error returns a single "compile" failure (the
+// generator aims for 100% compilable output, so this is itself a finding).
 func Run(c *Case, archs []core.Arch) []*Failure {
+	return RunEngines(c, archs, "")
+}
+
+// RunEngines is Run with an engine filter: only restricts the sweep to one
+// engine family (an Engine* constant; EngineCore also keeps the per-arch
+// sweep and the cross-executor run). Empty means everything. The filter is
+// what -engine on mp5fuzz and MP5_FUZZ_ENGINE in the test harness plug
+// into — a replication-only soak costs a fraction of the full sweep.
+func RunEngines(c *Case, archs []core.Arch, only string) []*Failure {
+	want := func(engine string) bool { return only == "" || only == engine }
 	if c.Pipelines <= 0 {
 		c.Pipelines = core.DefaultPipelines
 	}
@@ -588,38 +661,64 @@ func Run(c *Case, archs []core.Arch) []*Failure {
 	ref := newReference(prog, arrivals, c.Pipelines)
 	ref.interp = c.Executor == ExecInterp
 	var fails []*Failure
-	if f := ref.runBytecode(); f != nil {
-		fails = append(fails, f)
-	}
-	for _, a := range archs {
-		if f := ref.runCore(a, c.WorkSeed, false); f != nil {
+	if want(EngineBytecode) {
+		if f := ref.runBytecode(); f != nil {
 			fails = append(fails, f)
 		}
 	}
-	if f := ref.runCore(core.ArchMP5, c.WorkSeed, true); f != nil {
-		fails = append(fails, f)
+	if want(EngineCore) {
+		for _, a := range archs {
+			if f := ref.runCore(a, c.WorkSeed, false); f != nil {
+				fails = append(fails, f)
+			}
+		}
 	}
-	for _, w := range DataplaneWorkers {
-		if f := ref.runDataplane(w, false); f != nil {
+	if want(EngineSweep) {
+		if f := ref.runCore(core.ArchMP5, c.WorkSeed, true); f != nil {
 			fails = append(fails, f)
 		}
 	}
-	// One per-packet-Submit dataplane run: Run above exercises the batched
-	// admission path, so this leg keeps the single-packet path (and its
-	// distinct ticket/dispatch interleaving) under the same three oracles.
-	if f := ref.runDataplane(2, true); f != nil {
-		fails = append(fails, f)
+	if want(EngineDataplane) {
+		for _, w := range DataplaneWorkers {
+			if f := ref.runDataplane(w, false); f != nil {
+				fails = append(fails, f)
+			}
+		}
+		// One per-packet-Submit dataplane run: the sweep above exercises the
+		// batched admission path, so this leg keeps the single-packet path
+		// (and its distinct ticket/dispatch interleaving) under the same
+		// three oracles.
+		if f := ref.runDataplane(2, true); f != nil {
+			fails = append(fails, f)
+		}
 	}
-	// Multi-tenant leg: the case's program plus derived siblings interleaved
-	// on one engine, each tenant against its own reference.
-	fails = append(fails, runMultiTenant(c, 4)...)
-	// Cross-executor run: whatever executor the sweep above used, run the
-	// flagship architecture once with the other one, so both the compiled
-	// path and the interpreter path stay exercised on every case.
-	cross := *ref
-	cross.interp = !ref.interp
-	if f := cross.runCore(core.ArchMP5, c.WorkSeed, false); f != nil {
-		fails = append(fails, f)
+	if want(EngineScrep) {
+		// Replication leg: same worker sweep and same oracles as the sharded
+		// engine, plus one per-packet-Submit run — so both strategies answer
+		// to the identical differential contract on every case.
+		for _, w := range DataplaneWorkers {
+			if f := ref.runScrep(w, false); f != nil {
+				fails = append(fails, f)
+			}
+		}
+		if f := ref.runScrep(2, true); f != nil {
+			fails = append(fails, f)
+		}
+	}
+	if want(EngineMultiTenant) {
+		// Multi-tenant leg: the case's program plus derived siblings
+		// interleaved on one engine, each tenant against its own reference.
+		fails = append(fails, runMultiTenant(c, 4)...)
+	}
+	if want(EngineCore) {
+		// Cross-executor run: whatever executor the sweep above used, run the
+		// flagship architecture once with the other one, so both the compiled
+		// path and the interpreter path stay exercised on every case.
+		cross := *ref
+		cross.interp = !ref.interp
+		if f := cross.runCore(core.ArchMP5, c.WorkSeed, false); f != nil {
+			fails = append(fails, f)
+		}
 	}
 	return fails
 }
@@ -651,6 +750,8 @@ func runLike(c *Case, like *Failure) *Failure {
 		return ref.runCore(core.ArchMP5, c.WorkSeed, true)
 	case EngineDataplane:
 		return ref.runDataplane(like.Workers, like.Submit == SubmitSingle)
+	case EngineScrep:
+		return ref.runScrep(like.Workers, like.Submit == SubmitSingle)
 	case EngineMultiTenant:
 		workers := like.Workers
 		if workers <= 0 {

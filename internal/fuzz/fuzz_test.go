@@ -79,14 +79,29 @@ func smokeCases(t testing.TB) []*Case {
 	return cases
 }
 
+// smokeEngine reads the MP5_FUZZ_ENGINE engine filter for the smoke gate:
+// empty sweeps everything, an Engine* name restricts the run to that engine
+// family (check.sh uses "screp" for the replication-only leg).
+func smokeEngine(t testing.TB) string {
+	engine := os.Getenv("MP5_FUZZ_ENGINE")
+	switch engine {
+	case "", EngineCore, EngineSweep, EngineBytecode,
+		EngineDataplane, EngineMultiTenant, EngineScrep:
+	default:
+		t.Fatalf("bad MP5_FUZZ_ENGINE=%q", engine)
+	}
+	return engine
+}
+
 // TestDifferentialSmoke is the bounded deterministic gate wired into
 // scripts/check.sh: every smoke case must match the single-pipeline
 // reference on all order-preserving architectures, the full-sweep
-// scheduler, and the concurrent dataplane at every DataplaneWorkers count —
-// on state, packet outputs, and C1 access order.
+// scheduler, and the concurrent dataplane and replication engines at every
+// DataplaneWorkers count — on state, packet outputs, and C1 access order.
 func TestDifferentialSmoke(t *testing.T) {
+	engine := smokeEngine(t)
 	for i, c := range smokeCases(t) {
-		fails := Run(c, OrderPreserving)
+		fails := RunEngines(c, OrderPreserving, engine)
 		for _, f := range fails {
 			t.Errorf("case %d (progSeed=%d workSeed=%d): %v", i, c.ProgSeed, c.WorkSeed, f)
 		}
@@ -173,6 +188,8 @@ func TestShrinkFailureNonCore(t *testing.T) {
 		{Engine: EngineBytecode, Arch: core.ArchMP5},
 		{Engine: EngineCore, Arch: core.ArchMP5, Executor: ExecInterp},
 		{Engine: EngineMultiTenant, Arch: core.ArchMP5, Workers: 4, Tenant: "t1"},
+		{Engine: EngineScrep, Arch: core.ArchMP5, Workers: 2},
+		{Engine: EngineScrep, Arch: core.ArchMP5, Workers: 2, Submit: SubmitSingle},
 	} {
 		if _, f := ShrinkFailure(c, like, 6); f != nil {
 			t.Fatalf("%s failed a smoke-grade case during shrink: %v", like.Engine, f)

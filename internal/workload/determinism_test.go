@@ -1,0 +1,58 @@
+package workload
+
+import (
+	"fmt"
+	"testing"
+
+	"mp5/internal/core"
+)
+
+// TestSameSeedIdenticalBytes pins the strongest determinism contract across
+// every trace generator: two runs with the same seed must produce traces
+// that are identical in EVERY exported arrival field (rendered to bytes and
+// compared wholesale), not merely equal in length and a spot-checked field.
+// The replication engine (internal/screp) leans on this directly — a
+// packet's position in the trace IS its global sequence number, so a
+// nondeterministic generator would make replicated runs unreproducible even
+// with identical seeds.
+func TestSameSeedIdenticalBytes(t *testing.T) {
+	prog := synthProg(t, 3, 64)
+	bind := func(f *Flow, p *PktCtx, fields []int64) {
+		fields[0] = f.ID % 64
+		if len(fields) > 1 {
+			fields[1] = int64(p.Seq) + p.Rng.Int63n(8)
+		}
+	}
+	gens := map[string]func() []core.Arrival{
+		"synthetic": func() []core.Arrival {
+			return Synthetic(prog, Spec{
+				Packets: 1500, Pipelines: 4, Seed: 77, Pattern: Skewed,
+			}, 3, 64)
+		},
+		"random-fields": func() []core.Arrival {
+			return RandomFields(prog, Spec{Packets: 1500, Pipelines: 4, Seed: 77})
+		},
+		"flows": func() []core.Arrival {
+			return Flows(prog, FlowSpec{Packets: 1500, Pipelines: 4, Seed: 77}, bind)
+		},
+		"fuzz": func() []core.Arrival {
+			return FuzzTrace(prog, fuzzSpec(77))
+		},
+	}
+	for name, gen := range gens {
+		t.Run(name, func(t *testing.T) {
+			a, b := gen(), gen()
+			ab, bb := fmt.Sprintf("%+v", a), fmt.Sprintf("%+v", b)
+			if ab != bb {
+				i := 0
+				for i < len(a) && fmt.Sprintf("%+v", a[i]) == fmt.Sprintf("%+v", b[i]) {
+					i++
+				}
+				t.Fatalf("same seed diverged at arrival %d:\nrun1 %+v\nrun2 %+v", i, a[i], b[i])
+			}
+			if len(a) == 0 {
+				t.Fatal("generator produced an empty trace")
+			}
+		})
+	}
+}

@@ -18,6 +18,10 @@ go test -race -count 1 ./internal/core
 # interleavings (ticket queues, parking, remap migration); its differential
 # equivalence suite must always run under the race detector.
 go test -race -count 1 ./internal/dataplane
+# The state-compute-replication engine's coherence story is a lock-free
+# stamp-chained replay ring shared by all replicas; its differential suite
+# (including replica convergence) must always run under the race detector.
+go test -race -count 1 ./internal/screp
 # The network daemon's loopback soak (streaming ingestion, backpressure,
 # egress acks, graceful drain, differential verification of the admitted
 # order) must stay race-clean too.
@@ -49,6 +53,10 @@ MP5_FUZZ_CASES=40 go test -run 'TestDifferentialSmoke|FuzzDifferential' ./intern
 # engine: all three oracles (state, outputs, C1 access order) must hold on
 # the quickened VM exactly as they do on the tree-walking interpreter.
 MP5_FUZZ_CASES=40 MP5_FUZZ_EXECUTOR=bytecode go test -count 1 -run TestDifferentialSmoke ./internal/fuzz
+# The same smoke restricted to the state-compute-replication engine: the
+# fourth engine leg alone, so a replication regression is attributed
+# directly instead of surfacing as noise in the full sweep.
+MP5_FUZZ_CASES=40 MP5_FUZZ_ENGINE=screp go test -count 1 -run TestDifferentialSmoke ./internal/fuzz
 # End-to-end daemon soak: mp5load drives mp5d over loopback TCP with a
 # fixed seed; zero loss, a live admin plane, and a clean SIGTERM drain with
 # reference equivalence are all required.
